@@ -1,0 +1,326 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus real host-execution benchmarks of
+// representative kernels and ablation benchmarks over the performance
+// model's calibration constants.
+//
+// Run them all:
+//
+//	go test -bench=. -benchmem
+//
+// The Figure/Table benchmarks report shape metrics alongside ns/op so a
+// benchmark run doubles as a reproduction check (e.g. Table 2's
+// polybench speedup at 64 threads is attached as poly64x).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/autovec"
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/suite"
+	"repro/internal/team"
+	"repro/internal/trace"
+)
+
+func exactStudy() *core.Study {
+	st := core.NewStudy()
+	st.Noise = 0
+	st.Runs = 1
+	return st
+}
+
+// --- one benchmark per table/figure -------------------------------------
+
+func BenchmarkFigure1(b *testing.B) {
+	st := exactStudy()
+	var fig core.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = st.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		if s.Label == "SG2042 FP64" {
+			b.ReportMetric(s.ByClass[kernels.Stream].Mean, "sg64/v2_stream_x")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchScalingTable(b, placement.Block) }
+func BenchmarkTable2(b *testing.B) { benchScalingTable(b, placement.CyclicNUMA) }
+func BenchmarkTable3(b *testing.B) { benchScalingTable(b, placement.ClusterCyclic) }
+
+func benchScalingTable(b *testing.B, pol placement.Policy) {
+	st := exactStudy()
+	var tab core.ScalingTableResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = st.ScalingTable(pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tab.Cells[64][kernels.Polybench].Speedup, "poly64x")
+	b.ReportMetric(tab.Cells[64][kernels.Stream].Speedup, "stream64x")
+	b.ReportMetric(tab.Cells[16][kernels.Stream].Speedup, "stream16x")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	st := exactStudy()
+	var fig core.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = st.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.Series[0].ByClass[kernels.Stream].Mean, "fp32_stream_vec_x")
+	b.ReportMetric(fig.Series[1].ByClass[kernels.Stream].Mean, "fp64_stream_vec_x")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	st := exactStudy()
+	var kb core.KernelBars
+	var err error
+	for i := 0; i < b.N; i++ {
+		kb, err = st.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, name := range kb.Kernels {
+		if name == "GEMM" {
+			b.ReportMetric(kb.Series[1].Ratios[i], "clangvls_gemm_ratio")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	var rows []core.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = core.Table4()
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+func BenchmarkFigure4(b *testing.B) { benchXCompare(b, prec.F64, false) }
+func BenchmarkFigure5(b *testing.B) { benchXCompare(b, prec.F32, false) }
+func BenchmarkFigure6(b *testing.B) { benchXCompare(b, prec.F64, true) }
+func BenchmarkFigure7(b *testing.B) { benchXCompare(b, prec.F32, true) }
+
+func benchXCompare(b *testing.B, p prec.Precision, mt bool) {
+	st := exactStudy()
+	var fig core.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = st.XCompare(p, mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		if s.Label == "Rome" {
+			sum, n := 0.0, 0
+			for _, cs := range s.ByClass {
+				sum += cs.Mean
+				n++
+			}
+			b.ReportMetric(sum/float64(n), "rome_mean_x")
+		}
+	}
+}
+
+// --- real host execution of representative kernels -----------------------
+
+func benchHostKernel(b *testing.B, name string, n int, p prec.Precision) {
+	spec, err := suite.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := spec.Build(p, n)
+	inst.Run(seqRunner{}) // warm-up / first touch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Run(seqRunner{})
+	}
+	_ = inst.Checksum()
+}
+
+type seqRunner struct{}
+
+func (seqRunner) NThreads() int          { return 1 }
+func (seqRunner) Region(f func(tid int)) { f(0) }
+
+func BenchmarkHostTRIAD_F64(b *testing.B) { benchHostKernel(b, "TRIAD", 1<<16, prec.F64) }
+func BenchmarkHostTRIAD_F32(b *testing.B) { benchHostKernel(b, "TRIAD", 1<<16, prec.F32) }
+func BenchmarkHostDAXPY_F64(b *testing.B) { benchHostKernel(b, "DAXPY", 1<<16, prec.F64) }
+func BenchmarkHostGEMM_F64(b *testing.B)  { benchHostKernel(b, "GEMM", 96, prec.F64) }
+func BenchmarkHostFIR_F32(b *testing.B)   { benchHostKernel(b, "FIR", 1<<14, prec.F32) }
+func BenchmarkHostSORT_F64(b *testing.B)  { benchHostKernel(b, "SORT", 1<<14, prec.F64) }
+func BenchmarkHostJACOBI2D_F64(b *testing.B) {
+	benchHostKernel(b, "JACOBI_2D", 96, prec.F64)
+}
+func BenchmarkHostHEAT3D_F64(b *testing.B) { benchHostKernel(b, "HEAT_3D", 24, prec.F64) }
+
+// BenchmarkHostTRIADParallel exercises the fork-join team end to end.
+func BenchmarkHostTRIADParallel(b *testing.B) {
+	spec, _ := suite.ByName("TRIAD")
+	inst := spec.Build(prec.F64, 1<<16)
+	tm := team.New(2)
+	defer tm.Close()
+	inst.Run(tm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Run(tm)
+	}
+}
+
+// --- ablation benchmarks over the model's design choices -----------------
+
+// BenchmarkAblationStragglerExponent sweeps the straggler exponent and
+// reports the stream-class 64-thread speedup under each choice,
+// demonstrating which value produces the paper's cliff.
+func BenchmarkAblationStragglerExponent(b *testing.B) {
+	for _, exp := range []float64{1.0, 2.0, 3.7, 5.0} {
+		b.Run(fmtF(exp), func(b *testing.B) {
+			mdl := perfmodel.New()
+			mdl.Cal.StragglerExponent = exp
+			spec, _ := suite.ByName("TRIAD")
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				t1, err := mdl.KernelTime(spec, sgCfg(1, placement.CyclicNUMA))
+				if err != nil {
+					b.Fatal(err)
+				}
+				t64, err := mdl.KernelTime(spec, sgCfg(64, placement.CyclicNUMA))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = t1.Seconds / t64.Seconds
+			}
+			b.ReportMetric(sp, "stream64x")
+		})
+	}
+}
+
+// BenchmarkAblationCacheFraction sweeps the usable-cache fraction and
+// reports where the TRIAD working set lands.
+func BenchmarkAblationCacheFraction(b *testing.B) {
+	for _, frac := range []float64{0.5, 0.8, 1.0} {
+		b.Run(fmtF(frac), func(b *testing.B) {
+			mdl := perfmodel.New()
+			mdl.Cal.CacheUsableFraction = frac
+			spec, _ := suite.ByName("TRIAD")
+			var served float64
+			for i := 0; i < b.N; i++ {
+				bk, err := mdl.KernelTime(spec, sgCfg(32, placement.ClusterCyclic))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bk.ServedBy == "L2" {
+					served = 1
+				} else {
+					served = 0
+				}
+			}
+			b.ReportMetric(served, "l2resident")
+		})
+	}
+}
+
+// BenchmarkAblationVLAFactor sweeps the VLA throughput factor and
+// reports the VLS/VLA ratio it induces on a vector kernel.
+func BenchmarkAblationVLAFactor(b *testing.B) {
+	for _, f := range []float64{0.7, 0.88, 1.0} {
+		b.Run(fmtF(f), func(b *testing.B) {
+			mdl := perfmodel.New()
+			mdl.Cal.VLAFactor = f
+			spec, _ := suite.ByName("GESUMMV")
+			cfgVLS := sgCfg(1, placement.Block)
+			cfgVLS.Compiler = autovec.Clang16
+			cfgVLS.Mode = autovec.VLS
+			cfgVLA := cfgVLS
+			cfgVLA.Mode = autovec.VLA
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				tv, err := mdl.KernelTime(spec, cfgVLS)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ta, err := mdl.KernelTime(spec, cfgVLA)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = ta.Seconds / tv.Seconds
+			}
+			b.ReportMetric(ratio, "vla_over_vls")
+		})
+	}
+}
+
+// BenchmarkCacheSimStream runs the executable cache simulator over a
+// streaming trace on the SG2042 hierarchy (the validation substrate).
+func BenchmarkCacheSimStream(b *testing.B) {
+	m := machine.SG2042()
+	for i := 0; i < b.N; i++ {
+		h, err := cachesim.NewHierarchy(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = trace.FromPattern(0 /* ir.Unit */, 4096, 8, 1, 1, func(r trace.Ref) {
+			h.Access(0, r.Addr, r.Write)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers --------------------------------------------------------------
+
+func sgCfg(threads int, pol placement.Policy) perfmodel.Config {
+	return perfmodel.Config{
+		Machine: machine.SG2042(), Threads: threads, Placement: pol,
+		Prec: prec.F32, Compiler: autovec.GCCXuanTie, Mode: autovec.VLS,
+	}
+}
+
+func fmtF(f float64) string {
+	switch {
+	case f == float64(int(f)):
+		return itoa(int(f)) + ".0"
+	default:
+		frac := int(f*100+0.5) % 100
+		return itoa(int(f)) + "." + pad2(frac)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func pad2(n int) string {
+	if n < 10 {
+		return "0" + itoa(n)
+	}
+	return itoa(n)
+}

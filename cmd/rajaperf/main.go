@@ -1,0 +1,114 @@
+// Command rajaperf runs the Go port of the RAJAPerf kernels for real on
+// the host machine.
+//
+// Usage:
+//
+//	rajaperf -list                        # list all 64 kernels
+//	rajaperf -kernel TRIAD -threads 4     # run one kernel
+//	rajaperf -class Stream -prec f32      # run a class
+//	rajaperf -kernel DAXPY -verify        # check sequential == parallel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list kernels and exit")
+	kernel := flag.String("kernel", "", "run a single kernel by name")
+	class := flag.String("class", "", "run every kernel of a class (Algorithm, Apps, Basic, Lcals, Polybench, Stream)")
+	threads := flag.Int("threads", 1, "goroutine team size")
+	n := flag.Int("n", 0, "problem size (0 = scaled default)")
+	reps := flag.Int("reps", 0, "repetitions (0 = default)")
+	precFlag := flag.String("prec", "f64", "precision: f32 or f64")
+	verify := flag.Bool("verify", false, "verify sequential and parallel checksums agree")
+	flag.Parse()
+
+	p := repro.F64
+	switch strings.ToLower(*precFlag) {
+	case "f64", "fp64", "double":
+	case "f32", "fp32", "single":
+		p = repro.F32
+	default:
+		fatal(fmt.Errorf("unknown precision %q", *precFlag))
+	}
+
+	switch {
+	case *list:
+		for _, spec := range repro.Kernels() {
+			fmt.Printf("%-10s %s\n", spec.Class, spec.Name)
+		}
+		return
+
+	case *verify:
+		if *kernel == "" {
+			fatal(fmt.Errorf("-verify needs -kernel"))
+		}
+		t := *threads
+		if t < 2 {
+			t = 2
+		}
+		seq, par, err := repro.VerifyHostParallelism(*kernel, *n, t, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sequential: %s\n", seq)
+		fmt.Printf("parallel:   %s\n", par)
+		fmt.Println("checksums agree")
+		return
+
+	case *kernel != "":
+		res, err := repro.RunOnHost(*kernel, *n, *threads, *reps, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		return
+
+	case *class != "":
+		c, err := classByName(*class)
+		if err != nil {
+			fatal(err)
+		}
+		rs, err := repro.RunClassOnHost(c, *threads, p)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rs {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "rajaperf: pass -list, -kernel or -class")
+	flag.Usage()
+	os.Exit(2)
+}
+
+func classByName(name string) (repro.Class, error) {
+	switch strings.ToLower(name) {
+	case "algorithm":
+		return repro.Algorithm, nil
+	case "apps":
+		return repro.Apps, nil
+	case "basic":
+		return repro.Basic, nil
+	case "lcals":
+		return repro.Lcals, nil
+	case "polybench":
+		return repro.Polybench, nil
+	case "stream":
+		return repro.Stream, nil
+	}
+	return 0, fmt.Errorf("unknown class %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rajaperf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// Command rvvtool works with the software RVV ISA: generate VLS/VLA
+// kernels in either dialect, roll v1.0 assembly back to v0.7.1 (the
+// RVV-Rollback pipeline the paper uses to run Clang output on the
+// C920), and execute programs on the interpreting VM.
+//
+// Usage:
+//
+//	rvvtool gen -kernel triad -dialect rvv1.0 -sew 32 -vla
+//	rvvtool rollback < v10.s > v071.s
+//	rvvtool run -kernel triad -dialect rvv0.7.1 -mode vls -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/rollback"
+	"repro/internal/rvv"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "rollback":
+		cmdRollback()
+	case "run":
+		cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `rvvtool: usage:
+  rvvtool gen -kernel <copy|scale|add|triad|daxpy|dot> -dialect <rvv0.7.1|rvv1.0> -sew <32|64> [-vla]
+  rvvtool rollback            (reads RVV v1.0 assembly on stdin, writes v0.7.1 on stdout)
+  rvvtool run -kernel <name> -dialect <...> -mode <scalar|vls|vla> -sew <32|64> -n <elems>`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kernel := fs.String("kernel", "triad", "kernel template")
+	dialect := fs.String("dialect", "rvv1.0", "rvv0.7.1 or rvv1.0")
+	sew := fs.Int("sew", 32, "element width in bits")
+	vla := fs.Bool("vla", false, "vector-length-agnostic code")
+	fs.Parse(args)
+
+	src, err := repro.RVVKernelAssembly(*kernel, *dialect, *sew, *vla)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(src)
+}
+
+func cmdRollback() {
+	in, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := rollback.TranslateText(string(in))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	kernel := fs.String("kernel", "triad", "kernel template")
+	dialect := fs.String("dialect", "rvv0.7.1", "rvv0.7.1 or rvv1.0")
+	modeFlag := fs.String("mode", "vls", "scalar, vls or vla")
+	sew := fs.Int("sew", 32, "element width in bits")
+	n := fs.Int("n", 64, "element count")
+	fs.Parse(args)
+
+	var k rvv.GenKernel
+	switch *kernel {
+	case "copy":
+		k = rvv.KCopy
+	case "scale":
+		k = rvv.KScale
+	case "add":
+		k = rvv.KAdd
+	case "triad":
+		k = rvv.KTriad
+	case "daxpy":
+		k = rvv.KDaxpy
+	case "dot":
+		k = rvv.KDot
+	default:
+		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	d := rvv.V071
+	if *dialect == "rvv1.0" {
+		d = rvv.V10
+	}
+	var mode rvv.GenMode
+	switch *modeFlag {
+	case "scalar":
+		mode = rvv.ModeScalar
+	case "vls":
+		mode = rvv.ModeVLS
+	case "vla":
+		mode = rvv.ModeVLA
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeFlag))
+	}
+
+	src, prog, err := rvv.Generate(k, rvv.GenConfig{Dialect: d, SEW: *sew, Mode: mode, VLEN: 128})
+	if err != nil {
+		fatal(err)
+	}
+	const (
+		dstAddr  = 0x1000
+		src1Addr = 0x40000
+		src2Addr = 0x80000
+		outAddr  = 0xC0000
+	)
+	vm, err := rvv.NewVM(d, 128, 0xD0000)
+	if err != nil {
+		fatal(err)
+	}
+	esz := *sew / 8
+	xs := make([]float64, *n)
+	ys := make([]float64, *n)
+	for i := range xs {
+		xs[i] = float64(i%7) + 0.5
+		ys[i] = float64(i%5) + 0.25
+	}
+	if err := vm.WriteFloats(src1Addr, xs, esz); err != nil {
+		fatal(err)
+	}
+	if err := vm.WriteFloats(src2Addr, ys, esz); err != nil {
+		fatal(err)
+	}
+	vm.X[10], vm.X[11], vm.X[12], vm.X[13], vm.X[14] =
+		int64(*n), dstAddr, src1Addr, src2Addr, outAddr
+	vm.F[10] = 1.5
+
+	if err := vm.Run(prog, 100_000_000); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# %s %s %s e%d, n=%d\n", *kernel, *dialect, *modeFlag, *sew, *n)
+	fmt.Printf("# instructions: %d total, %d scalar, %d vector, %d vsetvli\n",
+		vm.Stats.Steps, vm.Stats.ScalarInsts, vm.Stats.VectorInsts, vm.Stats.Vsetvlis)
+	fmt.Printf("# memory: %d bytes loaded, %d stored\n",
+		vm.Stats.BytesLoaded, vm.Stats.BytesStored)
+	if k == rvv.KDot {
+		out, err := vm.ReadFloats(outAddr, 1, esz)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dot = %g\n", out[0])
+	} else {
+		m := *n
+		if m > 8 {
+			m = 8
+		}
+		out, err := vm.ReadFloats(dstAddr, m, esz)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dst[0:%d] = %v\n", m, out)
+	}
+	_ = src
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvvtool:", err)
+	os.Exit(1)
+}

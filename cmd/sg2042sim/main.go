@@ -1,0 +1,86 @@
+// Command sg2042sim regenerates the paper's tables and figures from the
+// performance model.
+//
+// Usage:
+//
+//	sg2042sim -exp table2            # one experiment as text
+//	sg2042sim -exp figure3 -csv      # CSV output
+//	sg2042sim -exp all               # every table and figure
+//	sg2042sim -headline              # the conclusions' headline factors
+//	sg2042sim -list                  # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to regenerate (figure1..figure7, table1..table4, all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of text")
+	headline := flag.Bool("headline", false, "print the headline comparison factors")
+	list := flag.Bool("list", false, "list available experiments")
+	roofline := flag.String("roofline", "", "print the roofline of a machine (label, e.g. SG2042)")
+	clusterNode := flag.String("cluster", "", "model MPI scaling of a machine (label, e.g. SG2042) — the paper's further work")
+	network := flag.String("net", "ib", "interconnect for -cluster: ib or eth")
+	flag.Parse()
+
+	switch {
+	case *roofline != "":
+		out, err := repro.RooflineReport(*roofline, repro.F64)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	case *clusterNode != "":
+		out, err := repro.ClusterScalingReport(*clusterNode, *network, 512, repro.F64, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	case *list:
+		fmt.Println("Available experiments:")
+		for _, n := range repro.ExperimentNames {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("  all")
+		return
+	case *headline:
+		out, err := repro.HeadlineSummary()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	case *exp == "":
+		fmt.Fprintln(os.Stderr, "sg2042sim: pass -exp <name>, -headline or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var out string
+	var err error
+	if *csv {
+		if strings.EqualFold(*exp, "all") {
+			fatal(fmt.Errorf("-csv does not support -exp all; pick one experiment"))
+		}
+		out, err = repro.RunExperimentCSV(*exp)
+	} else {
+		out, err = repro.RunExperiment(*exp)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sg2042sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Cluster: the paper's "further work" section proposes exploring
+// "distributed memory performance on systems built around the SG2042,
+// especially the performance that can be delivered using MPI". This
+// example runs that study on the model: SG2042 nodes over InfiniBand
+// and 25GbE, strong and weak scaling of a halo-exchange stencil, and a
+// Rome cluster for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	nodes := []int{1, 2, 4, 8, 16, 32}
+
+	fmt.Println("=== SG2042 cluster over InfiniBand HDR ===")
+	out, err := repro.ClusterScalingReport("SG2042", "ib", 512, repro.F64, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	fmt.Println("=== SG2042 cluster over 25GbE (the commodity option) ===")
+	out, err = repro.ClusterScalingReport("SG2042", "eth", 512, repro.F64, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	fmt.Println("=== AMD Rome cluster over InfiniBand (reference) ===")
+	out, err = repro.ClusterScalingReport("Rome", "ib", 512, repro.F64, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// The roofline view explains where the single-node ceiling sits.
+	fmt.Println("=== Roofline context ===")
+	for _, label := range []string{"SG2042", "Rome"} {
+		share, err := repro.MemoryBoundShare(label, repro.F64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %.0f%% of the suite is memory-bound at FP64\n", label, share*100)
+	}
+}

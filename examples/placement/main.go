@@ -1,0 +1,45 @@
+// Placement: reproduce the Section 3.2 thread-placement study — how
+// block, NUMA-cyclic and cluster-aware-cyclic thread pinning change
+// scaling on the SG2042 (Tables 1-3), and why: the mappings themselves
+// and the sharing they induce.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/placement"
+	"repro/internal/report"
+)
+
+func main() {
+	sg := repro.SG2042()
+
+	// 1. Show the mappings the paper describes, with their sharing.
+	fmt.Println("Thread-to-core mappings on the SG2042 (8 threads):")
+	for _, pol := range []repro.Policy{repro.Block, repro.CyclicNUMA, repro.ClusterCyclic} {
+		cores, err := placement.Map(sg, pol, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sh := placement.Analyze(sg, cores)
+		fmt.Printf("  %-8s %-42s NUMA regions used: %d, L2 clusters used: %d\n",
+			pol, placement.Describe(cores), sh.NUMARegionsUsed, sh.ClustersUsed)
+	}
+	fmt.Println()
+
+	// 2. Regenerate Tables 1-3.
+	st := repro.NewStudy()
+	for _, pol := range []repro.Policy{repro.Block, repro.CyclicNUMA, repro.ClusterCyclic} {
+		tab, err := st.ScalingTable(pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.ScalingTableText(tab))
+	}
+
+	fmt.Println("Programmer guidance (as the paper concludes): place threads")
+	fmt.Println("cyclically across NUMA regions and across the four-core L2")
+	fmt.Println("clusters, especially up to and including 32 threads.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: run one RAJAPerf kernel for real on this machine, then
+// ask the performance model what the same kernel does on the paper's
+// CPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/perfmodel"
+	"repro/internal/suite"
+)
+
+func main() {
+	// 1. Real execution on the host: STREAM TRIAD, two goroutines.
+	res, err := repro.RunOnHost("TRIAD", 1<<18, 2, 5, repro.F64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Host execution:")
+	fmt.Printf("  %s\n\n", res)
+
+	// 2. Model prediction: the same kernel on the SG2042 and the
+	// VisionFive V2, single core, both precisions.
+	mdl := perfmodel.New()
+	spec, err := suite.ByName("TRIAD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Model predictions (single core, default problem size):")
+	for _, m := range []*repro.Machine{repro.SG2042(), repro.VisionFiveV2()} {
+		for _, p := range []repro.Precision{repro.F64, repro.F32} {
+			cfg := perfmodel.Config{
+				Machine: m, Threads: 1, Placement: repro.Block, Prec: p,
+				Compiler: repro.DefaultCompilerFor(m),
+			}
+			b, err := mdl.KernelTime(spec, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s %v: %8.3f ms/rep (served by %s, %v)\n",
+				m.Label, p, b.PerRep*1e3, b.ServedBy, b.Decision.Mode)
+		}
+	}
+
+	// 3. The headline question of the paper, in one call.
+	fmt.Println("\nHeadline factors:")
+	out, err := repro.HeadlineSummary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

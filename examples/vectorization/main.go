@@ -1,0 +1,82 @@
+// Vectorization: the Section 3.2 vectorisation and toolchain study.
+// Shows (1) the Figure 2 vector-vs-scalar comparison, (2) the full
+// Clang pipeline the paper needs: generate RVV v1.0 code, roll it back
+// to v0.7.1 with the RVV-Rollback translator, and execute it on a
+// v0.7.1 virtual machine, and (3) the Figure 3 Clang-vs-GCC kernel
+// comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/report"
+	"repro/internal/rollback"
+	"repro/internal/rvv"
+)
+
+func main() {
+	st := repro.NewStudy()
+
+	// 1. Figure 2: enabling vectorisation on the C920.
+	fig2, err := st.Figure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.FigureText(fig2))
+
+	// 2. The toolchain pipeline: Clang emits RVV v1.0, the C920 only
+	// executes v0.7.1, so the assembly must be rolled back.
+	fmt.Println("Clang-style RVV v1.0 VLA triad:")
+	v10, err := repro.RVVKernelAssembly("triad", "rvv1.0", 32, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v10)
+
+	v071, err := repro.RollbackRVV(v10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("After RVV-Rollback (executable on the C920):")
+	fmt.Println(v071)
+
+	// Execute the rolled-back program on a v0.7.1 VM and check it.
+	prog, err := rvv.Assemble(v071, rvv.V071)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := rvv.NewVM(rvv.V071, 128, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 10
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	c := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	vm.WriteFloats(0x8000, b, 4)
+	vm.WriteFloats(0x10000, c, 4)
+	vm.X[10], vm.X[11], vm.X[12], vm.X[13] = int64(n), 0x1000, 0x8000, 0x10000
+	vm.F[10] = 2 // alpha
+	if err := vm.Run(prog, 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	out, err := vm.ReadFloats(0x1000, n, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triad(b + 2*c) on the v0.7.1 VM: %v\n", out)
+	fmt.Printf("dynamic instructions: %d (%d vector, %d vsetvli)\n\n",
+		vm.Stats.Steps, vm.Stats.VectorInsts, vm.Stats.Vsetvlis)
+
+	// An untranslatable construct is rejected, as the real tool does.
+	_, err = rollback.TranslateText("\tvsetvli t0, a0, e32, mf2, ta, ma\n\thalt")
+	fmt.Printf("rolling back fractional LMUL: %v\n\n", err)
+
+	// 3. Figure 3: Clang VLA/VLS vs GCC per Polybench kernel.
+	fig3, err := st.Figure3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.KernelBarsText(fig3))
+}

@@ -1,0 +1,61 @@
+// X86compare: the Section 3.3 study — how the SG2042 stacks up against
+// the four x86 CPUs of Table 4, single-core and multithreaded, at both
+// precisions (Figures 4-7).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	// The machines under comparison.
+	fmt.Println(report.Table4Text(core.Table4()))
+
+	st := repro.NewStudy()
+	for _, exp := range []struct {
+		prec repro.Precision
+		mt   bool
+	}{
+		{repro.F64, false}, // Figure 4
+		{repro.F32, false}, // Figure 5
+		{repro.F64, true},  // Figure 6
+		{repro.F32, true},  // Figure 7
+	} {
+		fig, err := st.XCompare(exp.prec, exp.mt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.FigureText(fig))
+	}
+
+	// Per-kernel drill-down: which kernels does the SG2042 win against
+	// the Sandybridge at FP64, single core?
+	stExact := repro.NewStudy()
+	stExact.Noise = 0
+	stExact.Runs = 1
+	fig, err := stExact.XCompare(repro.F64, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Label != "Sandybridge" {
+			continue
+		}
+		fmt.Println("Sandybridge vs SG2042, FP64 single core, per class:")
+		for _, c := range []repro.Class{repro.Algorithm, repro.Apps, repro.Basic,
+			repro.Lcals, repro.Polybench, repro.Stream} {
+			sum := s.ByClass[c]
+			verdict := "x86 faster on average"
+			if sum.Mean < 1 {
+				verdict = "SG2042 faster on average"
+			}
+			fmt.Printf("  %-10s mean %.2fx  (min %.2fx, max %.2fx)  %s\n",
+				c, sum.Mean, sum.Min, sum.Max, verdict)
+		}
+	}
+}

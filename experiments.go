@@ -1,0 +1,194 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/report"
+)
+
+// Experiment names accepted by RunExperiment, in the paper's order.
+var ExperimentNames = []string{
+	"figure1", "table1", "table2", "table3",
+	"figure2", "figure3", "table4",
+	"figure4", "figure5", "figure6", "figure7",
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns it rendered as text. Accepted names are listed in
+// ExperimentNames; "all" concatenates every experiment.
+func RunExperiment(name string) (string, error) {
+	st := NewStudy()
+	return runExperimentWith(st, strings.ToLower(strings.TrimSpace(name)))
+}
+
+// RunExperimentCSV is RunExperiment with CSV output (Table 4 has no CSV
+// form and renders as text).
+func RunExperimentCSV(name string) (string, error) {
+	st := NewStudy()
+	name = strings.ToLower(strings.TrimSpace(name))
+	switch name {
+	case "figure1":
+		fig, err := st.Figure1()
+		if err != nil {
+			return "", err
+		}
+		return report.FigureCSV(fig), nil
+	case "table1", "table2", "table3":
+		tab, err := st.ScalingTable(tablePolicy(name))
+		if err != nil {
+			return "", err
+		}
+		return report.ScalingTableCSV(tab), nil
+	case "figure2":
+		fig, err := st.Figure2()
+		if err != nil {
+			return "", err
+		}
+		return report.FigureCSV(fig), nil
+	case "figure3":
+		kb, err := st.Figure3()
+		if err != nil {
+			return "", err
+		}
+		return report.KernelBarsCSV(kb), nil
+	case "table4":
+		return report.Table4Text(core.Table4()), nil
+	case "figure4", "figure5", "figure6", "figure7":
+		fig, err := xFigure(st, name)
+		if err != nil {
+			return "", err
+		}
+		return report.FigureCSV(fig), nil
+	}
+	return "", fmt.Errorf("repro: unknown experiment %q (want one of %s)",
+		name, strings.Join(ExperimentNames, ", "))
+}
+
+func tablePolicy(name string) placement.Policy {
+	switch name {
+	case "table1":
+		return placement.Block
+	case "table2":
+		return placement.CyclicNUMA
+	default:
+		return placement.ClusterCyclic
+	}
+}
+
+func xFigure(st *Study, name string) (Figure, error) {
+	switch name {
+	case "figure4":
+		return st.XCompare(prec.F64, false)
+	case "figure5":
+		return st.XCompare(prec.F32, false)
+	case "figure6":
+		return st.XCompare(prec.F64, true)
+	default:
+		return st.XCompare(prec.F32, true)
+	}
+}
+
+func runExperimentWith(st *Study, name string) (string, error) {
+	switch name {
+	case "all":
+		var b strings.Builder
+		for _, n := range ExperimentNames {
+			out, err := runExperimentWith(st, n)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(out)
+			b.WriteString("\n")
+		}
+		return b.String(), nil
+	case "figure1":
+		fig, err := st.Figure1()
+		if err != nil {
+			return "", err
+		}
+		return report.FigureText(fig), nil
+	case "table1", "table2", "table3":
+		tab, err := st.ScalingTable(tablePolicy(name))
+		if err != nil {
+			return "", err
+		}
+		return report.ScalingTableText(tab), nil
+	case "figure2":
+		fig, err := st.Figure2()
+		if err != nil {
+			return "", err
+		}
+		return report.FigureText(fig), nil
+	case "figure3":
+		kb, err := st.Figure3()
+		if err != nil {
+			return "", err
+		}
+		return report.KernelBarsText(kb), nil
+	case "table4":
+		return report.Table4Text(core.Table4()), nil
+	case "figure4", "figure5", "figure6", "figure7":
+		fig, err := xFigure(st, name)
+		if err != nil {
+			return "", err
+		}
+		return report.FigureText(fig), nil
+	}
+	return "", fmt.Errorf("repro: unknown experiment %q (want one of %s, or all)",
+		name, strings.Join(ExperimentNames, ", "))
+}
+
+// HeadlineSummary computes the headline comparisons from the paper's
+// conclusions section as a compact text block: C920-vs-U74 factors and
+// x86-vs-SG2042 factors at both precisions, single and multi-core.
+func HeadlineSummary() (string, error) {
+	st := NewStudy()
+	st.Noise = 0
+	st.Runs = 1
+	var b strings.Builder
+
+	fig1, err := st.Figure1()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("C920 vs U74 (VisionFive V2 FP64 baseline), class-average range:\n")
+	for _, s := range fig1.Series {
+		if !strings.HasPrefix(s.Label, "SG2042") {
+			continue
+		}
+		var means []float64
+		for _, sum := range s.ByClass {
+			means = append(means, sum.Mean)
+		}
+		sort.Float64s(means)
+		fmt.Fprintf(&b, "  %-12s %.1fx to %.1fx\n", s.Label, means[0], means[len(means)-1])
+	}
+
+	for _, mt := range []bool{false, true} {
+		kind := "single-core"
+		if mt {
+			kind = "multithreaded"
+		}
+		for _, p := range []Precision{F64, F32} {
+			fig, err := st.XCompare(p, mt)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "x86 vs SG2042, %s %v (grand mean across classes):\n", kind, p)
+			for _, s := range fig.Series {
+				sum, n := 0.0, 0
+				for _, cs := range s.ByClass {
+					sum += cs.Mean
+					n++
+				}
+				fmt.Fprintf(&b, "  %-12s %.1fx\n", s.Label, sum/float64(n))
+			}
+		}
+	}
+	return b.String(), nil
+}

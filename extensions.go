@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/prec"
+	"repro/internal/roofline"
+	"repro/internal/suite"
+)
+
+// RooflineReport renders the roofline model of a machine at a precision
+// with all 64 kernels placed on it. Machine labels are those of
+// MachineByLabel ("SG2042", "V1", "V2", "Rome", "Broadwell", "Icelake",
+// "Sandybridge").
+func RooflineReport(label string, p Precision) (string, error) {
+	m := MachineByLabel(label)
+	if m == nil {
+		return "", fmt.Errorf("repro: unknown machine %q", label)
+	}
+	return roofline.Text(m, p, suite.All()), nil
+}
+
+// MemoryBoundShare returns the fraction of the suite that is
+// memory-bound on a machine at a precision — the roofline quantity that
+// explains the structure of the paper's results.
+func MemoryBoundShare(label string, p Precision) (float64, error) {
+	m := MachineByLabel(label)
+	if m == nil {
+		return 0, fmt.Errorf("repro: unknown machine %q", label)
+	}
+	return roofline.MemoryBoundShare(m, p, suite.All()), nil
+}
+
+// ClusterScalingReport models the paper's proposed further work: MPI
+// scaling of SG2042 nodes. It renders strong- and weak-scaling sweeps
+// of the HEAT_3D halo-exchange stencil across the node counts on the
+// named interconnect ("ib" for InfiniBand HDR, "eth" for 25GbE).
+func ClusterScalingReport(nodeLabel, network string, grid int, p Precision, nodes []int) (string, error) {
+	m := MachineByLabel(nodeLabel)
+	if m == nil {
+		return "", fmt.Errorf("repro: unknown machine %q", nodeLabel)
+	}
+	var net cluster.Network
+	switch strings.ToLower(network) {
+	case "ib", "infiniband":
+		net = cluster.InfinibandHDR()
+	case "eth", "ethernet":
+		net = cluster.Ethernet25G()
+	default:
+		return "", fmt.Errorf("repro: unknown network %q (want ib or eth)", network)
+	}
+	if grid <= 0 {
+		grid = 512
+	}
+	if len(nodes) == 0 {
+		nodes = []int{1, 2, 4, 8, 16, 32}
+	}
+	c := cluster.New(m, net)
+	strong, err := c.StrongScaleStencil(grid, prec.Precision(p), nodes)
+	if err != nil {
+		return "", err
+	}
+	weak, err := c.WeakScaleStencil(grid/2, prec.Precision(p), nodes)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(cluster.Text(fmt.Sprintf(
+		"Strong scaling: HEAT_3D %d^3, %s nodes over %s", grid, m.Label, net.Name), strong))
+	b.WriteString("\n")
+	b.WriteString(cluster.Text(fmt.Sprintf(
+		"Weak scaling: HEAT_3D %d^3 per node, %s nodes over %s", grid/2, m.Label, net.Name), weak))
+	return b.String(), nil
+}

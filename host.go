@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/prec"
+	"repro/internal/suite"
+	"repro/internal/team"
+)
+
+// HostResult reports one real kernel execution on the host machine.
+type HostResult struct {
+	Kernel    string
+	Class     Class
+	Precision Precision
+	N         int
+	Threads   int
+	Reps      int
+	Elapsed   time.Duration
+	PerRep    time.Duration
+	Checksum  float64
+}
+
+func (r HostResult) String() string {
+	return fmt.Sprintf("%-22s %v n=%-8d threads=%-2d reps=%-4d %12v/rep checksum=%.6g",
+		r.Kernel, r.Precision, r.N, r.Threads, r.Reps, r.PerRep, r.Checksum)
+}
+
+// RunOnHost executes a kernel for real on this machine: n is the
+// problem size (kernel-specific meaning: elements, matrix order or grid
+// side — pass 0 for a scaled-down default), threads the goroutine-team
+// size, reps the repetition count (0 for a quick default). This is the
+// executable counterpart of the performance model — the same loop
+// bodies the paper times with OpenMP, running on Go's runtime.
+func RunOnHost(kernel string, n, threads, reps int, p Precision) (HostResult, error) {
+	spec, err := suite.ByName(kernel)
+	if err != nil {
+		return HostResult{}, err
+	}
+	if n <= 0 {
+		n = hostDefaultN(spec.DefaultN)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	inst := spec.Build(p, n)
+
+	var runner team.Runner = team.Sequential{}
+	if threads > 1 {
+		tm := team.New(threads)
+		defer tm.Close()
+		runner = tm
+	}
+
+	// Warm-up repetition (first touch, allocation effects).
+	inst.Run(runner)
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		inst.Run(runner)
+	}
+	elapsed := time.Since(start)
+	return HostResult{
+		Kernel:    spec.Name,
+		Class:     spec.Class,
+		Precision: p,
+		N:         n,
+		Threads:   threads,
+		Reps:      reps,
+		Elapsed:   elapsed,
+		PerRep:    elapsed / time.Duration(reps),
+		Checksum:  inst.Checksum(),
+	}, nil
+}
+
+// hostDefaultN scales a kernel's model-sized default down to something
+// that runs quickly on a development host: O(n^3) kernels (matrix order
+// or grid-side defaults) shrink to order ~128, everything else to 256k
+// elements.
+func hostDefaultN(defaultN int) int {
+	if defaultN <= 2048 {
+		if defaultN > 128 {
+			return 128
+		}
+		return defaultN
+	}
+	if defaultN > 1<<18 {
+		return 1 << 18
+	}
+	return defaultN
+}
+
+// RunClassOnHost runs every kernel of a class on the host with the
+// given settings, returning per-kernel results.
+func RunClassOnHost(c Class, threads int, p Precision) ([]HostResult, error) {
+	var out []HostResult
+	for _, spec := range suite.ByClass(c) {
+		r, err := RunOnHost(spec.Name, 0, threads, 0, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VerifyHostParallelism runs a kernel sequentially and on a team and
+// checks the checksums agree, returning both results. It is the
+// programmatic form of the suite's consistency tests, useful from the
+// CLI to validate a machine.
+func VerifyHostParallelism(kernel string, n, threads int, p Precision) (seq, par HostResult, err error) {
+	seq, err = RunOnHost(kernel, n, 1, 1, p)
+	if err != nil {
+		return
+	}
+	par, err = RunOnHost(kernel, n, threads, 1, p)
+	if err != nil {
+		return
+	}
+	diff := seq.Checksum - par.Checksum
+	if diff < 0 {
+		diff = -diff
+	}
+	tol := 1e-6 * (1 + abs(seq.Checksum))
+	if p == prec.F32 {
+		tol = 1e-2 * (1 + abs(seq.Checksum))
+	}
+	if diff > tol {
+		err = fmt.Errorf("repro: %s: sequential checksum %g != parallel %g",
+			kernel, seq.Checksum, par.Checksum)
+	}
+	return
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,294 @@
+// Package cachesim implements a multi-level, set-associative cache
+// simulator with LRU replacement, write-back/write-allocate semantics
+// and shared levels. It is the executable counterpart of the analytic
+// working-set model in internal/perfmodel: integration tests drive both
+// with the same access patterns and check they agree on which level a
+// working set resides in, and the ablation benchmarks sweep cache
+// parameters with it.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Stats counts events at one cache level.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/accesses (0 when nothing was accessed).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns 1 - HitRate for a non-empty access stream.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// set holds the ways of one cache set in LRU order: index 0 is the most
+// recently used way.
+type set struct {
+	ways []line
+}
+
+// lookup returns the way index holding tag, or -1.
+func (s *set) lookup(tag uint64) int {
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves way i to MRU position.
+func (s *set) touch(i int) {
+	if i == 0 {
+		return
+	}
+	l := s.ways[i]
+	copy(s.ways[1:i+1], s.ways[0:i])
+	s.ways[0] = l
+}
+
+// insert installs a line at MRU, returning the victim (valid => evicted).
+func (s *set) insert(tag uint64, dirty bool) line {
+	victim := s.ways[len(s.ways)-1]
+	copy(s.ways[1:], s.ways[:len(s.ways)-1])
+	s.ways[0] = line{tag: tag, valid: true, dirty: dirty}
+	return victim
+}
+
+// cache is one instance of a cache level (one core's L1, one cluster's
+// L2, the socket L3...).
+type cache struct {
+	name     string
+	lineBits uint
+	nSets    uint64
+	sets     []set
+	stats    Stats
+}
+
+func newCache(name string, sizeBytes int64, lineBytes, assoc int) (*cache, error) {
+	if sizeBytes <= 0 || lineBytes <= 0 || assoc <= 0 {
+		return nil, fmt.Errorf("cachesim: %s: non-positive geometry", name)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cachesim: %s: line size %d not a power of two", name, lineBytes)
+	}
+	// Set counts need not be a power of two: sliced LLCs (e.g. a 45MB
+	// 20-way Broadwell L3) have arbitrary set counts, so index by
+	// modulo rather than a mask. When capacity is not an exact multiple
+	// of line*assoc the set count rounds down (capacity quantised to
+	// whole sets, as in real sliced designs).
+	nLines := sizeBytes / int64(lineBytes)
+	nSets := nLines / int64(assoc)
+	if nSets < 1 {
+		return nil, fmt.Errorf("cachesim: %s: capacity %d below one set (%d-way, %dB lines)",
+			name, sizeBytes, assoc, lineBytes)
+	}
+	c := &cache{
+		name:     name,
+		lineBits: uint(trailingZeros(uint64(lineBytes))),
+		nSets:    uint64(nSets),
+		sets:     make([]set, nSets),
+	}
+	for i := range c.sets {
+		c.sets[i].ways = make([]line, assoc)
+	}
+	return c, nil
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *cache) index(addr uint64) (setIdx uint64, tag uint64) {
+	lineAddr := addr >> c.lineBits
+	return lineAddr % c.nSets, lineAddr // full line address as tag
+}
+
+// access probes the cache. Returns hit, and for misses whether a dirty
+// victim was written back.
+func (c *cache) access(addr uint64, write bool) (hit bool, wroteBack bool) {
+	si, tag := c.index(addr)
+	s := &c.sets[si]
+	c.stats.Accesses++
+	if w := s.lookup(tag); w >= 0 {
+		c.stats.Hits++
+		s.touch(0)
+		s.touch(w)
+		if write {
+			s.ways[0].dirty = true
+		}
+		return true, false
+	}
+	c.stats.Misses++
+	victim := s.insert(tag, write) // write-allocate
+	if victim.valid {
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.Writebacks++
+			wroteBack = true
+		}
+	}
+	return false, wroteBack
+}
+
+// LevelConfig describes one level of a Hierarchy.
+type LevelConfig struct {
+	Name      string
+	SizeBytes int64
+	LineBytes int
+	Assoc     int
+	// Shared declares the sharing domain; the hierarchy instantiates
+	// one cache per domain instance.
+	Shared machine.Domain
+}
+
+// Hierarchy simulates the full cache hierarchy of a machine for a set of
+// cores: private L1s, cluster-shared L2s, socket-shared L3 — whatever
+// the level configs declare.
+type Hierarchy struct {
+	m      *machine.Machine
+	levels []LevelConfig
+	// caches[l] maps domain-instance id -> cache for level l.
+	caches []map[int]*cache
+	// MemAccesses counts accesses that missed every level.
+	MemAccesses uint64
+	// MemWrites counts write-backs that reached memory.
+	MemWrites uint64
+}
+
+// NewHierarchy builds a Hierarchy over the machine's cache levels.
+func NewHierarchy(m *machine.Machine) (*Hierarchy, error) {
+	levels := make([]LevelConfig, len(m.Caches))
+	for i, cl := range m.Caches {
+		levels[i] = LevelConfig{
+			Name:      cl.Name,
+			SizeBytes: cl.SizeBytes,
+			LineBytes: cl.LineBytes,
+			Assoc:     cl.Assoc,
+			Shared:    cl.Shared,
+		}
+	}
+	return NewCustom(m, levels)
+}
+
+// NewCustom builds a Hierarchy with explicit level configs (the cache
+// ablation benchmark sweeps these).
+func NewCustom(m *machine.Machine, levels []LevelConfig) (*Hierarchy, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cachesim: no levels")
+	}
+	h := &Hierarchy{m: m, levels: levels, caches: make([]map[int]*cache, len(levels))}
+	for i := range levels {
+		h.caches[i] = make(map[int]*cache)
+	}
+	return h, nil
+}
+
+// domainInstance returns which instance of a level a core uses.
+func (h *Hierarchy) domainInstance(level LevelConfig, core int) int {
+	switch level.Shared {
+	case machine.PerCore:
+		return core
+	case machine.PerCluster:
+		return h.m.ClusterOf(core)
+	default:
+		return 0
+	}
+}
+
+func (h *Hierarchy) cacheFor(l int, core int) (*cache, error) {
+	inst := h.domainInstance(h.levels[l], core)
+	if c, ok := h.caches[l][inst]; ok {
+		return c, nil
+	}
+	lc := h.levels[l]
+	c, err := newCache(fmt.Sprintf("%s[%d]", lc.Name, inst), lc.SizeBytes, lc.LineBytes, lc.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	h.caches[l][inst] = c
+	return c, nil
+}
+
+// Access simulates one memory access by a core. It probes each level in
+// order; a hit at level k fills all levels above it (non-inclusive fill,
+// matching a straightforward allocate-on-miss hierarchy). Returns the
+// level index that served the access, or len(levels) for memory.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) (servedBy int, err error) {
+	for l := 0; l < len(h.levels); l++ {
+		c, err := h.cacheFor(l, core)
+		if err != nil {
+			return 0, err
+		}
+		hit, wb := c.access(addr, write && l == 0)
+		if wb && l == len(h.levels)-1 {
+			h.MemWrites++
+		}
+		if hit {
+			return l, nil
+		}
+	}
+	h.MemAccesses++
+	return len(h.levels), nil
+}
+
+// Stats returns aggregated stats for a level across all its instances.
+func (h *Hierarchy) Stats(level int) Stats {
+	var agg Stats
+	for _, c := range h.caches[level] {
+		agg.Accesses += c.stats.Accesses
+		agg.Hits += c.stats.Hits
+		agg.Misses += c.stats.Misses
+		agg.Evictions += c.stats.Evictions
+		agg.Writebacks += c.stats.Writebacks
+	}
+	return agg
+}
+
+// Levels returns the number of configured cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// LevelName returns the name of level l.
+func (h *Hierarchy) LevelName(l int) string {
+	if l >= len(h.levels) {
+		return "MEM"
+	}
+	return h.levels[l].Name
+}
+
+// Reset clears all stats and contents.
+func (h *Hierarchy) Reset() {
+	for l := range h.caches {
+		h.caches[l] = make(map[int]*cache)
+	}
+	h.MemAccesses = 0
+	h.MemWrites = 0
+}

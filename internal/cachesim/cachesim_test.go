@@ -1,0 +1,249 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// tiny builds a machine with a minimal two-level hierarchy for direct
+// unit testing: 1KB 2-way L1 (64B lines), 4KB 4-way shared L2.
+func tiny() *machine.Machine {
+	m := machine.SG2042()
+	m.Caches = []machine.CacheLevel{
+		{Name: "L1D", SizeBytes: 1024, LineBytes: 64, Assoc: 2, Shared: machine.PerCore,
+			BWPerCore: 1e9, BWAggregate: 1e9},
+		{Name: "L2", SizeBytes: 4096, LineBytes: 64, Assoc: 4, Shared: machine.PerCluster,
+			BWPerCore: 1e9, BWAggregate: 1e9},
+	}
+	return m
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h, err := NewHierarchy(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, _ := h.Access(0, 0x1000, false)
+	if lvl != 2 {
+		t.Errorf("cold access served by level %d, want memory (2)", lvl)
+	}
+	lvl, _ = h.Access(0, 0x1000, false)
+	if lvl != 0 {
+		t.Errorf("second access served by level %d, want L1 (0)", lvl)
+	}
+	// Same line, different byte: still an L1 hit.
+	lvl, _ = h.Access(0, 0x103F, false)
+	if lvl != 0 {
+		t.Errorf("same-line access served by %d, want 0", lvl)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h, _ := NewHierarchy(tiny())
+	// L1: 1024/64 = 16 lines, 2-way => 8 sets. Addresses mapping to set
+	// 0: line addresses multiples of 8 (stride 512 bytes).
+	a, b, c := uint64(0), uint64(512), uint64(1024)
+	h.Access(0, a, false) // miss
+	h.Access(0, b, false) // miss; set0 = {b,a}
+	h.Access(0, a, false) // hit; set0 = {a,b}
+	h.Access(0, c, false) // miss, evicts b (LRU)
+	if lvl, _ := h.Access(0, a, false); lvl != 0 {
+		t.Errorf("a should still be in L1, served by %d", lvl)
+	}
+	if lvl, _ := h.Access(0, b, false); lvl == 0 {
+		t.Error("b should have been evicted from L1")
+	}
+}
+
+func TestWorkingSetResidency(t *testing.T) {
+	// A working set that fits L1 should, after warm-up, hit L1 nearly
+	// always; one that fits only L2 should hit L2.
+	h, _ := NewHierarchy(tiny())
+	small := make([]uint64, 8) // 8 lines = 512B, fits 1KB L1
+	for i := range small {
+		small[i] = uint64(i * 64)
+	}
+	for pass := 0; pass < 4; pass++ {
+		for _, a := range small {
+			h.Access(0, a, false)
+		}
+	}
+	l1 := h.Stats(0)
+	if l1.HitRate() < 0.7 {
+		t.Errorf("small working set: L1 hit rate %.2f too low", l1.HitRate())
+	}
+
+	h.Reset()
+	big := make([]uint64, 48) // 48 lines = 3KB: spills L1 (16 lines) but fits L2
+	for i := range big {
+		big[i] = uint64(i * 64)
+	}
+	for pass := 0; pass < 6; pass++ {
+		for _, a := range big {
+			h.Access(0, a, false)
+		}
+	}
+	l2 := h.Stats(1)
+	if l2.Accesses == 0 || l2.HitRate() < 0.6 {
+		t.Errorf("L2-sized working set: L2 hit rate %.2f too low (%d accesses)",
+			l2.HitRate(), l2.Accesses)
+	}
+	if h.MemAccesses > uint64(len(big))*2 {
+		t.Errorf("L2-resident set should not stream from memory: %d mem accesses",
+			h.MemAccesses)
+	}
+}
+
+func TestSharedL2SeenByClusterPeers(t *testing.T) {
+	h, _ := NewHierarchy(tiny()) // L2 is PerCluster; SG2042 cluster = cores 0-3
+	h.Access(0, 0x4000, false)   // core 0 warms line into L2 (and its own L1)
+	lvl, _ := h.Access(1, 0x4000, false)
+	if lvl != 1 {
+		t.Errorf("cluster peer access served by %d, want L2 (1)", lvl)
+	}
+	// A core in a different cluster (core 4) must miss to memory.
+	lvl, _ = h.Access(4, 0x4000, false)
+	if lvl != 2 {
+		t.Errorf("other-cluster access served by %d, want memory", lvl)
+	}
+}
+
+func TestPrivateL1NotShared(t *testing.T) {
+	h, _ := NewHierarchy(tiny())
+	h.Access(0, 0x8000, false)
+	h.Access(0, 0x8000, false) // now resident in core 0's L1
+	if lvl, _ := h.Access(1, 0x8000, false); lvl == 0 {
+		t.Error("core 1 hit in core 0's private L1")
+	}
+}
+
+func TestWritebackCounting(t *testing.T) {
+	h, _ := NewHierarchy(tiny())
+	// Dirty a line in L1, then evict it by walking conflicting lines.
+	h.Access(0, 0, true)
+	for i := 1; i <= 2; i++ {
+		h.Access(0, uint64(i*512), false) // same set, evicts way
+	}
+	l1 := h.Stats(0)
+	if l1.Writebacks == 0 {
+		t.Error("evicting a dirty line should count a writeback")
+	}
+}
+
+func TestStatsInvariants(t *testing.T) {
+	// Property: for a random access stream, hits+misses == accesses at
+	// every level, evictions <= misses, and hit rate is in [0,1].
+	f := func(seed int64, nAcc uint16) bool {
+		h, err := NewHierarchy(tiny())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nAcc)%2000 + 1
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.Intn(1 << 16))
+			if _, err := h.Access(rng.Intn(8), addr, rng.Intn(4) == 0); err != nil {
+				return false
+			}
+		}
+		for l := 0; l < h.Levels(); l++ {
+			s := h.Stats(l)
+			if s.Hits+s.Misses != s.Accesses {
+				return false
+			}
+			if s.Evictions > s.Misses {
+				return false
+			}
+			if hr := s.HitRate(); hr < 0 || hr > 1 {
+				return false
+			}
+			if s.Writebacks > s.Evictions {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Property: the same access stream yields identical stats.
+	run := func() (Stats, Stats, uint64) {
+		h, _ := NewHierarchy(tiny())
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 5000; i++ {
+			h.Access(rng.Intn(4), uint64(rng.Intn(1<<15)), rng.Intn(3) == 0)
+		}
+		return h.Stats(0), h.Stats(1), h.MemAccesses
+	}
+	a0, a1, am := run()
+	b0, b1, bm := run()
+	if a0 != b0 || a1 != b1 || am != bm {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := newCache("bad", 1000, 48, 2); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	if _, err := newCache("bad", 0, 64, 2); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := newCache("bad", 64, 64, 2); err == nil {
+		t.Error("capacity below one set accepted")
+	}
+	// Non-power-of-two set counts are legal (sliced LLCs).
+	if _, err := newCache("llc", 45<<20, 64, 20); err != nil {
+		t.Errorf("45MB 20-way LLC rejected: %v", err)
+	}
+	if _, err := NewCustom(machine.SG2042(), nil); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+}
+
+func TestRealMachineHierarchies(t *testing.T) {
+	// All presets must instantiate and survive a random workload.
+	for _, m := range machine.All() {
+		h, err := NewHierarchy(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Label, err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			core := rng.Intn(m.Cores)
+			if _, err := h.Access(core, uint64(rng.Intn(1<<22)), rng.Intn(2) == 0); err != nil {
+				t.Fatalf("%s: access failed: %v", m.Label, err)
+			}
+		}
+		if h.LevelName(0) != "L1D" {
+			t.Errorf("%s: level 0 is %s", m.Label, h.LevelName(0))
+		}
+		if h.LevelName(h.Levels()) != "MEM" {
+			t.Errorf("%s: beyond-last level should be MEM", m.Label)
+		}
+	}
+}
+
+func TestStreamingEvictsEverything(t *testing.T) {
+	// Streaming through 1MB with 64B lines on the tiny hierarchy: the
+	// second pass should still miss (capacity far exceeded) — the
+	// cache must not report bogus hits.
+	h, _ := NewHierarchy(tiny())
+	const lines = 1 << 14 // 1MB / 64B
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			h.Access(0, uint64(i*64), false)
+		}
+	}
+	l1 := h.Stats(0)
+	if l1.HitRate() > 0.05 {
+		t.Errorf("streaming hit rate %.3f should be ~0", l1.HitRate())
+	}
+}

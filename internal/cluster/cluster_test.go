@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/prec"
+)
+
+var nodeCounts = []int{1, 2, 4, 8, 16}
+
+func TestNetworkPresets(t *testing.T) {
+	eth, ib := Ethernet25G(), InfinibandHDR()
+	if ib.LatencyNs >= eth.LatencyNs {
+		t.Error("InfiniBand should have lower latency than Ethernet")
+	}
+	if ib.BW <= eth.BW {
+		t.Error("InfiniBand should have higher bandwidth")
+	}
+	// Alpha-beta: tiny messages are latency-dominated, big ones BW-bound.
+	small := eth.MsgTime(8)
+	if small < eth.LatencyNs*1e-9 {
+		t.Error("message time below pure latency")
+	}
+	big := eth.MsgTime(1 << 30)
+	if big < float64(1<<30)/eth.BW {
+		t.Error("large message faster than bandwidth allows")
+	}
+}
+
+func TestStrongScalingStencil(t *testing.T) {
+	c := New(machine.SG2042(), InfinibandHDR())
+	pts, err := c.StrongScaleStencil(512, prec.F64, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(nodeCounts) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Compute time must shrink with nodes; total must improve from 1
+	// node to some multi-node count.
+	if pts[1].ComputeSec >= pts[0].ComputeSec {
+		t.Error("2-node compute should be below 1-node")
+	}
+	if pts[2].Speedup <= 1.5 {
+		t.Errorf("4-node speedup %.2f too low", pts[2].Speedup)
+	}
+	// Speedup grows monotonically with nodes (no scaling collapse in
+	// this regime); cache effects may make it superlinear, but bounded.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup < pts[i-1].Speedup {
+			t.Errorf("speedup dropped from %.2f to %.2f at %d nodes",
+				pts[i-1].Speedup, pts[i].Speedup, pts[i].Nodes)
+		}
+	}
+	if pts[len(pts)-1].Efficiency > 2.5 {
+		t.Errorf("efficiency %.2f implausibly superlinear", pts[len(pts)-1].Efficiency)
+	}
+	// Communication share grows with node count.
+	if pts[len(pts)-1].CommFraction() < pts[1].CommFraction() {
+		t.Error("comm fraction should grow in strong scaling")
+	}
+	if pts[0].CommSec != 0 {
+		t.Error("single node has no communication")
+	}
+}
+
+func TestWeakScalingStencil(t *testing.T) {
+	c := New(machine.SG2042(), InfinibandHDR())
+	pts, err := c.WeakScaleStencil(128, prec.F64, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak scaling: per-step time grows only by the fixed comm cost.
+	if pts[0].TotalSec <= 0 {
+		t.Fatal("degenerate base time")
+	}
+	growth := pts[len(pts)-1].TotalSec / pts[0].TotalSec
+	if growth > 1.5 {
+		t.Errorf("weak-scaling time grew %.2fx; halo cost should be modest", growth)
+	}
+	// All multi-node efficiencies within (0, 1].
+	for _, p := range pts[1:] {
+		if p.Efficiency <= 0 || p.Efficiency > 1.001 {
+			t.Errorf("node=%d: weak efficiency %v out of range", p.Nodes, p.Efficiency)
+		}
+	}
+}
+
+func TestNetworkQualityMatters(t *testing.T) {
+	// The same sweep over Ethernet must lose more efficiency than over
+	// InfiniBand — the paper's point that "networking performance would
+	// also be driven by the auxiliaries coupled with the CPU".
+	ib := New(machine.SG2042(), InfinibandHDR())
+	eth := New(machine.SG2042(), Ethernet25G())
+	ibPts, err := ib.StrongScaleStencil(512, prec.F64, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ethPts, err := eth.StrongScaleStencil(512, prec.F64, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(nodeCounts) - 1
+	if ethPts[last].Efficiency >= ibPts[last].Efficiency {
+		t.Errorf("Ethernet efficiency %.3f should trail InfiniBand %.3f",
+			ethPts[last].Efficiency, ibPts[last].Efficiency)
+	}
+}
+
+func TestAllreduceLatencyBound(t *testing.T) {
+	c := New(machine.SG2042(), Ethernet25G())
+	pts, err := c.StrongScaleAllreduce(1<<22, prec.F64, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allreduce comm grows with log(nodes), so comm at 16 nodes exceeds
+	// comm at 2 nodes.
+	if pts[len(pts)-1].CommSec <= pts[1].CommSec {
+		t.Error("allreduce cost should grow with node count")
+	}
+	// The communication tax is visible: total exceeds pure compute.
+	last := pts[len(pts)-1]
+	if last.TotalSec <= last.ComputeSec {
+		t.Error("16-node allreduce should pay a communication tax")
+	}
+}
+
+func TestX86ClusterComparable(t *testing.T) {
+	// The model composes with any node type: a Rome cluster must be
+	// valid and faster per node than the SG2042 cluster.
+	sg := New(machine.SG2042(), InfinibandHDR())
+	rome := New(machine.EPYC7742(), InfinibandHDR())
+	sgPts, err := sg.StrongScaleStencil(256, prec.F64, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	romePts, err := rome.StrongScaleStencil(256, prec.F64, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if romePts[0].ComputeSec >= sgPts[0].ComputeSec {
+		t.Error("Rome node should out-compute an SG2042 node")
+	}
+}
+
+func TestRejectsBadNodeCounts(t *testing.T) {
+	c := New(machine.SG2042(), InfinibandHDR())
+	if _, err := c.StrongScaleStencil(128, prec.F64, []int{0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestTextRender(t *testing.T) {
+	c := New(machine.SG2042(), InfinibandHDR())
+	pts, err := c.StrongScaleStencil(512, prec.F64, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Text("Strong scaling, HEAT_3D, SG2042 + IB", pts)
+	for _, want := range []string{"Nodes", "compute/step", "speedup", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	sum := Summary(pts)
+	if sum.N != len(pts) {
+		t.Error("summary count wrong")
+	}
+}

@@ -1,0 +1,445 @@
+// Package core is the study engine — the paper's primary contribution
+// re-implemented as a library. It orchestrates suite runs over machine/
+// thread/placement/precision/compiler configurations, averages repeated
+// "measurements" (deterministic model evaluations with seeded
+// measurement noise, standing in for the paper's five-run averages),
+// and derives the quantities the paper reports: per-kernel performance
+// ratios against a baseline, per-class averages with min/max whiskers,
+// speedups and parallel efficiencies.
+//
+// Each experiment of the paper has a constructor here: Figure1,
+// ScalingTable (Tables 1-3), Figure2, Figure3, Table4, Figure4/5
+// (single-core x86) and Figure6/7 (multi-threaded x86).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/autovec"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/stats"
+	"repro/internal/suite"
+)
+
+// Study evaluates experiments against the performance model.
+type Study struct {
+	Model *perfmodel.Model
+	// Runs is the number of repeated measurements averaged per
+	// configuration ("all reported results are averaged over five runs").
+	Runs int
+	// Noise is the relative std-dev of per-run measurement noise; 0
+	// gives exact model outputs.
+	Noise float64
+	// Seed makes noisy runs reproducible.
+	Seed int64
+}
+
+// NewStudy returns a Study with the paper's defaults: five runs with a
+// small seeded measurement noise.
+func NewStudy() *Study {
+	return &Study{Model: perfmodel.New(), Runs: 5, Noise: 0.01, Seed: 42}
+}
+
+// Measurement is one kernel's averaged time under one configuration.
+type Measurement struct {
+	Kernel  string
+	Class   kernels.Class
+	Seconds float64
+}
+
+// RunSuite measures every kernel under cfg, averaging Runs noisy
+// evaluations.
+func (st *Study) RunSuite(cfg perfmodel.Config) ([]Measurement, error) {
+	specs := suite.All()
+	out := make([]Measurement, 0, len(specs))
+	rng := rand.New(rand.NewSource(st.Seed ^ configSeed(cfg)))
+	runs := st.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	for _, spec := range specs {
+		b, err := st.Model.KernelTime(spec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on %s: %w", spec.Name, cfg.Machine.Label, err)
+		}
+		sum := 0.0
+		for r := 0; r < runs; r++ {
+			sum += b.Seconds * (1 + st.Noise*rng.NormFloat64())
+		}
+		out = append(out, Measurement{Kernel: spec.Name, Class: spec.Class,
+			Seconds: sum / float64(runs)})
+	}
+	return out, nil
+}
+
+// configSeed hashes distinguishing config fields so different
+// configurations draw different (but reproducible) noise.
+func configSeed(cfg perfmodel.Config) int64 {
+	h := int64(17)
+	h = h*31 + int64(cfg.Threads)
+	h = h*31 + int64(cfg.Placement)
+	h = h*31 + int64(cfg.Prec)
+	h = h*31 + int64(cfg.Compiler)
+	h = h*31 + int64(cfg.Mode)
+	if cfg.ScalarOnly {
+		h = h*31 + 1
+	}
+	for _, c := range cfg.Machine.Label {
+		h = h*31 + int64(c)
+	}
+	return h
+}
+
+// Ratios computes per-kernel performance ratios base/test: > 1 means
+// the test configuration is faster than the baseline.
+func Ratios(base, test []Measurement) (map[string]float64, error) {
+	if len(base) != len(test) {
+		return nil, fmt.Errorf("core: mismatched measurement sets (%d vs %d)",
+			len(base), len(test))
+	}
+	baseBy := make(map[string]float64, len(base))
+	for _, m := range base {
+		baseBy[m.Kernel] = m.Seconds
+	}
+	out := make(map[string]float64, len(test))
+	for _, m := range test {
+		b, ok := baseBy[m.Kernel]
+		if !ok {
+			return nil, fmt.Errorf("core: kernel %s missing from baseline", m.Kernel)
+		}
+		if m.Seconds <= 0 {
+			return nil, fmt.Errorf("core: kernel %s has non-positive time", m.Kernel)
+		}
+		out[m.Kernel] = b / m.Seconds
+	}
+	return out, nil
+}
+
+// ClassSummaries aggregates per-kernel ratios into per-class bar+whisker
+// summaries, the form every figure in the paper uses.
+func ClassSummaries(ratios map[string]float64) map[kernels.Class]stats.Summary {
+	byClass := make(map[kernels.Class][]float64)
+	for _, spec := range suite.All() {
+		if r, ok := ratios[spec.Name]; ok {
+			byClass[spec.Class] = append(byClass[spec.Class], r)
+		}
+	}
+	out := make(map[kernels.Class]stats.Summary, len(byClass))
+	for c, rs := range byClass {
+		out[c] = stats.Summarize(rs)
+	}
+	return out
+}
+
+// Series is one bar group of a class-level figure.
+type Series struct {
+	Label   string
+	ByClass map[kernels.Class]stats.Summary
+}
+
+// Figure is a class-level bar+whisker figure.
+type Figure struct {
+	Title    string
+	Baseline string
+	Series   []Series
+}
+
+// sgConfig builds the SG2042 configuration the paper's best practice
+// uses (XuanTie GCC, VLS).
+func sgConfig(threads int, pol placement.Policy, p prec.Precision) perfmodel.Config {
+	return perfmodel.Config{
+		Machine: machine.SG2042(), Threads: threads, Placement: pol, Prec: p,
+		Compiler: autovec.GCCXuanTie, Mode: autovec.VLS,
+	}
+}
+
+func mustMachineCfg(m *machine.Machine, threads int, p prec.Precision) perfmodel.Config {
+	return perfmodel.Config{
+		Machine: m, Threads: threads, Placement: placement.Block, Prec: p,
+		Compiler: perfmodel.DefaultCompilerFor(m), Mode: autovec.VLS,
+	}
+}
+
+// Figure1 reproduces the single-core RISC-V comparison: V2 (FP32), V1
+// (FP64+FP32) and SG2042 (FP64+FP32), all relative to the V2 at FP64.
+func (st *Study) Figure1() (Figure, error) {
+	base, err := st.RunSuite(mustMachineCfg(machine.VisionFiveV2(), 1, prec.F64))
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Title:    "Figure 1: single core comparison baselined against VisionFive V2 FP64",
+		Baseline: "V2 FP64",
+	}
+	cases := []struct {
+		label string
+		cfg   perfmodel.Config
+	}{
+		{"V2 FP32", mustMachineCfg(machine.VisionFiveV2(), 1, prec.F32)},
+		{"V1 FP64", mustMachineCfg(machine.VisionFiveV1(), 1, prec.F64)},
+		{"V1 FP32", mustMachineCfg(machine.VisionFiveV1(), 1, prec.F32)},
+		{"SG2042 FP64", sgConfig(1, placement.Block, prec.F64)},
+		{"SG2042 FP32", sgConfig(1, placement.Block, prec.F32)},
+	}
+	for _, c := range cases {
+		test, err := st.RunSuite(c.cfg)
+		if err != nil {
+			return Figure{}, err
+		}
+		ratios, err := Ratios(base, test)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, Series{Label: c.label, ByClass: ClassSummaries(ratios)})
+	}
+	return fig, nil
+}
+
+// ScalingCell is one (threads, class) entry of Tables 1-3.
+type ScalingCell struct {
+	Speedup float64
+	PE      float64
+}
+
+// ScalingTable reproduces Tables 1-3: SG2042 FP32 speedup and parallel
+// efficiency per class while scaling threads under one placement policy.
+type ScalingTableResult struct {
+	Title   string
+	Policy  placement.Policy
+	Threads []int
+	Cells   map[int]map[kernels.Class]ScalingCell
+}
+
+// TableThreads are the thread counts the paper's tables sweep.
+var TableThreads = []int{2, 4, 8, 16, 32, 64}
+
+// ScalingTable runs the Table 1/2/3 experiment for a placement policy.
+func (st *Study) ScalingTable(pol placement.Policy) (ScalingTableResult, error) {
+	titles := map[placement.Policy]string{
+		placement.Block:         "Table 1: speed up and parallel efficiency, block allocation",
+		placement.CyclicNUMA:    "Table 2: speed up and parallel efficiency, cyclic allocation",
+		placement.ClusterCyclic: "Table 3: speed up and parallel efficiency, cluster-aware cyclic allocation",
+	}
+	res := ScalingTableResult{
+		Title: titles[pol], Policy: pol, Threads: TableThreads,
+		Cells: make(map[int]map[kernels.Class]ScalingCell),
+	}
+	// Baseline: one thread ("multi-threaded runs are undertaken in
+	// single precision, FP32").
+	base, err := st.RunSuite(sgConfig(1, pol, prec.F32))
+	if err != nil {
+		return res, err
+	}
+	baseBy := make(map[string]Measurement, len(base))
+	for _, m := range base {
+		baseBy[m.Kernel] = m
+	}
+	for _, threads := range TableThreads {
+		test, err := st.RunSuite(sgConfig(threads, pol, prec.F32))
+		if err != nil {
+			return res, err
+		}
+		perClass := make(map[kernels.Class][]float64)
+		for _, m := range test {
+			b := baseBy[m.Kernel]
+			perClass[m.Class] = append(perClass[m.Class], stats.Speedup(b.Seconds, m.Seconds))
+		}
+		row := make(map[kernels.Class]ScalingCell, len(perClass))
+		for c, sps := range perClass {
+			sp := stats.Mean(sps)
+			row[c] = ScalingCell{Speedup: sp, PE: stats.ParallelEfficiency(sp, threads)}
+		}
+		res.Cells[threads] = row
+	}
+	return res, nil
+}
+
+// Figure2 reproduces the single-core vectorisation study: vector vs
+// scalar builds on the C920, per class, at both precisions.
+func (st *Study) Figure2() (Figure, error) {
+	fig := Figure{
+		Title:    "Figure 2: maximum single core speedup per class when enabling vectorisation on the C920",
+		Baseline: "scalar build (per precision)",
+	}
+	for _, p := range []prec.Precision{prec.F32, prec.F64} {
+		scalarCfg := sgConfig(1, placement.Block, p)
+		scalarCfg.ScalarOnly = true
+		base, err := st.RunSuite(scalarCfg)
+		if err != nil {
+			return Figure{}, err
+		}
+		test, err := st.RunSuite(sgConfig(1, placement.Block, p))
+		if err != nil {
+			return Figure{}, err
+		}
+		ratios, err := Ratios(base, test)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:   fmt.Sprintf("RVV vs scalar, %v", p),
+			ByClass: ClassSummaries(ratios),
+		})
+	}
+	return fig, nil
+}
+
+// KernelBars is a per-kernel figure (Figure 3).
+type KernelBars struct {
+	Title    string
+	Baseline string
+	Kernels  []string
+	// Values[label][i] is the ratio for Kernels[i].
+	Series []struct {
+		Label  string
+		Ratios []float64
+	}
+}
+
+// Figure3 reproduces the Clang VLA/VLS vs GCC comparison over the
+// Polybench kernels at FP32 on a single C920 core.
+func (st *Study) Figure3() (KernelBars, error) {
+	poly := suite.ByClass(kernels.Polybench)
+	names := make([]string, len(poly))
+	for i, s := range poly {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	kb := KernelBars{
+		Title:    "Figure 3: Clang VLA and VLS vs GCC, Polybench kernels, FP32, single core",
+		Baseline: "XuanTie GCC (VLS)",
+		Kernels:  names,
+	}
+	gccCfg := sgConfig(1, placement.Block, prec.F32)
+	for _, mode := range []autovec.Mode{autovec.VLA, autovec.VLS} {
+		clangCfg := gccCfg
+		clangCfg.Compiler = autovec.Clang16
+		clangCfg.Mode = mode
+		ratios := make([]float64, len(names))
+		for i, name := range names {
+			spec, err := suite.ByName(name)
+			if err != nil {
+				return kb, err
+			}
+			bg, err := st.Model.KernelTime(spec, gccCfg)
+			if err != nil {
+				return kb, err
+			}
+			bc, err := st.Model.KernelTime(spec, clangCfg)
+			if err != nil {
+				return kb, err
+			}
+			ratios[i] = bg.Seconds / bc.Seconds
+		}
+		kb.Series = append(kb.Series, struct {
+			Label  string
+			Ratios []float64
+		}{Label: "Clang " + mode.String(), Ratios: ratios})
+	}
+	return kb, nil
+}
+
+// BestSGThreads reports the most performant SG2042 thread count for a
+// kernel at a precision under NUMA-cyclic placement — the Section 3.3
+// setup: "for the SG2042 it was demonstrated in Section 3.2 that for
+// some benchmark classes 32 threads provided better performance
+// compared to 64 threads".
+func (st *Study) BestSGThreads(spec kernels.Spec, p prec.Precision) (int, placement.Policy, float64, error) {
+	best := -1.0
+	bestT := 64
+	const pol = placement.CyclicNUMA
+	for _, threads := range []int{32, 64} {
+		b, err := st.Model.KernelTime(spec, sgConfig(threads, pol, p))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if best < 0 || b.Seconds < best {
+			best = b.Seconds
+			bestT = threads
+		}
+	}
+	return bestT, pol, best, nil
+}
+
+// XCompare reproduces Figures 4-7: x86 CPUs against the SG2042 baseline.
+// multithreaded=false gives the single-core comparison (Figures 4 and
+// 5); true runs every x86 CPU over all its physical cores and the
+// SG2042 at its best per-kernel configuration (Figures 6 and 7).
+func (st *Study) XCompare(p prec.Precision, multithreaded bool) (Figure, error) {
+	num := map[prec.Precision]map[bool]string{
+		prec.F64: {false: "4", true: "6"},
+		prec.F32: {false: "5", true: "7"},
+	}
+	kind := "single core"
+	if multithreaded {
+		kind = "multithreaded"
+	}
+	fig := Figure{
+		Title: fmt.Sprintf("Figure %s: %v %s comparison against x86, baselined on the SG2042",
+			num[p][multithreaded], p, kind),
+		Baseline: "SG2042",
+	}
+
+	// SG2042 baseline measurements.
+	var base []Measurement
+	if !multithreaded {
+		b, err := st.RunSuite(sgConfig(1, placement.Block, p))
+		if err != nil {
+			return Figure{}, err
+		}
+		base = b
+	} else {
+		// Best thread count/placement per kernel, as Section 3.3 does.
+		for _, spec := range suite.All() {
+			_, _, secs, err := st.BestSGThreads(spec, p)
+			if err != nil {
+				return Figure{}, err
+			}
+			base = append(base, Measurement{Kernel: spec.Name, Class: spec.Class, Seconds: secs})
+		}
+	}
+
+	for _, m := range machine.X86() {
+		threads := 1
+		if multithreaded {
+			threads = m.Cores // "on all the x86 systems this was found to
+			// be the same as the number of physical cores"
+		}
+		test, err := st.RunSuite(mustMachineCfg(m, threads, p))
+		if err != nil {
+			return Figure{}, err
+		}
+		ratios, err := Ratios(base, test)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, Series{Label: m.Label, ByClass: ClassSummaries(ratios)})
+	}
+	return fig, nil
+}
+
+// Table4Row is one row of the x86 summary table.
+type Table4Row struct {
+	CPU    string
+	Part   string
+	Clock  string
+	Cores  int
+	Vector string
+}
+
+// Table4 reproduces the x86 CPU summary table.
+func Table4() []Table4Row {
+	rows := []Table4Row{
+		{"AMD Rome", "EPYC 7742", "2.25GHz", 64, "AVX2"},
+		{"Intel Broadwell", "Xeon E5-2695", "2.1GHz", 18, "AVX2"},
+		{"Intel Icelake", "Xeon 6330", "2.0GHz", 28, "AVX512"},
+		{"Intel Sandybridge", "Xeon E5-2609", "2.40GHz", 4, "AVX"},
+	}
+	return rows
+}

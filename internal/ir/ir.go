@@ -1,0 +1,251 @@
+// Package ir defines the loop intermediate representation the study uses
+// to describe each RAJAPerf kernel to the compiler model
+// (internal/autovec), the trace generator (internal/trace) and the
+// performance model (internal/perfmodel).
+//
+// Each kernel contributes one Loop describing its hot loop nest: how deep
+// the nest is, what the body reads and writes and with what access
+// pattern, and which vectorisation-relevant features the body has
+// (conditionals, reductions, loop-carried dependences, indirection, ...).
+// The auto-vectoriser model makes the same decision a real compiler's
+// loop vectoriser makes from the same information.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AccessKind distinguishes reads from writes.
+type AccessKind int
+
+const (
+	Load AccessKind = iota
+	Store
+)
+
+func (k AccessKind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// Pattern classifies the address stream of one array reference. The
+// trace generator and the cache-traffic model both dispatch on it.
+type Pattern int
+
+const (
+	// Unit is a unit-stride stream: a[i].
+	Unit Pattern = iota
+	// Strided is a constant non-unit stride: a[i*s].
+	Strided
+	// Stencil reads a small neighbourhood around i (Jacobi, FDTD, ...).
+	Stencil
+	// Transpose walks a matrix in the non-contiguous direction.
+	Transpose
+	// Indirect is a gather/scatter through an index array: a[idx[i]].
+	Indirect
+	// Random is a data-dependent, effectively random stream (sorting).
+	Random
+	// Broadcast re-reads a small object every iteration (scalar
+	// coefficients, a tiny lookup table); it lives in L1/registers.
+	Broadcast
+)
+
+var patternNames = map[Pattern]string{
+	Unit:      "unit",
+	Strided:   "strided",
+	Stencil:   "stencil",
+	Transpose: "transpose",
+	Indirect:  "indirect",
+	Random:    "random",
+	Broadcast: "broadcast",
+}
+
+func (p Pattern) String() string {
+	if s, ok := patternNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Access describes one array reference in the loop body.
+type Access struct {
+	Array   string     // name of the array, for diagnostics
+	Kind    AccessKind // load or store
+	Pattern Pattern
+	Stride  int     // element stride for Strided/Transpose (0 = n/a)
+	PerIter float64 // elements touched per innermost iteration (usually 1)
+	Int     bool    // true if the array holds integers, not Floats
+}
+
+// Feature is a bitmask of vectorisation-relevant properties of a loop
+// body. The auto-vectoriser rule engines key off these.
+type Feature uint32
+
+const (
+	// SumReduction: the loop accumulates a sum (DAXPY-dot style).
+	SumReduction Feature = 1 << iota
+	// MinMaxReduction: the loop tracks a min/max, possibly with index.
+	MinMaxReduction
+	// MinMaxLoc: min/max reduction that also records the location
+	// (FIRST_MIN); needs special last-index semantics to vectorise.
+	MinMaxLoc
+	// Conditional: the body contains an if (needs if-conversion /
+	// masking to vectorise).
+	Conditional
+	// Indirection: a[idx[i]] gather or scatter.
+	Indirection
+	// LoopCarried: a true dependence carried by the innermost loop
+	// (recurrences like GEN_LIN_RECUR, TRIDIAG back-substitution).
+	LoopCarried
+	// Scan: prefix-sum dependence (vectorisable only with special
+	// scan support, which neither modelled compiler auto-generates).
+	Scan
+	// SortBody: the loop is a sorting network / comparison sort.
+	SortBody
+	// Atomic: the body performs an atomic update.
+	Atomic
+	// FunctionCall: the body calls a libm routine (exp, pow, sqrt ...).
+	FunctionCall
+	// NonUnitStride: dominant accesses are non-unit stride.
+	NonUnitStride
+	// OuterLoopReuse: the profitable vectorisation target is an outer
+	// loop (matmul-style nests); inner-loop-only vectorisers punt or
+	// produce code their cost model then rejects.
+	OuterLoopReuse
+	// PotentialAlias: the compiler cannot prove the arrays distinct and
+	// must emit a runtime alias/overlap check; if the check is
+	// pessimistic the scalar fallback path executes at runtime.
+	PotentialAlias
+	// ShortTrip: the innermost trip count is small at the default
+	// problem size, so versioned vector loops fall through to the
+	// scalar remainder at runtime.
+	ShortTrip
+	// MixedTypes: the body mixes integer and float element types in a
+	// way that forces conversions inside the loop.
+	MixedTypes
+	// MultiExit: the loop has a data-dependent early exit.
+	MultiExit
+)
+
+var featureNames = []struct {
+	f Feature
+	s string
+}{
+	{SumReduction, "sum-reduction"},
+	{MinMaxReduction, "minmax-reduction"},
+	{MinMaxLoc, "minmax-loc"},
+	{Conditional, "conditional"},
+	{Indirection, "indirection"},
+	{LoopCarried, "loop-carried"},
+	{Scan, "scan"},
+	{SortBody, "sort"},
+	{Atomic, "atomic"},
+	{FunctionCall, "libm-call"},
+	{NonUnitStride, "non-unit-stride"},
+	{OuterLoopReuse, "outer-loop-reuse"},
+	{PotentialAlias, "potential-alias"},
+	{ShortTrip, "short-trip"},
+	{MixedTypes, "mixed-types"},
+	{MultiExit, "multi-exit"},
+}
+
+// Has reports whether f contains all bits of q.
+func (f Feature) Has(q Feature) bool { return f&q == q }
+
+// HasAny reports whether f contains any bit of q.
+func (f Feature) HasAny(q Feature) bool { return f&q != 0 }
+
+// String renders the feature set as a |-separated list.
+func (f Feature) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, fn := range featureNames {
+		if f.Has(fn.f) {
+			parts = append(parts, fn.s)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Loop describes one kernel's hot loop nest.
+type Loop struct {
+	Kernel   string // kernel name, e.g. "TRIAD"
+	Nest     int    // loop nest depth (1 for streams, 3 for GEMM)
+	Features Feature
+
+	// FlopsPerIter is the floating-point operations per innermost
+	// iteration (an FMA counts as 2).
+	FlopsPerIter float64
+	// IntOpsPerIter is integer ALU work per innermost iteration beyond
+	// address arithmetic (sorting, index lists).
+	IntOpsPerIter float64
+
+	Accesses []Access
+}
+
+// LoadsPerIter sums the float elements loaded per innermost iteration.
+func (l Loop) LoadsPerIter() float64 { return l.elems(Load, false) }
+
+// StoresPerIter sums the float elements stored per innermost iteration.
+func (l Loop) StoresPerIter() float64 { return l.elems(Store, false) }
+
+// IntLoadsPerIter sums integer elements loaded per innermost iteration.
+func (l Loop) IntLoadsPerIter() float64 { return l.elems(Load, true) }
+
+// IntStoresPerIter sums integer elements stored per innermost iteration.
+func (l Loop) IntStoresPerIter() float64 { return l.elems(Store, true) }
+
+func (l Loop) elems(kind AccessKind, integer bool) float64 {
+	s := 0.0
+	for _, a := range l.Accesses {
+		if a.Kind == kind && a.Int == integer && a.Pattern != Broadcast {
+			s += a.PerIter
+		}
+	}
+	return s
+}
+
+// DominantPattern returns the pattern moving the most elements per
+// iteration (ignoring Broadcast, which stays cache-resident).
+func (l Loop) DominantPattern() Pattern {
+	best, bestN := Unit, -1.0
+	for _, a := range l.Accesses {
+		if a.Pattern == Broadcast {
+			continue
+		}
+		if a.PerIter > bestN {
+			best, bestN = a.Pattern, a.PerIter
+		}
+	}
+	return best
+}
+
+// Validate checks internal consistency; kernel registration calls it.
+func (l Loop) Validate() error {
+	if l.Kernel == "" {
+		return fmt.Errorf("ir: loop has no kernel name")
+	}
+	if l.Nest < 1 {
+		return fmt.Errorf("ir: %s: nest depth %d < 1", l.Kernel, l.Nest)
+	}
+	if l.FlopsPerIter < 0 || l.IntOpsPerIter < 0 {
+		return fmt.Errorf("ir: %s: negative op counts", l.Kernel)
+	}
+	if len(l.Accesses) == 0 {
+		return fmt.Errorf("ir: %s: no accesses", l.Kernel)
+	}
+	for i, a := range l.Accesses {
+		if a.PerIter < 0 {
+			return fmt.Errorf("ir: %s: access %d (%s) negative PerIter", l.Kernel, i, a.Array)
+		}
+		if (a.Pattern == Strided || a.Pattern == Transpose) && a.Stride == 0 {
+			return fmt.Errorf("ir: %s: access %d (%s) %v needs a stride", l.Kernel, i, a.Array, a.Pattern)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func triadLoop() Loop {
+	return Loop{
+		Kernel:       "TRIAD",
+		Nest:         1,
+		FlopsPerIter: 2,
+		Accesses: []Access{
+			{Array: "b", Kind: Load, Pattern: Unit, PerIter: 1},
+			{Array: "c", Kind: Load, Pattern: Unit, PerIter: 1},
+			{Array: "a", Kind: Store, Pattern: Unit, PerIter: 1},
+		},
+	}
+}
+
+func TestLoopCounters(t *testing.T) {
+	l := triadLoop()
+	if got := l.LoadsPerIter(); got != 2 {
+		t.Errorf("LoadsPerIter = %v, want 2", got)
+	}
+	if got := l.StoresPerIter(); got != 1 {
+		t.Errorf("StoresPerIter = %v, want 1", got)
+	}
+	if got := l.IntLoadsPerIter(); got != 0 {
+		t.Errorf("IntLoadsPerIter = %v, want 0", got)
+	}
+}
+
+func TestBroadcastExcluded(t *testing.T) {
+	l := triadLoop()
+	l.Accesses = append(l.Accesses, Access{Array: "coef", Kind: Load, Pattern: Broadcast, PerIter: 3})
+	if got := l.LoadsPerIter(); got != 2 {
+		t.Errorf("broadcast loads must not count as traffic: got %v", got)
+	}
+	if got := l.DominantPattern(); got != Unit {
+		t.Errorf("DominantPattern = %v, want Unit", got)
+	}
+}
+
+func TestIntAccessesSeparated(t *testing.T) {
+	l := Loop{
+		Kernel: "INDEXLIST", Nest: 1, FlopsPerIter: 0, IntOpsPerIter: 2,
+		Accesses: []Access{
+			{Array: "x", Kind: Load, Pattern: Unit, PerIter: 1},
+			{Array: "list", Kind: Store, Pattern: Unit, PerIter: 1, Int: true},
+		},
+	}
+	if l.StoresPerIter() != 0 {
+		t.Error("int store counted as float store")
+	}
+	if l.IntStoresPerIter() != 1 {
+		t.Error("int store missing from IntStoresPerIter")
+	}
+}
+
+func TestDominantPattern(t *testing.T) {
+	l := Loop{
+		Kernel: "MVT", Nest: 2, FlopsPerIter: 2,
+		Accesses: []Access{
+			{Array: "A", Kind: Load, Pattern: Transpose, Stride: 1000, PerIter: 2},
+			{Array: "x", Kind: Load, Pattern: Unit, PerIter: 1},
+		},
+	}
+	if got := l.DominantPattern(); got != Transpose {
+		t.Errorf("DominantPattern = %v, want Transpose", got)
+	}
+}
+
+func TestFeatureBits(t *testing.T) {
+	f := SumReduction | Conditional
+	if !f.Has(SumReduction) || !f.Has(Conditional) {
+		t.Error("Has failed on set bits")
+	}
+	if f.Has(SumReduction | Indirection) {
+		t.Error("Has must require all bits")
+	}
+	if !f.HasAny(Indirection | Conditional) {
+		t.Error("HasAny failed")
+	}
+	if f.HasAny(Indirection | Scan) {
+		t.Error("HasAny false positive")
+	}
+	s := f.String()
+	if !strings.Contains(s, "sum-reduction") || !strings.Contains(s, "conditional") {
+		t.Errorf("Feature.String = %q", s)
+	}
+	if Feature(0).String() != "none" {
+		t.Errorf("empty feature string = %q", Feature(0).String())
+	}
+}
+
+func TestFeatureHasAnyConsistency(t *testing.T) {
+	// Property: f.Has(q) implies f.HasAny(q) for non-empty q.
+	f := func(a, b uint32) bool {
+		fa, fb := Feature(a), Feature(b)
+		if fb == 0 {
+			return true
+		}
+		if fa.Has(fb) && !fa.HasAny(fb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := triadLoop()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid loop rejected: %v", err)
+	}
+
+	bad := good
+	bad.Kernel = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty kernel name accepted")
+	}
+
+	bad = good
+	bad.Nest = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nest accepted")
+	}
+
+	bad = good
+	bad.Accesses = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no accesses accepted")
+	}
+
+	bad = triadLoop()
+	bad.Accesses[0].Pattern = Strided // stride 0
+	if err := bad.Validate(); err == nil {
+		t.Error("strided access without stride accepted")
+	}
+
+	bad = triadLoop()
+	bad.FlopsPerIter = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative flops accepted")
+	}
+
+	bad = triadLoop()
+	bad.Accesses[0].PerIter = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative PerIter accepted")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p := Unit; p <= Broadcast; p++ {
+		if s := p.String(); s == "" || strings.HasPrefix(s, "Pattern(") {
+			t.Errorf("pattern %d has no name", int(p))
+		}
+	}
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("AccessKind strings wrong")
+	}
+}

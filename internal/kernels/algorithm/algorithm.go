@@ -1,0 +1,404 @@
+// Package algorithm implements the six Algorithm-class RAJAPerf
+// kernels: SCAN, SORT, SORTPAIRS, REDUCE_SUM, MEMSET and MEMCPY —
+// "basic algorithmic activities such as memory copies, the sorting of
+// data and reductions". MEMSET is the kernel the paper calls out as
+// running 40x faster on the C920 than the U74 in FP32.
+package algorithm
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/prec"
+	"repro/internal/team"
+)
+
+const (
+	defaultN = 1 << 20
+	reps     = 100
+)
+
+func lin(n int) float64 { return float64(n) }
+
+// --- SCAN: exclusive prefix sum ---------------------------------------------
+
+type scanInst[F prec.Float] struct{ x, y []F }
+
+func newScan[F prec.Float](n int) kernels.Instance {
+	k := &scanInst[F]{x: make([]F, n), y: make([]F, n)}
+	kernels.InitSeq(k.x)
+	return k
+}
+
+func (k *scanInst[F]) Run(r team.Runner) {
+	// Blocked two-pass exclusive scan (the standard OpenMP treatment of
+	// the scan dependence).
+	x, y := k.x, k.y
+	nt := r.NThreads()
+	sums := make([]F, nt+1)
+	team.For(r, len(x), func(tid, lo, hi int) {
+		var s F
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		sums[tid+1] = s
+	})
+	for t := 0; t < nt; t++ {
+		sums[t+1] += sums[t]
+	}
+	team.For(r, len(x), func(tid, lo, hi int) {
+		run := sums[tid]
+		for i := lo; i < hi; i++ {
+			y[i] = run
+			run += x[i]
+		}
+	})
+}
+
+func (k *scanInst[F]) Checksum() float64 { return kernels.Checksum(k.y) }
+
+// --- SORT -------------------------------------------------------------------
+
+// qsort is an in-place quicksort with insertion-sort fallback; written
+// here because the suite builds every substrate from scratch.
+func qsort[F prec.Float](xs []F) {
+	for len(xs) > 12 {
+		// Median-of-three pivot.
+		m := len(xs) / 2
+		lo, hi := 0, len(xs)-1
+		if xs[m] < xs[lo] {
+			xs[m], xs[lo] = xs[lo], xs[m]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[m] {
+			xs[hi], xs[m] = xs[m], xs[hi]
+		}
+		pivot := xs[m]
+		i, j := 0, len(xs)-1
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j+1 < len(xs)-i {
+			qsort(xs[:j+1])
+			xs = xs[i:]
+		} else {
+			qsort(xs[i:])
+			xs = xs[:j+1]
+		}
+	}
+	// Insertion sort for small slices.
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// mergeRuns merges sorted chunks [starts[i], starts[i+1]) of src into dst.
+func mergeRuns[F prec.Float](dst, src []F, starts []int) {
+	type cursor struct{ pos, end int }
+	cur := make([]cursor, 0, len(starts)-1)
+	for i := 0; i+1 < len(starts); i++ {
+		if starts[i] < starts[i+1] {
+			cur = append(cur, cursor{starts[i], starts[i+1]})
+		}
+	}
+	for out := range dst {
+		best := -1
+		for c := range cur {
+			if cur[c].pos < cur[c].end &&
+				(best < 0 || src[cur[c].pos] < src[cur[best].pos]) {
+				best = c
+			}
+		}
+		dst[out] = src[cur[best].pos]
+		cur[best].pos++
+	}
+}
+
+type sortInst[F prec.Float] struct {
+	orig, x, tmp []F
+}
+
+func newSort[F prec.Float](n int) kernels.Instance {
+	k := &sortInst[F]{orig: make([]F, n), x: make([]F, n), tmp: make([]F, n)}
+	kernels.InitPseudo(k.orig, 12345)
+	return k
+}
+
+func (k *sortInst[F]) Run(r team.Runner) {
+	copy(k.x, k.orig) // each rep sorts fresh data, as RAJAPerf does
+	nt := r.NThreads()
+	starts := make([]int, nt+1)
+	team.For(r, len(k.x), func(tid, lo, hi int) {
+		starts[tid], starts[tid+1] = lo, hi
+		qsort(k.x[lo:hi])
+	})
+	if nt > 1 {
+		mergeRuns(k.tmp, k.x, starts)
+		copy(k.x, k.tmp)
+	}
+}
+
+func (k *sortInst[F]) Checksum() float64 { return kernels.Checksum(k.x) }
+
+// --- SORTPAIRS: sort keys carrying values -------------------------------------
+
+type sortPairsInst[F prec.Float] struct {
+	origK, origV, k, v []F
+	tmpK, tmpV         []F
+}
+
+func newSortPairs[F prec.Float](n int) kernels.Instance {
+	s := &sortPairsInst[F]{
+		origK: make([]F, n), origV: make([]F, n),
+		k: make([]F, n), v: make([]F, n),
+		tmpK: make([]F, n), tmpV: make([]F, n),
+	}
+	kernels.InitPseudo(s.origK, 999)
+	kernels.InitSeq(s.origV)
+	return s
+}
+
+// qsortPairs sorts keys and applies the same permutation to vals.
+func qsortPairs[F prec.Float](keys, vals []F) {
+	if len(keys) < 2 {
+		return
+	}
+	if len(keys) <= 12 {
+		for i := 1; i < len(keys); i++ {
+			kk, vv := keys[i], vals[i]
+			j := i - 1
+			for j >= 0 && keys[j] > kk {
+				keys[j+1], vals[j+1] = keys[j], vals[j]
+				j--
+			}
+			keys[j+1], vals[j+1] = kk, vv
+		}
+		return
+	}
+	pivot := keys[len(keys)/2]
+	i, j := 0, len(keys)-1
+	for i <= j {
+		for keys[i] < pivot {
+			i++
+		}
+		for keys[j] > pivot {
+			j--
+		}
+		if i <= j {
+			keys[i], keys[j] = keys[j], keys[i]
+			vals[i], vals[j] = vals[j], vals[i]
+			i++
+			j--
+		}
+	}
+	qsortPairs(keys[:j+1], vals[:j+1])
+	qsortPairs(keys[i:], vals[i:])
+}
+
+func (s *sortPairsInst[F]) Run(r team.Runner) {
+	copy(s.k, s.origK)
+	copy(s.v, s.origV)
+	nt := r.NThreads()
+	starts := make([]int, nt+1)
+	team.For(r, len(s.k), func(tid, lo, hi int) {
+		starts[tid], starts[tid+1] = lo, hi
+		qsortPairs(s.k[lo:hi], s.v[lo:hi])
+	})
+	if nt > 1 {
+		// Merge keys and values together.
+		type cursor struct{ pos, end int }
+		cur := make([]cursor, 0, nt)
+		for t := 0; t < nt; t++ {
+			if starts[t] < starts[t+1] {
+				cur = append(cur, cursor{starts[t], starts[t+1]})
+			}
+		}
+		for out := 0; out < len(s.k); out++ {
+			best := -1
+			for c := range cur {
+				if cur[c].pos < cur[c].end &&
+					(best < 0 || s.k[cur[c].pos] < s.k[cur[best].pos]) {
+					best = c
+				}
+			}
+			s.tmpK[out] = s.k[cur[best].pos]
+			s.tmpV[out] = s.v[cur[best].pos]
+			cur[best].pos++
+		}
+		copy(s.k, s.tmpK)
+		copy(s.v, s.tmpV)
+	}
+}
+
+func (s *sortPairsInst[F]) Checksum() float64 {
+	return kernels.Checksum(s.k) + kernels.Checksum(s.v)
+}
+
+// --- REDUCE_SUM ---------------------------------------------------------------
+
+type reduceSumInst[F prec.Float] struct {
+	x   []F
+	sum float64
+}
+
+func newReduceSum[F prec.Float](n int) kernels.Instance {
+	k := &reduceSumInst[F]{x: make([]F, n)}
+	kernels.InitSeq(k.x)
+	return k
+}
+
+func (k *reduceSumInst[F]) Run(r team.Runner) {
+	x := k.x
+	k.sum = float64(team.ForSum[F](r, len(x), func(_, lo, hi int) F {
+		var s F
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	}))
+}
+
+func (k *reduceSumInst[F]) Checksum() float64 { return k.sum }
+
+// --- MEMSET: x[i] = val ---------------------------------------------------------
+
+type memsetInst[F prec.Float] struct {
+	x   []F
+	val F
+}
+
+func newMemset[F prec.Float](n int) kernels.Instance {
+	return &memsetInst[F]{x: make([]F, n), val: 0.125}
+}
+
+func (k *memsetInst[F]) Run(r team.Runner) {
+	x, v := k.x, k.val
+	team.For(r, len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = v
+		}
+	})
+}
+
+func (k *memsetInst[F]) Checksum() float64 { return kernels.Checksum(k.x) }
+
+// --- MEMCPY: y[i] = x[i] ---------------------------------------------------------
+
+type memcpyInst[F prec.Float] struct{ x, y []F }
+
+func newMemcpy[F prec.Float](n int) kernels.Instance {
+	k := &memcpyInst[F]{x: make([]F, n), y: make([]F, n)}
+	kernels.InitSeq(k.x)
+	return k
+}
+
+func (k *memcpyInst[F]) Run(r team.Runner) {
+	x, y := k.x, k.y
+	team.For(r, len(x), func(_, lo, hi int) {
+		copy(y[lo:hi], x[lo:hi])
+	})
+}
+
+func (k *memcpyInst[F]) Checksum() float64 { return kernels.Checksum(k.y) }
+
+// Specs returns the six Algorithm kernels.
+func Specs() []kernels.Spec {
+	unitF := func(arr string, kind ir.AccessKind) ir.Access {
+		return ir.Access{Array: arr, Kind: kind, Pattern: ir.Unit, PerIter: 1}
+	}
+	return []kernels.Spec{
+		{
+			Name: "SCAN", Class: kernels.Algorithm,
+			Loop: ir.Loop{Kernel: "SCAN", Nest: 1, FlopsPerIter: 1,
+				Features: ir.Scan,
+				Accesses: []ir.Access{unitF("x", ir.Load), unitF("y", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 2, SerialFrac: 0.03,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newScan[float32], Build64: newScan[float64],
+		},
+		{
+			Name: "SORT", Class: kernels.Algorithm,
+			Loop: ir.Loop{Kernel: "SORT", Nest: 1, FlopsPerIter: 0, IntOpsPerIter: 8,
+				Features: ir.SortBody | ir.Conditional | ir.MultiExit,
+				Accesses: []ir.Access{
+					{Array: "x", Kind: ir.Load, Pattern: ir.Random, PerIter: 2},
+					{Array: "x", Kind: ir.Store, Pattern: ir.Random, PerIter: 1}}},
+			DefaultN: defaultN / 8, Reps: reps / 10, Regions: 1,
+			// Sorting is n log2 n comparisons.
+			Iters: func(n int) float64 {
+				l := 0.0
+				for m := n; m > 1; m >>= 1 {
+					l++
+				}
+				return float64(n) * l
+			},
+			FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			SerialFrac:     0.28, // k-way merge of the per-thread runs
+			Build32:        newSort[float32], Build64: newSort[float64],
+		},
+		{
+			Name: "SORTPAIRS", Class: kernels.Algorithm,
+			Loop: ir.Loop{Kernel: "SORTPAIRS", Nest: 1, FlopsPerIter: 0, IntOpsPerIter: 10,
+				Features: ir.SortBody | ir.Conditional | ir.MultiExit,
+				Accesses: []ir.Access{
+					{Array: "k", Kind: ir.Load, Pattern: ir.Random, PerIter: 2},
+					{Array: "k", Kind: ir.Store, Pattern: ir.Random, PerIter: 1},
+					{Array: "v", Kind: ir.Load, Pattern: ir.Random, PerIter: 1},
+					{Array: "v", Kind: ir.Store, Pattern: ir.Random, PerIter: 1}}},
+			DefaultN: defaultN / 8, Reps: reps / 10, Regions: 1,
+			Iters: func(n int) float64 {
+				l := 0.0
+				for m := n; m > 1; m >>= 1 {
+					l++
+				}
+				return float64(n) * l
+			},
+			FootprintElems: func(n int) float64 { return 4 * float64(n) },
+			SerialFrac:     0.28,
+			Build32:        newSortPairs[float32], Build64: newSortPairs[float64],
+		},
+		{
+			Name: "REDUCE_SUM", Class: kernels.Algorithm,
+			Loop: ir.Loop{Kernel: "REDUCE_SUM", Nest: 1, FlopsPerIter: 1,
+				Features: ir.SumReduction,
+				Accesses: []ir.Access{unitF("x", ir.Load)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return float64(n) },
+			Build32: newReduceSum[float32], Build64: newReduceSum[float64],
+		},
+		{
+			Name: "MEMSET", Class: kernels.Algorithm,
+			Loop: ir.Loop{Kernel: "MEMSET", Nest: 1, FlopsPerIter: 0,
+				Accesses: []ir.Access{unitF("x", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return float64(n) },
+			Build32: newMemset[float32], Build64: newMemset[float64],
+		},
+		{
+			Name: "MEMCPY", Class: kernels.Algorithm,
+			Loop: ir.Loop{Kernel: "MEMCPY", Nest: 1, FlopsPerIter: 0,
+				Accesses: []ir.Access{unitF("x", ir.Load), unitF("y", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newMemcpy[float32], Build64: newMemcpy[float64],
+		},
+	}
+}

@@ -1,0 +1,202 @@
+package algorithm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernels"
+	"repro/internal/team"
+)
+
+func specByName(t *testing.T, name string) kernels.Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %s not found", name)
+	return kernels.Spec{}
+}
+
+func TestQsortSortsRandomInputs(t *testing.T) {
+	f := func(seed int64, rawN uint16) bool {
+		n := int(rawN)%2000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		qsort(xs)
+		return sort.Float64sAreSorted(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQsortAdversarialInputs(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{1},
+		{2, 1},
+		{1, 1, 1, 1, 1},
+		{5, 4, 3, 2, 1},          // reverse sorted
+		{1, 2, 3, 4, 5},          // already sorted
+		{1, 3, 1, 3, 1, 3, 1, 3}, // two values
+	}
+	for _, c := range cases {
+		xs := append([]float64(nil), c...)
+		qsort(xs)
+		if !sort.Float64sAreSorted(xs) {
+			t.Errorf("qsort(%v) = %v", c, xs)
+		}
+	}
+	// Large reverse-sorted input (stresses the recursion strategy).
+	big := make([]float64, 50000)
+	for i := range big {
+		big[i] = float64(len(big) - i)
+	}
+	qsort(big)
+	if !sort.Float64sAreSorted(big) {
+		t.Error("large reverse input not sorted")
+	}
+}
+
+func TestQsortPairsKeepsPairsTogether(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]float64, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(50)) // duplicates likely
+			vals[i] = keys[i] * 3           // value determined by key
+		}
+		qsortPairs(keys, vals)
+		if !sort.Float64sAreSorted(keys) {
+			return false
+		}
+		for i := range keys {
+			if vals[i] != keys[i]*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRunsMergesSortedChunks(t *testing.T) {
+	src := []float64{1, 4, 7, 2, 5, 8, 0, 3, 9}
+	// Three sorted runs: [0,3), [3,6), [6,9).
+	for _, run := range [][2]int{{0, 3}, {3, 6}, {6, 9}} {
+		if !sort.Float64sAreSorted(src[run[0]:run[1]]) {
+			t.Fatal("test setup: runs must be sorted")
+		}
+	}
+	dst := make([]float64, len(src))
+	mergeRuns(dst, src, []int{0, 3, 6, 9})
+	if !sort.Float64sAreSorted(dst) {
+		t.Errorf("merged = %v", dst)
+	}
+}
+
+func TestScanMatchesNaivePrefixSum(t *testing.T) {
+	spec := specByName(t, "SCAN")
+	n := 5000
+	inst := spec.Build32(n).(*scanInst[float32])
+	inst.Run(team.Sequential{})
+	run := float32(0)
+	for i := 0; i < n; i++ {
+		if inst.y[i] != run {
+			t.Fatalf("exclusive scan wrong at %d: got %v want %v", i, inst.y[i], run)
+		}
+		run += inst.x[i]
+	}
+}
+
+func TestScanParallelMatchesSequential(t *testing.T) {
+	spec := specByName(t, "SCAN")
+	tm := team.New(4)
+	defer tm.Close()
+	a := spec.Build64(4097)
+	b := spec.Build64(4097)
+	a.Run(team.Sequential{})
+	b.Run(tm)
+	if a.Checksum() != b.Checksum() {
+		t.Errorf("parallel scan %v != sequential %v", b.Checksum(), a.Checksum())
+	}
+}
+
+func TestSortInstanceSortsFully(t *testing.T) {
+	spec := specByName(t, "SORT")
+	tm := team.New(3)
+	defer tm.Close()
+	inst := spec.Build64(3001).(*sortInst[float64])
+	inst.Run(tm)
+	if !sort.Float64sAreSorted(inst.x) {
+		t.Error("parallel SORT left unsorted data")
+	}
+}
+
+func TestSortPairsPermutation(t *testing.T) {
+	spec := specByName(t, "SORTPAIRS")
+	tm := team.New(3)
+	defer tm.Close()
+	inst := spec.Build64(2000).(*sortPairsInst[float64])
+	inst.Run(tm)
+	if !sort.Float64sAreSorted(inst.k) {
+		t.Error("SORTPAIRS keys unsorted")
+	}
+	// The value multiset must be preserved.
+	gotSum, wantSum := 0.0, 0.0
+	for i := range inst.v {
+		gotSum += inst.v[i]
+		wantSum += inst.origV[i]
+	}
+	if diff := gotSum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("values not preserved: %v vs %v", gotSum, wantSum)
+	}
+}
+
+func TestMemsetWritesEverything(t *testing.T) {
+	spec := specByName(t, "MEMSET")
+	inst := spec.Build32(777).(*memsetInst[float32])
+	inst.Run(team.Sequential{})
+	for i, v := range inst.x {
+		if v != 0.125 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMemcpyCopiesEverything(t *testing.T) {
+	spec := specByName(t, "MEMCPY")
+	tm := team.New(4)
+	defer tm.Close()
+	inst := spec.Build64(12345).(*memcpyInst[float64])
+	inst.Run(tm)
+	for i := range inst.x {
+		if inst.y[i] != inst.x[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, inst.y[i], inst.x[i])
+		}
+	}
+}
+
+func TestReduceSumMatchesNaive(t *testing.T) {
+	spec := specByName(t, "REDUCE_SUM")
+	inst := spec.Build64(9999).(*reduceSumInst[float64])
+	inst.Run(team.Sequential{})
+	want := 0.0
+	for _, v := range inst.x {
+		want += v
+	}
+	if diff := inst.sum - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %v, want %v", inst.sum, want)
+	}
+}

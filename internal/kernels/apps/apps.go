@@ -1,0 +1,973 @@
+// Package apps implements the thirteen Apps-class RAJAPerf kernels —
+// "common components of HPC applications such as an FIR filter, data
+// packing and unpacking for halo exchanges, 3D diffusion and convection
+// by partial assembly".
+package apps
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/prec"
+	"repro/internal/team"
+)
+
+// --- FIR: 16-tap finite impulse response filter ------------------------------
+
+const firTaps = 16
+
+type firInst[F prec.Float] struct {
+	in, out []F
+	coeff   [firTaps]F
+}
+
+func newFIR[F prec.Float](n int) kernels.Instance {
+	k := &firInst[F]{in: make([]F, n+firTaps), out: make([]F, n)}
+	kernels.InitSeq(k.in)
+	for j := range k.coeff {
+		k.coeff[j] = F(j%4) - 1.5
+	}
+	return k
+}
+
+func (k *firInst[F]) Run(r team.Runner) {
+	in, out := k.in, k.out
+	coeff := k.coeff
+	team.For(r, len(out), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s F
+			for j := 0; j < firTaps; j++ {
+				s += coeff[j] * in[i+j]
+			}
+			out[i] = s
+		}
+	})
+}
+
+func (k *firInst[F]) Checksum() float64 { return kernels.Checksum(k.out) }
+
+// --- ENERGY: EOS energy update (six coupled loops with branches) ----------------
+
+type energyInst[F prec.Float] struct {
+	eNew, eOld, delvc, pOld, pNew, qOld, qNew []F
+	compHalf, work                            []F
+}
+
+func newEnergy[F prec.Float](n int) kernels.Instance {
+	k := &energyInst[F]{
+		eNew: make([]F, n), eOld: make([]F, n), delvc: make([]F, n),
+		pOld: make([]F, n), pNew: make([]F, n), qOld: make([]F, n), qNew: make([]F, n),
+		compHalf: make([]F, n), work: make([]F, n),
+	}
+	kernels.InitSeq(k.eOld)
+	kernels.InitSigned(k.delvc)
+	kernels.InitSeq(k.pOld)
+	kernels.InitSeq(k.qOld)
+	kernels.InitSigned(k.work)
+	return k
+}
+
+func (k *energyInst[F]) Run(r team.Runner) {
+	n := len(k.eNew)
+	// Loop 1: provisional energy.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.eNew[i] = k.eOld[i] - 0.5*k.delvc[i]*(k.pOld[i]+k.qOld[i]) + 0.5*k.work[i]
+		}
+	})
+	// Loop 2: q at half step, branch on compression sign.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if k.delvc[i] > 0 {
+				k.qNew[i] = 0
+			} else {
+				vhalf := F(1) / (1 + k.compHalf[i])
+				ssc := k.delvc[i] * vhalf
+				if ssc < 0 {
+					ssc = -ssc
+				}
+				k.qNew[i] = ssc * 0.5
+			}
+		}
+	})
+	// Loop 3: energy update with q.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.eNew[i] += 0.5 * k.delvc[i] * (3*(k.pOld[i]+k.qOld[i]) - 4*(k.pNew[i]+k.qNew[i]))
+		}
+	})
+	// Loop 4: work and floor.
+	team.For(r, n, func(_, lo, hi int) {
+		emin := F(-1e10)
+		for i := lo; i < hi; i++ {
+			k.eNew[i] += 0.5 * k.work[i]
+			if kernels.Fabs(k.eNew[i]) < 1e-12 {
+				k.eNew[i] = 0
+			}
+			if k.eNew[i] < emin {
+				k.eNew[i] = emin
+			}
+		}
+	})
+	// Loop 5: pressure from energy.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.pNew[i] = 0.3 * k.eNew[i]
+			if kernels.Fabs(k.pNew[i]) < 1e-12 {
+				k.pNew[i] = 0
+			}
+		}
+	})
+	// Loop 6: final q.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if k.delvc[i] <= 0 {
+				ssc := k.pNew[i] * k.eNew[i]
+				if ssc < 1e-12 {
+					ssc = 1e-12
+				}
+				k.qNew[i] = ssc * k.delvc[i]
+			}
+		}
+	})
+}
+
+func (k *energyInst[F]) Checksum() float64 {
+	return kernels.Checksum(k.eNew) + kernels.Checksum(k.qNew)
+}
+
+// --- PRESSURE: two loops ----------------------------------------------------------
+
+type pressureInst[F prec.Float] struct {
+	compression, bvc, pNew, eOld, vNew []F
+}
+
+func newPressure[F prec.Float](n int) kernels.Instance {
+	k := &pressureInst[F]{
+		compression: make([]F, n), bvc: make([]F, n),
+		pNew: make([]F, n), eOld: make([]F, n), vNew: make([]F, n),
+	}
+	kernels.InitSigned(k.compression)
+	kernels.InitSeq(k.eOld)
+	kernels.InitSeq(k.vNew)
+	return k
+}
+
+func (k *pressureInst[F]) Run(r team.Runner) {
+	cls := F(0.1)
+	pmin := F(1e-6)
+	team.For(r, len(k.bvc), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.bvc[i] = cls * (k.compression[i] + 1)
+		}
+	})
+	team.For(r, len(k.pNew), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.pNew[i] = k.bvc[i] * k.eOld[i]
+			if kernels.Fabs(k.pNew[i]) < 1e-12 {
+				k.pNew[i] = 0
+			}
+			if k.vNew[i] >= 1 {
+				k.pNew[i] = 0
+			}
+			if k.pNew[i] < pmin {
+				k.pNew[i] = pmin
+			}
+		}
+	})
+}
+
+func (k *pressureInst[F]) Checksum() float64 { return kernels.Checksum(k.pNew) }
+
+// --- VOL3D: hexahedral zone volumes ------------------------------------------------
+
+type vol3DInst[F prec.Float] struct {
+	nd      int // nodes per side
+	x, y, z []F
+	vol     []F
+}
+
+func newVol3D[F prec.Float](n int) kernels.Instance {
+	// n is the zone count; shape into a cube of side nd-1 zones.
+	nd := 2
+	for (nd)*(nd)*(nd) <= n {
+		nd++
+	}
+	nn := nd * nd * nd
+	k := &vol3DInst[F]{nd: nd, x: make([]F, nn), y: make([]F, nn), z: make([]F, nn),
+		vol: make([]F, (nd-1)*(nd-1)*(nd-1))}
+	// Nodal coordinates of a perturbed regular grid.
+	for i := 0; i < nd; i++ {
+		for j := 0; j < nd; j++ {
+			for kk := 0; kk < nd; kk++ {
+				idx := (i*nd+j)*nd + kk
+				k.x[idx] = F(i) + 0.1*F((idx*7)%10)/10
+				k.y[idx] = F(j) + 0.1*F((idx*13)%10)/10
+				k.z[idx] = F(kk) + 0.1*F((idx*17)%10)/10
+			}
+		}
+	}
+	return k
+}
+
+func (k *vol3DInst[F]) Run(r team.Runner) {
+	nd := k.nd
+	nz := nd - 1
+	x, y, z, vol := k.x, k.y, k.z, k.vol
+	node := func(i, j, kk int) int { return (i*nd+j)*nd + kk }
+	sixth := F(1.0 / 6.0)
+	// Signed volume of the tetrahedron (a,b,c,d).
+	tet := func(a, b, c, d int) F {
+		bx, by, bz := x[b]-x[a], y[b]-y[a], z[b]-z[a]
+		cx, cy, cz := x[c]-x[a], y[c]-y[a], z[c]-z[a]
+		dx, dy, dz := x[d]-x[a], y[d]-y[a], z[d]-z[a]
+		return bx*(cy*dz-cz*dy) - by*(cx*dz-cz*dx) + bz*(cx*dy-cy*dx)
+	}
+	team.For(r, nz, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < nz; j++ {
+				for kk := 0; kk < nz; kk++ {
+					// Corners of the hexahedron in the standard order:
+					// 0=(0,0,0) 1=(1,0,0) 2=(1,1,0) 3=(0,1,0)
+					// 4=(0,0,1) 5=(1,0,1) 6=(1,1,1) 7=(0,1,1).
+					n0 := node(i, j, kk)
+					n1 := node(i+1, j, kk)
+					n2 := node(i+1, j+1, kk)
+					n3 := node(i, j+1, kk)
+					n4 := node(i, j, kk+1)
+					n6 := node(i+1, j+1, kk+1)
+					n7 := node(i, j+1, kk+1)
+					// Five-tetrahedron decomposition; exact for planar
+					// faces, the standard staggered-mesh approximation
+					// otherwise.
+					v := tet(n0, n1, n3, n4) +
+						tet(n1, n2, n3, n6) +
+						tet(n1, n4, node(i+1, j, kk+1), n6) +
+						tet(n3, n4, n6, n7) +
+						tet(n1, n3, n4, n6)
+					vol[(i*nz+j)*nz+kk] = v * sixth
+				}
+			}
+		}
+	})
+}
+
+func (k *vol3DInst[F]) Checksum() float64 { return kernels.Checksum(k.vol) }
+
+// --- DEL_DOT_VEC_2D: divergence on a 2D staggered mesh ------------------------------
+
+type delDotVec2DInst[F prec.Float] struct {
+	side             int
+	x, y, xdot, ydot []F
+	div              []F
+	real2node        []int32 // zone -> lower-left node index
+}
+
+func newDelDotVec2D[F prec.Float](n int) kernels.Instance {
+	side := 2
+	for side*side <= n {
+		side++
+	}
+	nn := side * side
+	nz := (side - 1) * (side - 1)
+	k := &delDotVec2DInst[F]{
+		side: side,
+		x:    make([]F, nn), y: make([]F, nn),
+		xdot: make([]F, nn), ydot: make([]F, nn),
+		div: make([]F, nz), real2node: make([]int32, nz),
+	}
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			idx := i*side + j
+			k.x[idx] = F(j)
+			k.y[idx] = F(i)
+			k.xdot[idx] = F(0.1) * F((idx*3)%7)
+			k.ydot[idx] = F(0.1) * F((idx*5)%7)
+		}
+	}
+	z := 0
+	for i := 0; i < side-1; i++ {
+		for j := 0; j < side-1; j++ {
+			k.real2node[z] = int32(i*side + j)
+			z++
+		}
+	}
+	return k
+}
+
+func (k *delDotVec2DInst[F]) Run(r team.Runner) {
+	side := k.side
+	x, y, xdot, ydot, div := k.x, k.y, k.xdot, k.ydot, k.div
+	ptiny := F(1e-20)
+	half := F(0.5)
+	team.For(r, len(div), func(_, lo, hi int) {
+		for z := lo; z < hi; z++ {
+			n0 := int(k.real2node[z]) // indirection, as in the RAJAPerf kernel
+			n1 := n0 + 1
+			n2 := n0 + side + 1
+			n3 := n0 + side
+			xi := half * (x[n1] + x[n2] - x[n0] - x[n3])
+			xj := half * (x[n3] + x[n2] - x[n0] - x[n1])
+			yi := half * (y[n1] + y[n2] - y[n0] - y[n3])
+			yj := half * (y[n3] + y[n2] - y[n0] - y[n1])
+			fx := xdot[n1] + xdot[n2] - xdot[n0] - xdot[n3]
+			fy := ydot[n1] + ydot[n2] - ydot[n0] - ydot[n3]
+			gx := xdot[n3] + xdot[n2] - xdot[n0] - xdot[n1]
+			gy := ydot[n3] + ydot[n2] - ydot[n0] - ydot[n1]
+			area := xi*yj - xj*yi + ptiny
+			div[z] = half * (fx*yj - fy*xj + gy*xi - gx*yi) / area
+		}
+	})
+}
+
+func (k *delDotVec2DInst[F]) Checksum() float64 { return kernels.Checksum(k.div) }
+
+// --- LTIMES and LTIMES_NOVIEW: scattering source ---------------------------------------
+
+const (
+	ltD = 16 // directions
+	ltG = 8  // groups
+	ltM = 12 // moments
+)
+
+type ltimesInst[F prec.Float] struct {
+	nz       int
+	ell      []F // m x d
+	psi      []F // z x g x d
+	phi      []F // z x g x m
+	useViews bool
+}
+
+func newLtimes[F prec.Float](n int, views bool) kernels.Instance {
+	nz := n / (ltG * ltD)
+	if nz < 1 {
+		nz = 1
+	}
+	k := &ltimesInst[F]{
+		nz:  nz,
+		ell: make([]F, ltM*ltD), psi: make([]F, nz*ltG*ltD), phi: make([]F, nz*ltG*ltM),
+		useViews: views,
+	}
+	kernels.InitSeq(k.ell)
+	kernels.InitSeq(k.psi)
+	return k
+}
+
+func (k *ltimesInst[F]) Run(r team.Runner) {
+	ell, psi, phi := k.ell, k.psi, k.phi
+	if k.useViews {
+		// View-style indexing through closures (the layer GCC fails to
+		// see through in the paper's vectorisation counts).
+		ellV := func(m, d int) F { return ell[m*ltD+d] }
+		psiV := func(z, g, d int) F { return psi[(z*ltG+g)*ltD+d] }
+		phiIdx := func(z, g, m int) int { return (z*ltG+g)*ltM + m }
+		team.For(r, k.nz, func(_, lo, hi int) {
+			for z := lo; z < hi; z++ {
+				for g := 0; g < ltG; g++ {
+					for m := 0; m < ltM; m++ {
+						var s F
+						for d := 0; d < ltD; d++ {
+							s += ellV(m, d) * psiV(z, g, d)
+						}
+						phi[phiIdx(z, g, m)] += s
+					}
+				}
+			}
+		})
+		return
+	}
+	team.For(r, k.nz, func(_, lo, hi int) {
+		for z := lo; z < hi; z++ {
+			for g := 0; g < ltG; g++ {
+				psiBase := (z*ltG + g) * ltD
+				phiBase := (z*ltG + g) * ltM
+				for m := 0; m < ltM; m++ {
+					var s F
+					ellBase := m * ltD
+					for d := 0; d < ltD; d++ {
+						s += ell[ellBase+d] * psi[psiBase+d]
+					}
+					phi[phiBase+m] += s
+				}
+			}
+		}
+	})
+}
+
+func (k *ltimesInst[F]) Checksum() float64 { return kernels.Checksum(k.phi) }
+
+// --- 3DPA kernels: partial-assembly operators on D1D^3 elements -------------------------
+
+const (
+	paD1D = 4 // dofs per dimension
+	paQ1D = 5 // quadrature points per dimension
+)
+
+// pa3DInst is the shared shape of MASS3DPA / DIFFUSION3DPA /
+// CONVECTION3DPA: per element, interpolate dofs to quadrature points
+// (three tensor contractions), scale by quadrature data, and project
+// back (three more contractions). The variants differ in the quadrature
+// stage.
+type pa3DInst[F prec.Float] struct {
+	ne   int
+	b    []F // Q1D x D1D interpolation matrix
+	bt   []F // D1D x Q1D
+	d    []F // quadrature data per element
+	x, y []F // input/output dofs per element
+	kind int // 0 mass, 1 diffusion, 2 convection
+}
+
+func newPA3D[F prec.Float](n int, kind int) kernels.Instance {
+	ne := n / (paD1D * paD1D * paD1D)
+	if ne < 1 {
+		ne = 1
+	}
+	d3 := paD1D * paD1D * paD1D
+	q3 := paQ1D * paQ1D * paQ1D
+	k := &pa3DInst[F]{
+		ne: ne,
+		b:  make([]F, paQ1D*paD1D), bt: make([]F, paD1D*paQ1D),
+		d: make([]F, ne*q3), x: make([]F, ne*d3), y: make([]F, ne*d3),
+		kind: kind,
+	}
+	kernels.InitSeq(k.b)
+	for q := 0; q < paQ1D; q++ {
+		for dd := 0; dd < paD1D; dd++ {
+			k.bt[dd*paQ1D+q] = k.b[q*paD1D+dd]
+		}
+	}
+	kernels.InitSeq(k.d)
+	kernels.InitSeq(k.x)
+	return k
+}
+
+func (k *pa3DInst[F]) Run(r team.Runner) {
+	const d1 = paD1D
+	const q1 = paQ1D
+	b, bt := k.b, k.bt
+	team.For(r, k.ne, func(_, lo, hi int) {
+		// Per-thread scratch (the "shared memory" of the GPU original).
+		var s0 [q1 * d1 * d1]F
+		var s1 [q1 * q1 * d1]F
+		var s2 [q1 * q1 * q1]F
+		var t0 [d1 * q1 * q1]F
+		var t1 [d1 * d1 * q1]F
+		for e := lo; e < hi; e++ {
+			x := k.x[e*d1*d1*d1:]
+			dq := k.d[e*q1*q1*q1:]
+			y := k.y[e*d1*d1*d1:]
+			// Contraction 1: over dz.
+			for qx := 0; qx < q1; qx++ {
+				for dy := 0; dy < d1; dy++ {
+					for dz := 0; dz < d1; dz++ {
+						var s F
+						for dx := 0; dx < d1; dx++ {
+							s += b[qx*d1+dx] * x[(dz*d1+dy)*d1+dx]
+						}
+						s0[(qx*d1+dy)*d1+dz] = s
+					}
+				}
+			}
+			// Contraction 2.
+			for qx := 0; qx < q1; qx++ {
+				for qy := 0; qy < q1; qy++ {
+					for dz := 0; dz < d1; dz++ {
+						var s F
+						for dy := 0; dy < d1; dy++ {
+							s += b[qy*d1+dy] * s0[(qx*d1+dy)*d1+dz]
+						}
+						s1[(qx*q1+qy)*d1+dz] = s
+					}
+				}
+			}
+			// Contraction 3.
+			for qx := 0; qx < q1; qx++ {
+				for qy := 0; qy < q1; qy++ {
+					for qz := 0; qz < q1; qz++ {
+						var s F
+						for dz := 0; dz < d1; dz++ {
+							s += b[qz*d1+dz] * s1[(qx*q1+qy)*d1+dz]
+						}
+						s2[(qx*q1+qy)*q1+qz] = s
+					}
+				}
+			}
+			// Quadrature stage: the operator-specific part.
+			for q := 0; q < q1*q1*q1; q++ {
+				switch k.kind {
+				case 0: // mass: pointwise scale
+					s2[q] *= dq[q]
+				case 1: // diffusion: scale plus neighbour coupling
+					v := s2[q] * dq[q]
+					if q+1 < q1*q1*q1 {
+						v += 0.1 * s2[q+1] * dq[q]
+					}
+					s2[q] = v
+				default: // convection: directional upwind-ish scale
+					s2[q] = dq[q] * (s2[q] + 0.5*s2[q/2])
+				}
+			}
+			// Project back: three transposed contractions.
+			for dx := 0; dx < d1; dx++ {
+				for qy := 0; qy < q1; qy++ {
+					for qz := 0; qz < q1; qz++ {
+						var s F
+						for qx := 0; qx < q1; qx++ {
+							s += bt[dx*q1+qx] * s2[(qx*q1+qy)*q1+qz]
+						}
+						t0[(dx*q1+qy)*q1+qz] = s
+					}
+				}
+			}
+			for dx := 0; dx < d1; dx++ {
+				for dy := 0; dy < d1; dy++ {
+					for qz := 0; qz < q1; qz++ {
+						var s F
+						for qy := 0; qy < q1; qy++ {
+							s += bt[dy*q1+qy] * t0[(dx*q1+qy)*q1+qz]
+						}
+						t1[(dx*d1+dy)*q1+qz] = s
+					}
+				}
+			}
+			for dx := 0; dx < d1; dx++ {
+				for dy := 0; dy < d1; dy++ {
+					for dz := 0; dz < d1; dz++ {
+						var s F
+						for qz := 0; qz < q1; qz++ {
+							s += bt[dz*q1+qz] * t1[(dx*d1+dy)*q1+qz]
+						}
+						y[(dz*d1+dy)*d1+dx] += s
+					}
+				}
+			}
+		}
+	})
+}
+
+func (k *pa3DInst[F]) Checksum() float64 { return kernels.Checksum(k.y) }
+
+// --- NODAL_ACCUMULATION_3D: zones scatter to nodes atomically ----------------------------
+
+type nodalAccum32 struct {
+	nd  int
+	vol []float32
+	x   kernels.AtomicF32
+}
+
+func newNodalAccum32(n int) kernels.Instance {
+	nd := 2
+	for nd*nd*nd <= n {
+		nd++
+	}
+	k := &nodalAccum32{nd: nd, vol: make([]float32, (nd-1)*(nd-1)*(nd-1)),
+		x: kernels.NewAtomicF32(nd * nd * nd)}
+	kernels.InitSeq(k.vol)
+	return k
+}
+
+func (k *nodalAccum32) Run(r team.Runner) {
+	nd, nz := k.nd, k.nd-1
+	team.For(r, nz, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < nz; j++ {
+				for kk := 0; kk < nz; kk++ {
+					v := k.vol[(i*nz+j)*nz+kk] * 0.125
+					n0 := (i*nd+j)*nd + kk
+					k.x.Add(n0, v)
+					k.x.Add(n0+1, v)
+					k.x.Add(n0+nd, v)
+					k.x.Add(n0+nd+1, v)
+					k.x.Add(n0+nd*nd, v)
+					k.x.Add(n0+nd*nd+1, v)
+					k.x.Add(n0+nd*nd+nd, v)
+					k.x.Add(n0+nd*nd+nd+1, v)
+				}
+			}
+		}
+	})
+}
+
+func (k *nodalAccum32) Checksum() float64 { return kernels.Checksum(k.x.Floats()) }
+
+type nodalAccum64 struct {
+	nd  int
+	vol []float64
+	x   kernels.AtomicF64
+}
+
+func newNodalAccum64(n int) kernels.Instance {
+	nd := 2
+	for nd*nd*nd <= n {
+		nd++
+	}
+	k := &nodalAccum64{nd: nd, vol: make([]float64, (nd-1)*(nd-1)*(nd-1)),
+		x: kernels.NewAtomicF64(nd * nd * nd)}
+	kernels.InitSeq(k.vol)
+	return k
+}
+
+func (k *nodalAccum64) Run(r team.Runner) {
+	nd, nz := k.nd, k.nd-1
+	team.For(r, nz, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < nz; j++ {
+				for kk := 0; kk < nz; kk++ {
+					v := k.vol[(i*nz+j)*nz+kk] * 0.125
+					n0 := (i*nd+j)*nd + kk
+					k.x.Add(n0, v)
+					k.x.Add(n0+1, v)
+					k.x.Add(n0+nd, v)
+					k.x.Add(n0+nd+1, v)
+					k.x.Add(n0+nd*nd, v)
+					k.x.Add(n0+nd*nd+1, v)
+					k.x.Add(n0+nd*nd+nd, v)
+					k.x.Add(n0+nd*nd+nd+1, v)
+				}
+			}
+		}
+	})
+}
+
+func (k *nodalAccum64) Checksum() float64 { return kernels.Checksum(k.x.Floats()) }
+
+// --- HALO_PACKING / HALO_UNPACKING --------------------------------------------------------
+
+const haloVars = 3
+
+// haloLists builds the six face index-lists of an s^3 grid with a
+// 1-cell halo.
+func haloLists(s int) [][]int32 {
+	idx := func(i, j, k int) int32 { return int32((i*s+j)*s + k) }
+	lists := make([][]int32, 6)
+	for f := range lists {
+		lists[f] = make([]int32, 0, s*s)
+	}
+	for a := 0; a < s; a++ {
+		for b := 0; b < s; b++ {
+			lists[0] = append(lists[0], idx(1, a, b))
+			lists[1] = append(lists[1], idx(s-2, a, b))
+			lists[2] = append(lists[2], idx(a, 1, b))
+			lists[3] = append(lists[3], idx(a, s-2, b))
+			lists[4] = append(lists[4], idx(a, b, 1))
+			lists[5] = append(lists[5], idx(a, b, s-2))
+		}
+	}
+	return lists
+}
+
+type haloPackInst[F prec.Float] struct {
+	vars  [][]F
+	lists [][]int32
+	bufs  [][]F
+}
+
+func newHaloPack[F prec.Float](n int) kernels.Instance {
+	s := 2
+	for s*s*s <= n {
+		s++
+	}
+	k := &haloPackInst[F]{lists: haloLists(s)}
+	for v := 0; v < haloVars; v++ {
+		arr := make([]F, s*s*s)
+		kernels.InitSeq(arr)
+		k.vars = append(k.vars, arr)
+	}
+	for _, l := range k.lists {
+		k.bufs = append(k.bufs, make([]F, haloVars*len(l)))
+	}
+	return k
+}
+
+func (k *haloPackInst[F]) Run(r team.Runner) {
+	for f, list := range k.lists {
+		buf := k.bufs[f]
+		for v, arr := range k.vars {
+			base := v * len(list)
+			team.For(r, len(list), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					buf[base+i] = arr[list[i]]
+				}
+			})
+		}
+	}
+}
+
+func (k *haloPackInst[F]) Checksum() float64 {
+	s := 0.0
+	for _, b := range k.bufs {
+		s += kernels.Checksum(b)
+	}
+	return s
+}
+
+type haloUnpackInst[F prec.Float] struct {
+	inner *haloPackInst[F]
+}
+
+func newHaloUnpack[F prec.Float](n int) kernels.Instance {
+	inner := newHaloPack[F](n).(*haloPackInst[F])
+	// Pre-fill the buffers once so unpacking has data.
+	for f, list := range inner.lists {
+		for i := range inner.bufs[f] {
+			inner.bufs[f][i] = F(0.25) * F((i+f)%17)
+		}
+		_ = list
+	}
+	return &haloUnpackInst[F]{inner: inner}
+}
+
+func (k *haloUnpackInst[F]) Run(r team.Runner) {
+	in := k.inner
+	for f, list := range in.lists {
+		buf := in.bufs[f]
+		for v, arr := range in.vars {
+			base := v * len(list)
+			team.For(r, len(list), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					arr[list[i]] = buf[base+i]
+				}
+			})
+		}
+	}
+}
+
+func (k *haloUnpackInst[F]) Checksum() float64 {
+	s := 0.0
+	for _, arr := range k.inner.vars {
+		s += kernels.Checksum(arr)
+	}
+	return s
+}
+
+// Specs returns the thirteen Apps kernels.
+func Specs() []kernels.Spec {
+	unitF := func(arr string, kind ir.AccessKind) ir.Access {
+		return ir.Access{Array: arr, Kind: kind, Pattern: ir.Unit, PerIter: 1}
+	}
+	bcast := func(arr string) ir.Access {
+		return ir.Access{Array: arr, Kind: ir.Load, Pattern: ir.Broadcast, PerIter: 1}
+	}
+	cube := func(n int) float64 {
+		nd := 2
+		for nd*nd*nd <= n {
+			nd++
+		}
+		nz := nd - 1
+		return float64(nz * nz * nz)
+	}
+	return []kernels.Spec{
+		{
+			Name: "CONVECTION3DPA", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "CONVECTION3DPA", Nest: 4, FlopsPerIter: 8,
+				Features: ir.NonUnitStride | ir.ShortTrip,
+				Accesses: []ir.Access{bcast("b"), unitF("x", ir.Load), unitF("d", ir.Load),
+					unitF("y", ir.Store)}},
+			DefaultN: 1 << 17, Reps: 20, Regions: 1,
+			// Iterations counted at quadrature granularity.
+			Iters: func(n int) float64 {
+				ne := n / (paD1D * paD1D * paD1D)
+				if ne < 1 {
+					ne = 1
+				}
+				return float64(ne) * float64(paQ1D*paQ1D*paQ1D) * float64(6*paD1D)
+			},
+			FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32:        func(n int) kernels.Instance { return newPA3D[float32](n, 2) },
+			Build64:        func(n int) kernels.Instance { return newPA3D[float64](n, 2) },
+		},
+		{
+			Name: "DIFFUSION3DPA", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "DIFFUSION3DPA", Nest: 4, FlopsPerIter: 8,
+				Features: ir.NonUnitStride | ir.ShortTrip,
+				Accesses: []ir.Access{bcast("b"), unitF("x", ir.Load), unitF("d", ir.Load),
+					unitF("y", ir.Store)}},
+			DefaultN: 1 << 17, Reps: 20, Regions: 1,
+			Iters: func(n int) float64 {
+				ne := n / (paD1D * paD1D * paD1D)
+				if ne < 1 {
+					ne = 1
+				}
+				return float64(ne) * float64(paQ1D*paQ1D*paQ1D) * float64(6*paD1D)
+			},
+			FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32:        func(n int) kernels.Instance { return newPA3D[float32](n, 1) },
+			Build64:        func(n int) kernels.Instance { return newPA3D[float64](n, 1) },
+		},
+		{
+			Name: "DEL_DOT_VEC_2D", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "DEL_DOT_VEC_2D", Nest: 1, FlopsPerIter: 32,
+				Features: ir.Indirection,
+				Accesses: []ir.Access{
+					{Array: "real2node", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1, Int: true},
+					{Array: "x", Kind: ir.Load, Pattern: ir.Indirect, PerIter: 4},
+					{Array: "y", Kind: ir.Load, Pattern: ir.Indirect, PerIter: 4},
+					{Array: "xdot", Kind: ir.Load, Pattern: ir.Indirect, PerIter: 4},
+					{Array: "ydot", Kind: ir.Load, Pattern: ir.Indirect, PerIter: 4},
+					unitF("div", ir.Store)}},
+			DefaultN: 1 << 18, Reps: 100, Regions: 1,
+			Iters: func(n int) float64 {
+				side := 2
+				for side*side <= n {
+					side++
+				}
+				return float64((side - 1) * (side - 1))
+			},
+			FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32:        newDelDotVec2D[float32], Build64: newDelDotVec2D[float64],
+		},
+		{
+			Name: "ENERGY", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "ENERGY", Nest: 1, FlopsPerIter: 12,
+				Features: ir.Conditional,
+				Accesses: []ir.Access{
+					unitF("eOld", ir.Load), unitF("delvc", ir.Load), unitF("pOld", ir.Load),
+					unitF("qOld", ir.Load), unitF("work", ir.Load),
+					unitF("eNew", ir.Store), unitF("qNew", ir.Store), unitF("pNew", ir.Store)}},
+			DefaultN: 1 << 19, Reps: 100, Regions: 6,
+			Iters:          func(n int) float64 { return float64(n) },
+			FootprintElems: func(n int) float64 { return 9 * float64(n) },
+			Build32:        newEnergy[float32], Build64: newEnergy[float64],
+		},
+		{
+			Name: "FIR", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "FIR", Nest: 1, FlopsPerIter: 32,
+				Accesses: []ir.Access{
+					{Array: "in", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 16},
+					bcast("coeff"), unitF("out", ir.Store)}},
+			DefaultN: 1 << 19, Reps: 200, Regions: 1,
+			Iters:          func(n int) float64 { return float64(n) },
+			FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32:        newFIR[float32], Build64: newFIR[float64],
+		},
+		{
+			Name: "HALO_PACKING", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "HALO_PACKING", Nest: 1, FlopsPerIter: 0,
+				Features: ir.Indirection,
+				Accesses: []ir.Access{
+					{Array: "list", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1, Int: true},
+					{Array: "var", Kind: ir.Load, Pattern: ir.Indirect, PerIter: 1},
+					unitF("buf", ir.Store)}},
+			DefaultN: 1 << 18, Reps: 200, Regions: 18, // 6 faces x 3 variables
+			Iters: func(n int) float64 {
+				s := 2
+				for s*s*s <= n {
+					s++
+				}
+				return float64(6 * haloVars * s * s)
+			},
+			FootprintElems: func(n int) float64 { return float64(haloVars) * float64(n) },
+			Build32:        newHaloPack[float32], Build64: newHaloPack[float64],
+		},
+		{
+			Name: "HALO_UNPACKING", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "HALO_UNPACKING", Nest: 1, FlopsPerIter: 0,
+				Features: ir.Indirection,
+				Accesses: []ir.Access{
+					{Array: "list", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1, Int: true},
+					unitF("buf", ir.Load),
+					{Array: "var", Kind: ir.Store, Pattern: ir.Indirect, PerIter: 1}}},
+			DefaultN: 1 << 18, Reps: 200, Regions: 18,
+			Iters: func(n int) float64 {
+				s := 2
+				for s*s*s <= n {
+					s++
+				}
+				return float64(6 * haloVars * s * s)
+			},
+			FootprintElems: func(n int) float64 { return float64(haloVars) * float64(n) },
+			Build32:        newHaloUnpack[float32], Build64: newHaloUnpack[float64],
+		},
+		{
+			Name: "LTIMES", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "LTIMES", Nest: 4, FlopsPerIter: 2,
+				Features: ir.NonUnitStride,
+				Accesses: []ir.Access{bcast("ell"), unitF("psi", ir.Load),
+					unitF("phi", ir.Load), unitF("phi", ir.Store)}},
+			DefaultN: 1 << 17, Reps: 50, Regions: 1,
+			Iters: func(n int) float64 {
+				nz := n / (ltG * ltD)
+				if nz < 1 {
+					nz = 1
+				}
+				return float64(nz * ltG * ltM * ltD)
+			},
+			FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32:        func(n int) kernels.Instance { return newLtimes[float32](n, true) },
+			Build64:        func(n int) kernels.Instance { return newLtimes[float64](n, true) },
+		},
+		{
+			Name: "LTIMES_NOVIEW", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "LTIMES_NOVIEW", Nest: 4, FlopsPerIter: 2,
+				Features: ir.SumReduction,
+				Accesses: []ir.Access{bcast("ell"), unitF("psi", ir.Load),
+					unitF("phi", ir.Load), unitF("phi", ir.Store)}},
+			DefaultN: 1 << 17, Reps: 50, Regions: 1,
+			Iters: func(n int) float64 {
+				nz := n / (ltG * ltD)
+				if nz < 1 {
+					nz = 1
+				}
+				return float64(nz * ltG * ltM * ltD)
+			},
+			FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32:        func(n int) kernels.Instance { return newLtimes[float32](n, false) },
+			Build64:        func(n int) kernels.Instance { return newLtimes[float64](n, false) },
+		},
+		{
+			Name: "MASS3DPA", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "MASS3DPA", Nest: 4, FlopsPerIter: 8,
+				Features: ir.NonUnitStride | ir.ShortTrip,
+				Accesses: []ir.Access{bcast("b"), unitF("x", ir.Load), unitF("d", ir.Load),
+					unitF("y", ir.Store)}},
+			DefaultN: 1 << 17, Reps: 30, Regions: 1,
+			Iters: func(n int) float64 {
+				ne := n / (paD1D * paD1D * paD1D)
+				if ne < 1 {
+					ne = 1
+				}
+				return float64(ne) * float64(paQ1D*paQ1D*paQ1D) * float64(6*paD1D)
+			},
+			FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32:        func(n int) kernels.Instance { return newPA3D[float32](n, 0) },
+			Build64:        func(n int) kernels.Instance { return newPA3D[float64](n, 0) },
+		},
+		{
+			Name: "NODAL_ACCUMULATION_3D", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "NODAL_ACCUMULATION_3D", Nest: 3, FlopsPerIter: 9,
+				Features: ir.Indirection | ir.Atomic,
+				Accesses: []ir.Access{
+					unitF("vol", ir.Load),
+					{Array: "x", Kind: ir.Load, Pattern: ir.Indirect, PerIter: 8},
+					{Array: "x", Kind: ir.Store, Pattern: ir.Indirect, PerIter: 8}}},
+			DefaultN: 1 << 18, Reps: 50, Regions: 1,
+			Iters:          cube,
+			FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32:        newNodalAccum32, Build64: newNodalAccum64,
+		},
+		{
+			Name: "PRESSURE", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "PRESSURE", Nest: 1, FlopsPerIter: 4,
+				Features: ir.Conditional,
+				Accesses: []ir.Access{
+					unitF("compression", ir.Load), unitF("eOld", ir.Load), unitF("vNew", ir.Load),
+					unitF("bvc", ir.Store), unitF("pNew", ir.Store)}},
+			DefaultN: 1 << 19, Reps: 200, Regions: 2,
+			Iters:          func(n int) float64 { return float64(n) },
+			FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32:        newPressure[float32], Build64: newPressure[float64],
+		},
+		{
+			Name: "VOL3D", Class: kernels.Apps,
+			Loop: ir.Loop{Kernel: "VOL3D", Nest: 1, FlopsPerIter: 72,
+				Accesses: []ir.Access{
+					{Array: "x", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 8},
+					{Array: "y", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 8},
+					{Array: "z", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 8},
+					unitF("vol", ir.Store)}},
+			DefaultN: 1 << 18, Reps: 50, Regions: 1,
+			Iters:          cube,
+			FootprintElems: func(n int) float64 { return 4 * float64(n) },
+			Build32:        newVol3D[float32], Build64: newVol3D[float64],
+		},
+	}
+}

@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/team"
+)
+
+func specByName(t *testing.T, name string) kernels.Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %s not found", name)
+	return kernels.Spec{}
+}
+
+func TestFIRMatchesDirectConvolution(t *testing.T) {
+	spec := specByName(t, "FIR")
+	inst := spec.Build64(300).(*firInst[float64])
+	tm := team.New(3)
+	defer tm.Close()
+	inst.Run(tm)
+	for i := range inst.out {
+		var want float64
+		for j := 0; j < firTaps; j++ {
+			want += inst.coeff[j] * inst.in[i+j]
+		}
+		if math.Abs(inst.out[i]-want) > 1e-12 {
+			t.Fatalf("out[%d] = %v, want %v", i, inst.out[i], want)
+		}
+	}
+}
+
+func TestVol3DRegularGrid(t *testing.T) {
+	// On an unperturbed unit grid every hexahedron has volume 1. Build
+	// a perturbed instance, then reset coordinates to the regular grid
+	// and check the volume formula returns 1 everywhere.
+	spec := specByName(t, "VOL3D")
+	inst := spec.Build64(64).(*vol3DInst[float64])
+	nd := inst.nd
+	for i := 0; i < nd; i++ {
+		for j := 0; j < nd; j++ {
+			for kk := 0; kk < nd; kk++ {
+				idx := (i*nd+j)*nd + kk
+				inst.x[idx] = float64(i)
+				inst.y[idx] = float64(j)
+				inst.z[idx] = float64(kk)
+			}
+		}
+	}
+	inst.Run(team.Sequential{})
+	for i, v := range inst.vol {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("vol[%d] = %v, want 1 for the unit grid", i, v)
+		}
+	}
+}
+
+func TestDelDotVecUniformFlow(t *testing.T) {
+	// A uniform velocity field has zero divergence.
+	spec := specByName(t, "DEL_DOT_VEC_2D")
+	inst := spec.Build64(400).(*delDotVec2DInst[float64])
+	for i := range inst.xdot {
+		inst.xdot[i] = 3.5
+		inst.ydot[i] = -1.25
+	}
+	inst.Run(team.Sequential{})
+	for z, d := range inst.div {
+		if math.Abs(d) > 1e-9 {
+			t.Fatalf("div[%d] = %v, want 0 for uniform flow", z, d)
+		}
+	}
+}
+
+func TestHaloPackUnpackInverse(t *testing.T) {
+	// Packing then unpacking the same buffers must reproduce the halo
+	// values: unpack(pack(vars)) restores vars on the halo lists.
+	packSpec := specByName(t, "HALO_PACKING")
+	pk := packSpec.Build64(1000).(*haloPackInst[float64])
+	tm := team.New(2)
+	defer tm.Close()
+	pk.Run(tm) // fills bufs from vars
+
+	// Remember the halo values, zero them, then unpack.
+	saved := make(map[int64]float64)
+	for _, list := range pk.lists {
+		for _, idx := range list {
+			saved[int64(idx)] = pk.vars[0][idx]
+		}
+	}
+	for _, list := range pk.lists {
+		for _, idx := range list {
+			pk.vars[0][idx] = 0
+		}
+	}
+	un := &haloUnpackInst[float64]{inner: pk}
+	un.Run(tm)
+	for idx, want := range saved {
+		if pk.vars[0][idx] != want {
+			t.Fatalf("vars[0][%d] = %v, want %v after unpack", idx, pk.vars[0][idx], want)
+		}
+	}
+}
+
+func TestHaloListsDisjointFaces(t *testing.T) {
+	lists := haloLists(8)
+	if len(lists) != 6 {
+		t.Fatalf("got %d faces, want 6", len(lists))
+	}
+	for f, l := range lists {
+		if len(l) != 64 {
+			t.Errorf("face %d has %d entries, want 64", f, len(l))
+		}
+	}
+}
+
+func TestNodalAccumulationConserves(t *testing.T) {
+	// The scattered total must equal the zone total: sum over nodes of
+	// accumulated values == sum over zones of vol (each zone scatters
+	// vol/8 to 8 nodes).
+	spec := specByName(t, "NODAL_ACCUMULATION_3D")
+	tm := team.New(4)
+	defer tm.Close()
+	inst := spec.Build64(512).(*nodalAccum64)
+	inst.Run(tm)
+	var zones float64
+	for _, v := range inst.vol {
+		zones += v
+	}
+	var nodes float64
+	for _, v := range inst.x.Floats() {
+		nodes += v
+	}
+	if math.Abs(nodes-zones) > 1e-9*(1+math.Abs(zones)) {
+		t.Errorf("nodal sum %v != zonal sum %v", nodes, zones)
+	}
+}
+
+func TestEnergyBranchesBothExecute(t *testing.T) {
+	spec := specByName(t, "ENERGY")
+	inst := spec.Build64(1000).(*energyInst[float64])
+	inst.Run(team.Sequential{})
+	zero, nonzero := 0, 0
+	for _, q := range inst.qNew {
+		if q == 0 {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	if zero == 0 || nonzero == 0 {
+		t.Errorf("ENERGY branches unbalanced: %d zero, %d nonzero", zero, nonzero)
+	}
+}
+
+func TestPressureFloorApplied(t *testing.T) {
+	spec := specByName(t, "PRESSURE")
+	inst := spec.Build64(1000).(*pressureInst[float64])
+	tm := team.New(2)
+	defer tm.Close()
+	inst.Run(tm)
+	for i, p := range inst.pNew {
+		if p < 1e-6 {
+			t.Fatalf("pNew[%d] = %v below pmin", i, p)
+		}
+	}
+}
+
+func TestLtimesViewAndNoViewAgree(t *testing.T) {
+	a := specByName(t, "LTIMES")
+	b := specByName(t, "LTIMES_NOVIEW")
+	tm := team.New(3)
+	defer tm.Close()
+	ia := a.Build64(4096)
+	ib := b.Build64(4096)
+	ia.Run(tm)
+	ib.Run(tm)
+	if math.Abs(ia.Checksum()-ib.Checksum()) > 1e-9*(1+math.Abs(ib.Checksum())) {
+		t.Errorf("LTIMES %v != LTIMES_NOVIEW %v", ia.Checksum(), ib.Checksum())
+	}
+}
+
+func TestLtimesAccumulates(t *testing.T) {
+	// phi accumulates across reps: two runs double the result of one.
+	spec := specByName(t, "LTIMES_NOVIEW")
+	one := spec.Build64(2048)
+	two := spec.Build64(2048)
+	one.Run(team.Sequential{})
+	two.Run(team.Sequential{})
+	two.Run(team.Sequential{})
+	ratio := two.Checksum() / one.Checksum()
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("accumulation ratio = %v, want 2", ratio)
+	}
+}
+
+func TestPA3DKernelsDiffer(t *testing.T) {
+	// Mass, diffusion and convection share structure but must compute
+	// different results (distinct quadrature stages).
+	names := []string{"MASS3DPA", "DIFFUSION3DPA", "CONVECTION3DPA"}
+	sums := make(map[string]float64)
+	for _, name := range names {
+		spec := specByName(t, name)
+		inst := spec.Build64(2048)
+		inst.Run(team.Sequential{})
+		sums[name] = inst.Checksum()
+	}
+	if sums["MASS3DPA"] == sums["DIFFUSION3DPA"] ||
+		sums["MASS3DPA"] == sums["CONVECTION3DPA"] ||
+		sums["DIFFUSION3DPA"] == sums["CONVECTION3DPA"] {
+		t.Errorf("3DPA operator variants produced identical checksums: %v", sums)
+	}
+}
+
+func TestPA3DParallelEquivalence(t *testing.T) {
+	tm := team.New(4)
+	defer tm.Close()
+	spec := specByName(t, "MASS3DPA")
+	seq := spec.Build64(4096)
+	par := spec.Build64(4096)
+	seq.Run(team.Sequential{})
+	par.Run(tm)
+	if math.Abs(seq.Checksum()-par.Checksum()) > 1e-9*(1+math.Abs(seq.Checksum())) {
+		t.Errorf("parallel mass3dpa %v != sequential %v", par.Checksum(), seq.Checksum())
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 13 {
+		t.Fatalf("apps has %d kernels, want 13", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}

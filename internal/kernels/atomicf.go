@@ -1,0 +1,81 @@
+package kernels
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicF32 is a float32 array stored as bit patterns so elements can be
+// updated with compare-and-swap, the way the RAJAPerf *_ATOMIC kernels
+// use omp atomic. No unsafe pointer casts: the storage *is* the bits.
+type AtomicF32 []uint32
+
+// NewAtomicF32 allocates n zeroed elements.
+func NewAtomicF32(n int) AtomicF32 { return make(AtomicF32, n) }
+
+// Load returns element i.
+func (a AtomicF32) Load(i int) float32 {
+	return math.Float32frombits(atomic.LoadUint32(&a[i]))
+}
+
+// Store sets element i (not atomic with respect to concurrent Add; use
+// during initialisation).
+func (a AtomicF32) Store(i int, v float32) {
+	atomic.StoreUint32(&a[i], math.Float32bits(v))
+}
+
+// Add atomically performs a[i] += v with a CAS loop.
+func (a AtomicF32) Add(i int, v float32) {
+	for {
+		old := atomic.LoadUint32(&a[i])
+		next := math.Float32bits(math.Float32frombits(old) + v)
+		if atomic.CompareAndSwapUint32(&a[i], old, next) {
+			return
+		}
+	}
+}
+
+// Floats copies the array out as float32 values.
+func (a AtomicF32) Floats() []float32 {
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a.Load(i)
+	}
+	return out
+}
+
+// AtomicF64 is the float64 counterpart of AtomicF32.
+type AtomicF64 []uint64
+
+// NewAtomicF64 allocates n zeroed elements.
+func NewAtomicF64(n int) AtomicF64 { return make(AtomicF64, n) }
+
+// Load returns element i.
+func (a AtomicF64) Load(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&a[i]))
+}
+
+// Store sets element i.
+func (a AtomicF64) Store(i int, v float64) {
+	atomic.StoreUint64(&a[i], math.Float64bits(v))
+}
+
+// Add atomically performs a[i] += v with a CAS loop.
+func (a AtomicF64) Add(i int, v float64) {
+	for {
+		old := atomic.LoadUint64(&a[i])
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&a[i], old, next) {
+			return
+		}
+	}
+}
+
+// Floats copies the array out as float64 values.
+func (a AtomicF64) Floats() []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a.Load(i)
+	}
+	return out
+}

@@ -1,0 +1,849 @@
+// Package basic implements the sixteen Basic-class RAJAPerf kernels —
+// "foundational mathematical functions ... include DAXPY, matrix
+// multiplication, integer reduction, and calculation of PI by
+// reduction".
+package basic
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/prec"
+	"repro/internal/team"
+)
+
+const (
+	defaultN = 1 << 20
+	reps     = 500
+)
+
+func lin(n int) float64 { return float64(n) }
+
+// --- DAXPY: y[i] += a * x[i] --------------------------------------------
+
+type daxpyInst[F prec.Float] struct {
+	x, y []F
+	a    F
+}
+
+func newDaxpy[F prec.Float](n int) kernels.Instance {
+	k := &daxpyInst[F]{x: make([]F, n), y: make([]F, n), a: 0.5}
+	kernels.InitSeq(k.x)
+	kernels.InitConst(k.y, 1)
+	return k
+}
+
+func (k *daxpyInst[F]) Run(r team.Runner) {
+	x, y, a := k.x, k.y, k.a
+	team.For(r, len(y), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+func (k *daxpyInst[F]) Checksum() float64 { return kernels.Checksum(k.y) }
+
+// --- DAXPY_ATOMIC: y[i] += a * x[i] with atomic updates -------------------
+
+type daxpyAtomic32 struct {
+	x []float32
+	y kernels.AtomicF32
+	a float32
+}
+
+func newDaxpyAtomic32(n int) kernels.Instance {
+	k := &daxpyAtomic32{x: make([]float32, n), y: kernels.NewAtomicF32(n), a: 0.5}
+	kernels.InitSeq(k.x)
+	for i := range k.y {
+		k.y.Store(i, 1)
+	}
+	return k
+}
+
+func (k *daxpyAtomic32) Run(r team.Runner) {
+	team.For(r, len(k.x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.y.Add(i, k.a*k.x[i])
+		}
+	})
+}
+
+func (k *daxpyAtomic32) Checksum() float64 { return kernels.Checksum(k.y.Floats()) }
+
+type daxpyAtomic64 struct {
+	x []float64
+	y kernels.AtomicF64
+	a float64
+}
+
+func newDaxpyAtomic64(n int) kernels.Instance {
+	k := &daxpyAtomic64{x: make([]float64, n), y: kernels.NewAtomicF64(n), a: 0.5}
+	kernels.InitSeq(k.x)
+	for i := range k.y {
+		k.y.Store(i, 1)
+	}
+	return k
+}
+
+func (k *daxpyAtomic64) Run(r team.Runner) {
+	team.For(r, len(k.x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.y.Add(i, k.a*k.x[i])
+		}
+	})
+}
+
+func (k *daxpyAtomic64) Checksum() float64 { return kernels.Checksum(k.y.Floats()) }
+
+// --- IF_QUAD: solve a x^2 + b x + c = 0 where the discriminant allows ------
+
+type ifQuadInst[F prec.Float] struct {
+	a, b, c, x1, x2 []F
+}
+
+func newIfQuad[F prec.Float](n int) kernels.Instance {
+	k := &ifQuadInst[F]{
+		a: make([]F, n), b: make([]F, n), c: make([]F, n),
+		x1: make([]F, n), x2: make([]F, n),
+	}
+	kernels.InitSeq(k.a)
+	kernels.InitConst(k.b, 3)
+	kernels.InitSigned(k.c)
+	return k
+}
+
+func (k *ifQuadInst[F]) Run(r team.Runner) {
+	a, b, c, x1, x2 := k.a, k.b, k.c, k.x1, k.x2
+	team.For(r, len(a), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := b[i]*b[i] - 4*a[i]*c[i]
+			if s >= 0 {
+				s = kernels.Sqrt(s)
+				two := a[i] + a[i]
+				x2[i] = (-b[i] - s) / two
+				x1[i] = (s - b[i]) / two
+			} else {
+				x2[i] = 0
+				x1[i] = 0
+			}
+		}
+	})
+}
+
+func (k *ifQuadInst[F]) Checksum() float64 {
+	return kernels.Checksum(k.x1) + kernels.Checksum(k.x2)
+}
+
+// --- INDEXLIST: list[count++] = i where x[i] < 0 ---------------------------
+
+type indexListInst[F prec.Float] struct {
+	x    []F
+	list []int64
+	len  int
+}
+
+func newIndexList[F prec.Float](n int) kernels.Instance {
+	k := &indexListInst[F]{x: make([]F, n), list: make([]int64, n)}
+	kernels.InitSigned(k.x)
+	return k
+}
+
+func (k *indexListInst[F]) Run(r team.Runner) {
+	// The scan dependence (the shared counter) parallelises as a
+	// two-pass count-then-fill, matching RAJAPerf's OpenMP variant.
+	nt := r.NThreads()
+	counts := make([]int, nt+1)
+	x := k.x
+	team.For(r, len(x), func(tid, lo, hi int) {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if x[i] < 0 {
+				c++
+			}
+		}
+		counts[tid+1] = c
+	})
+	for t := 0; t < nt; t++ {
+		counts[t+1] += counts[t]
+	}
+	list := k.list
+	team.For(r, len(x), func(tid, lo, hi int) {
+		pos := counts[tid]
+		for i := lo; i < hi; i++ {
+			if x[i] < 0 {
+				list[pos] = int64(i)
+				pos++
+			}
+		}
+	})
+	k.len = counts[nt]
+}
+
+func (k *indexListInst[F]) Checksum() float64 {
+	return kernels.ChecksumInts(k.list[:k.len]) + float64(k.len)
+}
+
+// --- INDEXLIST_3LOOP: flag / exclusive-scan / fill -------------------------
+
+type indexList3Inst[F prec.Float] struct {
+	x       []F
+	counts  []int64
+	list    []int64
+	listLen int
+}
+
+func newIndexList3[F prec.Float](n int) kernels.Instance {
+	k := &indexList3Inst[F]{x: make([]F, n), counts: make([]int64, n+1), list: make([]int64, n)}
+	kernels.InitSigned(k.x)
+	return k
+}
+
+func (k *indexList3Inst[F]) Run(r team.Runner) {
+	x, counts, list := k.x, k.counts, k.list
+	n := len(x)
+	// Loop 1: flag.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x[i] < 0 {
+				counts[i] = 1
+			} else {
+				counts[i] = 0
+			}
+		}
+	})
+	// Loop 2: exclusive scan (blocked two-pass).
+	nt := r.NThreads()
+	sums := make([]int64, nt+1)
+	team.For(r, n, func(tid, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		sums[tid+1] = s
+	})
+	for t := 0; t < nt; t++ {
+		sums[t+1] += sums[t]
+	}
+	team.For(r, n, func(tid, lo, hi int) {
+		run := sums[tid]
+		for i := lo; i < hi; i++ {
+			v := counts[i]
+			counts[i] = run
+			run += v
+		}
+	})
+	counts[n] = sums[nt]
+	// Loop 3: fill.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x[i] < 0 {
+				list[counts[i]] = int64(i)
+			}
+		}
+	})
+	k.listLen = int(counts[n])
+}
+
+func (k *indexList3Inst[F]) Checksum() float64 {
+	return kernels.ChecksumInts(k.list[:k.listLen]) + float64(k.listLen)
+}
+
+// --- INIT3: out1[i] = out2[i] = out3[i] = -(in1[i] + in2[i]) ----------------
+
+type init3Inst[F prec.Float] struct {
+	out1, out2, out3, in1, in2 []F
+}
+
+func newInit3[F prec.Float](n int) kernels.Instance {
+	k := &init3Inst[F]{
+		out1: make([]F, n), out2: make([]F, n), out3: make([]F, n),
+		in1: make([]F, n), in2: make([]F, n),
+	}
+	kernels.InitSeq(k.in1)
+	kernels.InitSeq(k.in2)
+	return k
+}
+
+func (k *init3Inst[F]) Run(r team.Runner) {
+	out1, out2, out3, in1, in2 := k.out1, k.out2, k.out3, k.in1, k.in2
+	team.For(r, len(out1), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := -(in1[i] + in2[i])
+			out1[i] = v
+			out2[i] = v
+			out3[i] = v
+		}
+	})
+}
+
+func (k *init3Inst[F]) Checksum() float64 {
+	return kernels.Checksum(k.out1) + kernels.Checksum(k.out2) + kernels.Checksum(k.out3)
+}
+
+// --- INIT_VIEW1D: a[i] = (i+1) * v ----------------------------------------
+
+type initView1DInst[F prec.Float] struct{ a []F }
+
+func newInitView1D[F prec.Float](n int) kernels.Instance {
+	return &initView1DInst[F]{a: make([]F, n)}
+}
+
+func (k *initView1DInst[F]) Run(r team.Runner) {
+	a := k.a
+	const v = 0.00000123
+	team.For(r, len(a), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = F(float64(i+1) * v)
+		}
+	})
+}
+
+func (k *initView1DInst[F]) Checksum() float64 { return kernels.Checksum(k.a) }
+
+// --- INIT_VIEW1D_OFFSET: a[i-ibegin] with offset view ----------------------
+
+type initView1DOffInst[F prec.Float] struct{ a []F }
+
+func newInitView1DOff[F prec.Float](n int) kernels.Instance {
+	return &initView1DOffInst[F]{a: make([]F, n)}
+}
+
+func (k *initView1DOffInst[F]) Run(r team.Runner) {
+	a := k.a
+	const v = 0.00000123
+	// The RAJAPerf kernel iterates [1, n+1) through an offset view.
+	team.For(r, len(a), func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			a[i-1] = F(float64(i) * v)
+		}
+	})
+}
+
+func (k *initView1DOffInst[F]) Checksum() float64 { return kernels.Checksum(k.a) }
+
+// --- MAT_MAT_SHARED: tiled matrix multiply --------------------------------
+
+const matTile = 16
+
+type matMatSharedInst[F prec.Float] struct {
+	n       int
+	a, b, c []F
+}
+
+func newMatMatShared[F prec.Float](n int) kernels.Instance {
+	k := &matMatSharedInst[F]{n: n, a: make([]F, n*n), b: make([]F, n*n), c: make([]F, n*n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	return k
+}
+
+func (k *matMatSharedInst[F]) Run(r team.Runner) {
+	n, a, b, c := k.n, k.a, k.b, k.c
+	tiles := (n + matTile - 1) / matTile
+	// Parallel over tile rows; each tile does a blocked multiply with a
+	// local "shared memory" tile, mirroring the RAJAPerf structure.
+	team.For(r, tiles, func(_, tlo, thi int) {
+		var as, bs [matTile * matTile]F
+		for ti := tlo; ti < thi; ti++ {
+			i0 := ti * matTile
+			i1 := min(i0+matTile, n)
+			for j0 := 0; j0 < n; j0 += matTile {
+				j1 := min(j0+matTile, n)
+				var cs [matTile * matTile]F
+				for k0 := 0; k0 < n; k0 += matTile {
+					k1 := min(k0+matTile, n)
+					for i := i0; i < i1; i++ {
+						for kk := k0; kk < k1; kk++ {
+							as[(i-i0)*matTile+(kk-k0)] = a[i*n+kk]
+						}
+					}
+					for kk := k0; kk < k1; kk++ {
+						for j := j0; j < j1; j++ {
+							bs[(kk-k0)*matTile+(j-j0)] = b[kk*n+j]
+						}
+					}
+					for i := i0; i < i1; i++ {
+						for j := j0; j < j1; j++ {
+							var s F
+							for kk := k0; kk < k1; kk++ {
+								s += as[(i-i0)*matTile+(kk-k0)] * bs[(kk-k0)*matTile+(j-j0)]
+							}
+							cs[(i-i0)*matTile+(j-j0)] += s
+						}
+					}
+				}
+				for i := i0; i < i1; i++ {
+					for j := j0; j < j1; j++ {
+						c[i*n+j] = cs[(i-i0)*matTile+(j-j0)]
+					}
+				}
+			}
+		}
+	})
+}
+
+func (k *matMatSharedInst[F]) Checksum() float64 { return kernels.Checksum(k.c) }
+
+// --- MULADDSUB: three outputs per element ----------------------------------
+
+type mulAddSubInst[F prec.Float] struct {
+	out1, out2, out3, in1, in2 []F
+}
+
+func newMulAddSub[F prec.Float](n int) kernels.Instance {
+	k := &mulAddSubInst[F]{
+		out1: make([]F, n), out2: make([]F, n), out3: make([]F, n),
+		in1: make([]F, n), in2: make([]F, n),
+	}
+	kernels.InitSeq(k.in1)
+	kernels.InitSeq(k.in2)
+	return k
+}
+
+func (k *mulAddSubInst[F]) Run(r team.Runner) {
+	out1, out2, out3, in1, in2 := k.out1, k.out2, k.out3, k.in1, k.in2
+	team.For(r, len(out1), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out1[i] = in1[i] * in2[i]
+			out2[i] = in1[i] + in2[i]
+			out3[i] = in1[i] - in2[i]
+		}
+	})
+}
+
+func (k *mulAddSubInst[F]) Checksum() float64 {
+	return kernels.Checksum(k.out1) + kernels.Checksum(k.out2) + kernels.Checksum(k.out3)
+}
+
+// --- NESTED_INIT: array[i,j,k] = i*j*k -------------------------------------
+
+type nestedInitInst[F prec.Float] struct {
+	ni, nj, nk int
+	arr        []F
+}
+
+func newNestedInit[F prec.Float](n int) kernels.Instance {
+	// n is the total size; RAJAPerf shapes it as ni=nj=nk=cuberoot.
+	side := 1
+	for (side+1)*(side+1)*(side+1) <= n {
+		side++
+	}
+	return &nestedInitInst[F]{ni: side, nj: side, nk: side, arr: make([]F, side*side*side)}
+}
+
+func (k *nestedInitInst[F]) Run(r team.Runner) {
+	ni, nj, arr := k.ni, k.nj, k.arr
+	team.For(r, k.nk, func(_, klo, khi int) {
+		for kk := klo; kk < khi; kk++ {
+			for j := 0; j < nj; j++ {
+				base := ni * (j + nj*kk)
+				for i := 0; i < ni; i++ {
+					arr[base+i] = F(i * j * kk)
+				}
+			}
+		}
+	})
+}
+
+func (k *nestedInitInst[F]) Checksum() float64 { return kernels.Checksum(k.arr) }
+
+// --- PI_ATOMIC: pi via atomic accumulation ---------------------------------
+
+type piAtomic32 struct {
+	n  int
+	pi kernels.AtomicF32
+}
+
+func newPiAtomic32(n int) kernels.Instance {
+	return &piAtomic32{n: n, pi: kernels.NewAtomicF32(1)}
+}
+
+func (k *piAtomic32) Run(r team.Runner) {
+	k.pi.Store(0, 0)
+	dx := float32(1.0) / float32(k.n)
+	team.For(r, k.n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := (float32(i) + 0.5) * dx
+			k.pi.Add(0, dx/(1+x*x))
+		}
+	})
+}
+
+func (k *piAtomic32) Checksum() float64 { return 4 * float64(k.pi.Load(0)) }
+
+type piAtomic64 struct {
+	n  int
+	pi kernels.AtomicF64
+}
+
+func newPiAtomic64(n int) kernels.Instance {
+	return &piAtomic64{n: n, pi: kernels.NewAtomicF64(1)}
+}
+
+func (k *piAtomic64) Run(r team.Runner) {
+	k.pi.Store(0, 0)
+	dx := 1.0 / float64(k.n)
+	team.For(r, k.n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := (float64(i) + 0.5) * dx
+			k.pi.Add(0, dx/(1+x*x))
+		}
+	})
+}
+
+func (k *piAtomic64) Checksum() float64 { return 4 * k.pi.Load(0) }
+
+// --- PI_REDUCE: pi via reduction -------------------------------------------
+
+type piReduceInst[F prec.Float] struct {
+	n  int
+	pi float64
+}
+
+func newPiReduce[F prec.Float](n int) kernels.Instance {
+	return &piReduceInst[F]{n: n}
+}
+
+func (k *piReduceInst[F]) Run(r team.Runner) {
+	dx := F(1.0) / F(k.n)
+	k.pi = 4 * float64(team.ForSum[F](r, k.n, func(_, lo, hi int) F {
+		var s F
+		for i := lo; i < hi; i++ {
+			x := (F(i) + 0.5) * dx
+			s += dx / (1 + x*x)
+		}
+		return s
+	}))
+}
+
+func (k *piReduceInst[F]) Checksum() float64 { return k.pi }
+
+// --- REDUCE3_INT: sum, min and max of an int array ---------------------------
+
+type reduce3IntInst struct {
+	x             []int64
+	sum, min, max int64
+}
+
+func newReduce3Int(n int) kernels.Instance {
+	k := &reduce3IntInst{x: make([]int64, n)}
+	for i := range k.x {
+		k.x[i] = int64((i*1103515245+12345)%2000 - 1000)
+	}
+	return k
+}
+
+func (k *reduce3IntInst) Run(r team.Runner) {
+	x := k.x
+	k.sum = team.ForSum[int64](r, len(x), func(_, lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	})
+	// Min and max fold within the same conceptual loop; runner-generic
+	// so they reuse ForSum-style partials.
+	nt := r.NThreads()
+	mins := make([]int64, nt)
+	maxs := make([]int64, nt)
+	team.For(r, len(x), func(tid, lo, hi int) {
+		mn, mx := x[lo], x[lo]
+		for i := lo + 1; i < hi; i++ {
+			if x[i] < mn {
+				mn = x[i]
+			}
+			if x[i] > mx {
+				mx = x[i]
+			}
+		}
+		mins[tid], maxs[tid] = mn, mx
+	})
+	k.min, k.max = mins[0], maxs[0]
+	for t := 1; t < nt; t++ {
+		if mins[t] < k.min {
+			k.min = mins[t]
+		}
+		if maxs[t] > k.max {
+			k.max = maxs[t]
+		}
+	}
+}
+
+func (k *reduce3IntInst) Checksum() float64 {
+	return float64(k.sum) + 2*float64(k.min) + 3*float64(k.max)
+}
+
+func newReduce3Int32(n int) kernels.Instance { return newReduce3Int(n) }
+func newReduce3Int64(n int) kernels.Instance { return newReduce3Int(n) }
+
+// --- REDUCE_STRUCT: centroid of a point set ---------------------------------
+
+type reduceStructInst[F prec.Float] struct {
+	x, y                   []F
+	xsum, ysum             float64
+	xmin, xmax, ymin, ymax float64
+}
+
+func newReduceStruct[F prec.Float](n int) kernels.Instance {
+	k := &reduceStructInst[F]{x: make([]F, n), y: make([]F, n)}
+	kernels.InitSeq(k.x)
+	kernels.InitSigned(k.y)
+	return k
+}
+
+func (k *reduceStructInst[F]) Run(r team.Runner) {
+	x, y := k.x, k.y
+	nt := r.NThreads()
+	type part struct{ xs, ys, xmn, xmx, ymn, ymx float64 }
+	parts := make([]part, nt)
+	team.For(r, len(x), func(tid, lo, hi int) {
+		p := part{xmn: float64(x[lo]), xmx: float64(x[lo]), ymn: float64(y[lo]), ymx: float64(y[lo])}
+		for i := lo; i < hi; i++ {
+			xv, yv := float64(x[i]), float64(y[i])
+			p.xs += xv
+			p.ys += yv
+			if xv < p.xmn {
+				p.xmn = xv
+			}
+			if xv > p.xmx {
+				p.xmx = xv
+			}
+			if yv < p.ymn {
+				p.ymn = yv
+			}
+			if yv > p.ymx {
+				p.ymx = yv
+			}
+		}
+		parts[tid] = p
+	})
+	agg := parts[0]
+	for _, p := range parts[1:] {
+		agg.xs += p.xs
+		agg.ys += p.ys
+		if p.xmn < agg.xmn {
+			agg.xmn = p.xmn
+		}
+		if p.xmx > agg.xmx {
+			agg.xmx = p.xmx
+		}
+		if p.ymn < agg.ymn {
+			agg.ymn = p.ymn
+		}
+		if p.ymx > agg.ymx {
+			agg.ymx = p.ymx
+		}
+	}
+	k.xsum, k.ysum = agg.xs, agg.ys
+	k.xmin, k.xmax, k.ymin, k.ymax = agg.xmn, agg.xmx, agg.ymn, agg.ymx
+}
+
+func (k *reduceStructInst[F]) Checksum() float64 {
+	n := float64(len(k.x))
+	return k.xsum/n + k.ysum/n + k.xmin + 2*k.xmax + 3*k.ymin + 4*k.ymax
+}
+
+// --- TRAP_INT: trapezoid-rule integration ------------------------------------
+
+type trapIntInst[F prec.Float] struct {
+	n      int
+	result float64
+}
+
+func newTrapInt[F prec.Float](n int) kernels.Instance {
+	return &trapIntInst[F]{n: n}
+}
+
+func (k *trapIntInst[F]) Run(r team.Runner) {
+	// Integrand from RAJAPerf: x*x / (1 + x*x) scaled.
+	x0, xp := F(0), F(1)
+	h := (xp - x0) / F(k.n)
+	k.result = float64(team.ForSum[F](r, k.n, func(_, lo, hi int) F {
+		var s F
+		for i := lo; i < hi; i++ {
+			x := x0 + (F(i)+0.5)*h
+			s += x * x / (1 + x*x)
+		}
+		return s
+	})) * float64(h)
+}
+
+func (k *trapIntInst[F]) Checksum() float64 { return k.result }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Specs returns the sixteen Basic kernels.
+func Specs() []kernels.Spec {
+	unitF := func(arr string, kind ir.AccessKind) ir.Access {
+		return ir.Access{Array: arr, Kind: kind, Pattern: ir.Unit, PerIter: 1}
+	}
+	return []kernels.Spec{
+		{
+			Name: "DAXPY", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "DAXPY", Nest: 1, FlopsPerIter: 2,
+				Accesses: []ir.Access{unitF("x", ir.Load), unitF("y", ir.Load), unitF("y", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newDaxpy[float32], Build64: newDaxpy[float64],
+		},
+		{
+			Name: "DAXPY_ATOMIC", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "DAXPY_ATOMIC", Nest: 1, FlopsPerIter: 2,
+				Features: ir.Atomic,
+				Accesses: []ir.Access{unitF("x", ir.Load), unitF("y", ir.Load), unitF("y", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newDaxpyAtomic32, Build64: newDaxpyAtomic64,
+		},
+		{
+			Name: "IF_QUAD", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "IF_QUAD", Nest: 1, FlopsPerIter: 10,
+				Features: ir.Conditional | ir.FunctionCall,
+				Accesses: []ir.Access{
+					unitF("a", ir.Load), unitF("b", ir.Load), unitF("c", ir.Load),
+					unitF("x1", ir.Store), unitF("x2", ir.Store)}},
+			DefaultN: defaultN / 2, Reps: reps / 2, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32: newIfQuad[float32], Build64: newIfQuad[float64],
+		},
+		{
+			Name: "INDEXLIST", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "INDEXLIST", Nest: 1, FlopsPerIter: 0, IntOpsPerIter: 2,
+				Features: ir.Conditional | ir.Scan,
+				Accesses: []ir.Access{
+					unitF("x", ir.Load),
+					{Array: "list", Kind: ir.Store, Pattern: ir.Unit, PerIter: 0.5, Int: true}}},
+			DefaultN: defaultN / 2, Reps: reps / 2, Regions: 2, SerialFrac: 0.03,
+			Iters: lin, FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32: newIndexList[float32], Build64: newIndexList[float64],
+		},
+		{
+			Name: "INDEXLIST_3LOOP", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "INDEXLIST_3LOOP", Nest: 1, FlopsPerIter: 0, IntOpsPerIter: 3,
+				Features: ir.Conditional | ir.Indirection,
+				Accesses: []ir.Access{
+					unitF("x", ir.Load),
+					{Array: "counts", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1, Int: true},
+					{Array: "counts", Kind: ir.Store, Pattern: ir.Unit, PerIter: 1, Int: true},
+					{Array: "list", Kind: ir.Store, Pattern: ir.Indirect, PerIter: 0.5, Int: true}}},
+			DefaultN: defaultN / 2, Reps: reps / 2, Regions: 4, SerialFrac: 0.03,
+			Iters: lin, FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32: newIndexList3[float32], Build64: newIndexList3[float64],
+		},
+		{
+			Name: "INIT3", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "INIT3", Nest: 1, FlopsPerIter: 2,
+				Accesses: []ir.Access{
+					unitF("in1", ir.Load), unitF("in2", ir.Load),
+					unitF("out1", ir.Store), unitF("out2", ir.Store), unitF("out3", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32: newInit3[float32], Build64: newInit3[float64],
+		},
+		{
+			Name: "INIT_VIEW1D", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "INIT_VIEW1D", Nest: 1, FlopsPerIter: 1,
+				Accesses: []ir.Access{unitF("a", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return float64(n) },
+			Build32: newInitView1D[float32], Build64: newInitView1D[float64],
+		},
+		{
+			Name: "INIT_VIEW1D_OFFSET", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "INIT_VIEW1D_OFFSET", Nest: 1, FlopsPerIter: 1,
+				Accesses: []ir.Access{unitF("a", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return float64(n) },
+			Build32: newInitView1DOff[float32], Build64: newInitView1DOff[float64],
+		},
+		{
+			Name: "MAT_MAT_SHARED", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "MAT_MAT_SHARED", Nest: 3, FlopsPerIter: 2,
+				Features: ir.ShortTrip,
+				Accesses: []ir.Access{
+					{Array: "as", Kind: ir.Load, Pattern: ir.Broadcast, PerIter: 1},
+					unitF("bs", ir.Load), unitF("cs", ir.Store)}},
+			DefaultN: 640, Reps: 8, Regions: 1,
+			Iters:          func(n int) float64 { return float64(n) * float64(n) * float64(n) },
+			FootprintElems: func(n int) float64 { return 3 * float64(n) * float64(n) },
+			Build32:        newMatMatShared[float32], Build64: newMatMatShared[float64],
+		},
+		{
+			Name: "MULADDSUB", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "MULADDSUB", Nest: 1, FlopsPerIter: 3,
+				Accesses: []ir.Access{
+					unitF("in1", ir.Load), unitF("in2", ir.Load),
+					unitF("out1", ir.Store), unitF("out2", ir.Store), unitF("out3", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32: newMulAddSub[float32], Build64: newMulAddSub[float64],
+		},
+		{
+			Name: "NESTED_INIT", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "NESTED_INIT", Nest: 3, FlopsPerIter: 0, IntOpsPerIter: 2,
+				Features: ir.MixedTypes,
+				Accesses: []ir.Access{unitF("arr", ir.Store)}},
+			DefaultN: defaultN / 8, Reps: reps / 4, Regions: 1,
+			Iters: func(n int) float64 {
+				side := 1
+				for (side+1)*(side+1)*(side+1) <= n {
+					side++
+				}
+				return float64(side * side * side)
+			},
+			FootprintElems: func(n int) float64 { return float64(n) },
+			Build32:        newNestedInit[float32], Build64: newNestedInit[float64],
+		},
+		{
+			Name: "PI_ATOMIC", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "PI_ATOMIC", Nest: 1, FlopsPerIter: 6,
+				Features: ir.Atomic | ir.MixedTypes,
+				Accesses: []ir.Access{{Array: "pi", Kind: ir.Store, Pattern: ir.Broadcast, PerIter: 1}}},
+			DefaultN: defaultN / 8, Reps: reps / 8, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 1 },
+			Build32: newPiAtomic32, Build64: newPiAtomic64,
+		},
+		{
+			Name: "PI_REDUCE", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "PI_REDUCE", Nest: 1, FlopsPerIter: 6,
+				Features: ir.SumReduction | ir.MixedTypes,
+				Accesses: []ir.Access{{Array: "pi", Kind: ir.Load, Pattern: ir.Broadcast, PerIter: 1}}},
+			DefaultN: defaultN / 2, Reps: reps / 2, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 1 },
+			Build32: newPiReduce[float32], Build64: newPiReduce[float64],
+		},
+		{
+			Name: "REDUCE3_INT", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "REDUCE3_INT", Nest: 1, FlopsPerIter: 0, IntOpsPerIter: 3,
+				Features: ir.SumReduction | ir.MinMaxReduction | ir.MixedTypes,
+				Accesses: []ir.Access{{Array: "x", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1, Int: true}}},
+			DefaultN: defaultN, Reps: reps / 2, Regions: 2,
+			Iters: lin, FootprintElems: func(n int) float64 { return float64(n) },
+			Build32: newReduce3Int32, Build64: newReduce3Int64,
+		},
+		{
+			Name: "REDUCE_STRUCT", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "REDUCE_STRUCT", Nest: 1, FlopsPerIter: 2, IntOpsPerIter: 0,
+				Features: ir.SumReduction | ir.MinMaxReduction,
+				Accesses: []ir.Access{unitF("x", ir.Load), unitF("y", ir.Load)}},
+			DefaultN: defaultN, Reps: reps / 2, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newReduceStruct[float32], Build64: newReduceStruct[float64],
+		},
+		{
+			Name: "TRAP_INT", Class: kernels.Basic,
+			Loop: ir.Loop{Kernel: "TRAP_INT", Nest: 1, FlopsPerIter: 6,
+				Features: ir.SumReduction | ir.MixedTypes,
+				Accesses: []ir.Access{{Array: "sumx", Kind: ir.Load, Pattern: ir.Broadcast, PerIter: 1}}},
+			DefaultN: defaultN / 2, Reps: reps / 2, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 1 },
+			Build32: newTrapInt[float32], Build64: newTrapInt[float64],
+		},
+	}
+}

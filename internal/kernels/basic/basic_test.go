@@ -1,0 +1,237 @@
+package basic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/team"
+)
+
+func specByName(t *testing.T, name string) kernels.Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %s not found", name)
+	return kernels.Spec{}
+}
+
+func TestDaxpyReference(t *testing.T) {
+	spec := specByName(t, "DAXPY")
+	inst := spec.Build64(128).(*daxpyInst[float64])
+	x := append([]float64(nil), inst.x...)
+	inst.Run(team.Sequential{})
+	for i := range inst.y {
+		want := 1.0 + 0.5*x[i]
+		if inst.y[i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, inst.y[i], want)
+		}
+	}
+}
+
+func TestDaxpyAtomicMatchesPlain(t *testing.T) {
+	plain := specByName(t, "DAXPY")
+	atomic := specByName(t, "DAXPY_ATOMIC")
+	tm := team.New(4)
+	defer tm.Close()
+	for _, n := range []int{100, 4096} {
+		p := plain.Build64(n)
+		a := atomic.Build64(n)
+		p.Run(tm)
+		a.Run(tm)
+		if math.Abs(p.Checksum()-a.Checksum()) > 1e-9 {
+			t.Errorf("n=%d: atomic %v != plain %v", n, a.Checksum(), p.Checksum())
+		}
+	}
+}
+
+func TestIfQuadRoots(t *testing.T) {
+	spec := specByName(t, "IF_QUAD")
+	inst := spec.Build64(500).(*ifQuadInst[float64])
+	inst.Run(team.Sequential{})
+	both := 0
+	for i := range inst.a {
+		d := inst.b[i]*inst.b[i] - 4*inst.a[i]*inst.c[i]
+		if d >= 0 {
+			both++
+			// x1 and x2 must satisfy the quadratic.
+			for _, x := range []float64{inst.x1[i], inst.x2[i]} {
+				r := inst.a[i]*x*x + inst.b[i]*x + inst.c[i]
+				if math.Abs(r) > 1e-9*(1+math.Abs(inst.c[i])) {
+					t.Fatalf("i=%d: residual %v for root %v", i, r, x)
+				}
+			}
+		} else if inst.x1[i] != 0 || inst.x2[i] != 0 {
+			t.Fatalf("i=%d: negative discriminant should zero the roots", i)
+		}
+	}
+	if both == 0 {
+		t.Error("test data never exercised the positive-discriminant branch")
+	}
+}
+
+func TestIndexListFindsNegatives(t *testing.T) {
+	spec := specByName(t, "INDEXLIST")
+	tm := team.New(3)
+	defer tm.Close()
+	inst := spec.Build64(999).(*indexListInst[float64])
+	inst.Run(tm)
+	// Reference count and positions.
+	var want []int64
+	for i, v := range inst.x {
+		if v < 0 {
+			want = append(want, int64(i))
+		}
+	}
+	if inst.len != len(want) {
+		t.Fatalf("found %d negatives, want %d", inst.len, len(want))
+	}
+	for i := range want {
+		if inst.list[i] != want[i] {
+			t.Fatalf("list[%d] = %d, want %d (order must be preserved)",
+				i, inst.list[i], want[i])
+		}
+	}
+}
+
+func TestIndexList3LoopAgreesWithIndexList(t *testing.T) {
+	a := specByName(t, "INDEXLIST")
+	b := specByName(t, "INDEXLIST_3LOOP")
+	tm := team.New(4)
+	defer tm.Close()
+	ia := a.Build32(2048)
+	ib := b.Build32(2048)
+	ia.Run(tm)
+	ib.Run(tm)
+	if ia.Checksum() != ib.Checksum() {
+		t.Errorf("3-loop variant checksum %v != 1-loop %v", ib.Checksum(), ia.Checksum())
+	}
+}
+
+func TestMatMatSharedMatchesNaive(t *testing.T) {
+	spec := specByName(t, "MAT_MAT_SHARED")
+	n := 40 // not a multiple of the tile size: exercises edge tiles
+	inst := spec.Build64(n).(*matMatSharedInst[float64])
+	inst.Run(team.Sequential{})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += inst.a[i*n+k] * inst.b[k*n+j]
+			}
+			if math.Abs(inst.c[i*n+j]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("c[%d,%d] = %v, want %v", i, j, inst.c[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestNestedInitValues(t *testing.T) {
+	spec := specByName(t, "NESTED_INIT")
+	inst := spec.Build64(1000).(*nestedInitInst[float64])
+	tm := team.New(2)
+	defer tm.Close()
+	inst.Run(tm)
+	ni, nj := inst.ni, inst.nj
+	for kk := 0; kk < inst.nk; kk++ {
+		for j := 0; j < nj; j++ {
+			for i := 0; i < ni; i++ {
+				want := float64(i * j * kk)
+				if inst.arr[i+ni*(j+nj*kk)] != want {
+					t.Fatalf("arr[%d,%d,%d] wrong", i, j, kk)
+				}
+			}
+		}
+	}
+}
+
+func TestPiKernelsConverge(t *testing.T) {
+	tm := team.New(4)
+	defer tm.Close()
+	for _, name := range []string{"PI_REDUCE", "PI_ATOMIC"} {
+		spec := specByName(t, name)
+		inst := spec.Build64(200000)
+		inst.Run(tm)
+		if math.Abs(inst.Checksum()-math.Pi) > 1e-5 {
+			t.Errorf("%s = %v, want pi", name, inst.Checksum())
+		}
+	}
+}
+
+func TestReduce3IntReference(t *testing.T) {
+	spec := specByName(t, "REDUCE3_INT")
+	inst := spec.Build64(5000).(*reduce3IntInst)
+	tm := team.New(3)
+	defer tm.Close()
+	inst.Run(tm)
+	var sum, mn, mx int64
+	mn, mx = inst.x[0], inst.x[0]
+	for _, v := range inst.x {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if inst.sum != sum || inst.min != mn || inst.max != mx {
+		t.Errorf("got (%d,%d,%d), want (%d,%d,%d)",
+			inst.sum, inst.min, inst.max, sum, mn, mx)
+	}
+}
+
+func TestReduceStructCentroid(t *testing.T) {
+	spec := specByName(t, "REDUCE_STRUCT")
+	inst := spec.Build64(4000).(*reduceStructInst[float64])
+	inst.Run(team.Sequential{})
+	xs, ys := 0.0, 0.0
+	for i := range inst.x {
+		xs += float64(inst.x[i])
+		ys += float64(inst.y[i])
+	}
+	if math.Abs(inst.xsum-xs) > 1e-9 || math.Abs(inst.ysum-ys) > 1e-9 {
+		t.Error("centroid sums wrong")
+	}
+	if inst.xmin > inst.xmax || inst.ymin > inst.ymax {
+		t.Error("min exceeds max")
+	}
+}
+
+func TestTrapIntClosedForm(t *testing.T) {
+	spec := specByName(t, "TRAP_INT")
+	inst := spec.Build64(500000)
+	inst.Run(team.Sequential{})
+	want := 1 - math.Pi/4 // integral of x^2/(1+x^2) on [0,1]
+	if math.Abs(inst.Checksum()-want) > 1e-6 {
+		t.Errorf("TRAP_INT = %v, want %v", inst.Checksum(), want)
+	}
+}
+
+func TestInitViewVariantsAgree(t *testing.T) {
+	a := specByName(t, "INIT_VIEW1D")
+	b := specByName(t, "INIT_VIEW1D_OFFSET")
+	ia := a.Build64(1024)
+	ib := b.Build64(1024)
+	ia.Run(team.Sequential{})
+	ib.Run(team.Sequential{})
+	if ia.Checksum() != ib.Checksum() {
+		t.Errorf("offset view %v != plain view %v", ib.Checksum(), ia.Checksum())
+	}
+}
+
+func TestMulAddSubReference(t *testing.T) {
+	spec := specByName(t, "MULADDSUB")
+	inst := spec.Build32(256).(*mulAddSubInst[float32])
+	inst.Run(team.Sequential{})
+	for i := range inst.in1 {
+		if inst.out1[i] != inst.in1[i]*inst.in2[i] ||
+			inst.out2[i] != inst.in1[i]+inst.in2[i] ||
+			inst.out3[i] != inst.in1[i]-inst.in2[i] {
+			t.Fatalf("outputs wrong at %d", i)
+		}
+	}
+}

@@ -1,0 +1,552 @@
+// Package lcals implements the eleven Lcals-class RAJAPerf kernels —
+// "the Livermore Compiler Analysis Loop Suite which is a collection of
+// eleven loop based kernels including tridiagonal elimination,
+// calculation of differences, and calculations of minimums and
+// maximums".
+package lcals
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/prec"
+	"repro/internal/team"
+)
+
+const (
+	defaultN = 1 << 20
+	reps     = 500
+)
+
+func lin(n int) float64 { return float64(n) }
+
+// --- DIFF_PREDICT: difference-table predictor -------------------------------
+
+type diffPredictInst[F prec.Float] struct {
+	n      int
+	px, cx []F // 14 planes of n elements each, plane-major
+}
+
+func newDiffPredict[F prec.Float](n int) kernels.Instance {
+	k := &diffPredictInst[F]{n: n, px: make([]F, 14*n), cx: make([]F, 14*n)}
+	kernels.InitSeq(k.px)
+	kernels.InitSeq(k.cx)
+	return k
+}
+
+func (k *diffPredictInst[F]) Run(r team.Runner) {
+	px, cx, off := k.px, k.cx, k.n
+	team.For(r, k.n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := cx[off*4+i]
+			br := ar - px[off*4+i]
+			px[off*4+i] = ar
+			cr := br - px[off*5+i]
+			px[off*5+i] = br
+			ar = cr - px[off*6+i]
+			px[off*6+i] = cr
+			br = ar - px[off*7+i]
+			px[off*7+i] = ar
+			cr = br - px[off*8+i]
+			px[off*8+i] = br
+			ar = cr - px[off*9+i]
+			px[off*9+i] = cr
+			br = ar - px[off*10+i]
+			px[off*10+i] = ar
+			cr = br - px[off*11+i]
+			px[off*11+i] = br
+			px[off*13+i] = cr - px[off*12+i]
+			px[off*12+i] = cr
+		}
+	})
+}
+
+func (k *diffPredictInst[F]) Checksum() float64 { return kernels.Checksum(k.px) }
+
+// --- EOS: equation of state fragment -----------------------------------------
+
+type eosInst[F prec.Float] struct {
+	x, y, z, u []F
+	q, rr, t   F
+}
+
+func newEOS[F prec.Float](n int) kernels.Instance {
+	k := &eosInst[F]{
+		x: make([]F, n), y: make([]F, n), z: make([]F, n), u: make([]F, n+7),
+		q: 0.5, rr: 0.25, t: 0.125,
+	}
+	kernels.InitSeq(k.y)
+	kernels.InitSeq(k.z)
+	kernels.InitSeq(k.u)
+	return k
+}
+
+func (k *eosInst[F]) Run(r team.Runner) {
+	x, y, z, u := k.x, k.y, k.z, k.u
+	q, rr, t := k.q, k.rr, k.t
+	team.For(r, len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = u[i] + rr*(z[i]+rr*y[i]) +
+				t*(u[i+3]+rr*(u[i+2]+rr*u[i+1])+
+					t*(u[i+6]+q*(u[i+5]+q*u[i+4])))
+		}
+	})
+}
+
+func (k *eosInst[F]) Checksum() float64 { return kernels.Checksum(k.x) }
+
+// --- FIRST_DIFF: x[i] = y[i+1] - y[i] -----------------------------------------
+
+type firstDiffInst[F prec.Float] struct{ x, y []F }
+
+func newFirstDiff[F prec.Float](n int) kernels.Instance {
+	k := &firstDiffInst[F]{x: make([]F, n), y: make([]F, n+1)}
+	kernels.InitSeq(k.y)
+	return k
+}
+
+func (k *firstDiffInst[F]) Run(r team.Runner) {
+	x, y := k.x, k.y
+	team.For(r, len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = y[i+1] - y[i]
+		}
+	})
+}
+
+func (k *firstDiffInst[F]) Checksum() float64 { return kernels.Checksum(k.x) }
+
+// --- FIRST_MIN: minimum value and its first location ---------------------------
+
+type firstMinInst[F prec.Float] struct {
+	x   []F
+	min float64
+	loc int
+}
+
+func newFirstMin[F prec.Float](n int) kernels.Instance {
+	k := &firstMinInst[F]{x: make([]F, n)}
+	kernels.InitSeq(k.x)
+	k.x[n/2] = -1 // a unique minimum in the middle, as RAJAPerf plants
+	return k
+}
+
+func (k *firstMinInst[F]) Run(r team.Runner) {
+	x := k.x
+	nt := r.NThreads()
+	vals := make([]F, nt)
+	locs := make([]int, nt)
+	team.For(r, len(x), func(tid, lo, hi int) {
+		best, bloc := x[lo], lo
+		for i := lo + 1; i < hi; i++ {
+			if x[i] < best {
+				best, bloc = x[i], i
+			}
+		}
+		vals[tid], locs[tid] = best, bloc
+	})
+	bv, bl := vals[0], locs[0]
+	for t := 1; t < nt; t++ {
+		if vals[t] < bv || (vals[t] == bv && locs[t] < bl) {
+			bv, bl = vals[t], locs[t]
+		}
+	}
+	k.min, k.loc = float64(bv), bl
+}
+
+func (k *firstMinInst[F]) Checksum() float64 { return k.min + float64(k.loc) }
+
+// --- FIRST_SUM: x[i] = y[i-1] + y[i] --------------------------------------------
+
+type firstSumInst[F prec.Float] struct{ x, y []F }
+
+func newFirstSum[F prec.Float](n int) kernels.Instance {
+	k := &firstSumInst[F]{x: make([]F, n), y: make([]F, n)}
+	kernels.InitSeq(k.y)
+	return k
+}
+
+func (k *firstSumInst[F]) Run(r team.Runner) {
+	x, y := k.x, k.y
+	x[0] = y[0]
+	team.For(r, len(x)-1, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			x[i] = y[i-1] + y[i]
+		}
+	})
+}
+
+func (k *firstSumInst[F]) Checksum() float64 { return kernels.Checksum(k.x) }
+
+// --- GEN_LIN_RECUR: general linear recurrence (loop-carried) --------------------
+
+type genLinRecurInst[F prec.Float] struct {
+	b5, sa, sb []F
+	stb5       F
+}
+
+func newGenLinRecur[F prec.Float](n int) kernels.Instance {
+	k := &genLinRecurInst[F]{b5: make([]F, n), sa: make([]F, n), sb: make([]F, n), stb5: 0.1}
+	kernels.InitSeq(k.sa)
+	kernels.InitSigned(k.sb)
+	return k
+}
+
+func (k *genLinRecurInst[F]) Run(r team.Runner) {
+	// The recurrence is truly loop-carried: stb5 feeds forward. It runs
+	// sequentially regardless of the team size, exactly as the OpenMP
+	// suite executes it (the Spec is marked SeqOnly).
+	b5, sa, sb := k.b5, k.sa, k.sb
+	stb5 := k.stb5
+	for i := range b5 {
+		b5[i] = sa[i] + stb5*sb[i]
+		stb5 = b5[i] - stb5
+	}
+	// Second LCALS pass runs the recurrence backwards.
+	for i := len(b5) - 1; i >= 0; i-- {
+		b5[i] = sa[i] + stb5*sb[i]
+		stb5 = b5[i] - stb5
+	}
+	k.stb5 = stb5
+}
+
+func (k *genLinRecurInst[F]) Checksum() float64 { return kernels.Checksum(k.b5) }
+
+// --- HYDRO_1D: x[i] = q + y[i]*(r*z[i+10] + t*z[i+11]) ---------------------------
+
+type hydro1DInst[F prec.Float] struct {
+	x, y, z  []F
+	q, rr, t F
+}
+
+func newHydro1D[F prec.Float](n int) kernels.Instance {
+	k := &hydro1DInst[F]{
+		x: make([]F, n), y: make([]F, n), z: make([]F, n+12),
+		q: 0.5, rr: 0.25, t: 0.125,
+	}
+	kernels.InitSeq(k.y)
+	kernels.InitSeq(k.z)
+	return k
+}
+
+func (k *hydro1DInst[F]) Run(r team.Runner) {
+	x, y, z := k.x, k.y, k.z
+	q, rr, t := k.q, k.rr, k.t
+	team.For(r, len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = q + y[i]*(rr*z[i+10]+t*z[i+11])
+		}
+	})
+}
+
+func (k *hydro1DInst[F]) Checksum() float64 { return kernels.Checksum(k.x) }
+
+// --- HYDRO_2D: two-dimensional hydrodynamics fragment -----------------------------
+
+type hydro2DInst[F prec.Float] struct {
+	jn, kn                 int
+	za, zb, zm, zp, zq, zr []F
+	zu, zv, zz             []F
+	s, t                   F
+}
+
+func newHydro2D[F prec.Float](n int) kernels.Instance {
+	// Shape the linear size into a jn x kn grid.
+	jn := 1
+	for (jn+1)*(jn+1) <= n {
+		jn++
+	}
+	kn := jn
+	sz := jn * kn
+	k := &hydro2DInst[F]{
+		jn: jn, kn: kn,
+		za: make([]F, sz), zb: make([]F, sz), zm: make([]F, sz),
+		zp: make([]F, sz), zq: make([]F, sz), zr: make([]F, sz),
+		zu: make([]F, sz), zv: make([]F, sz), zz: make([]F, sz),
+		s: 0.0041, t: 0.0037,
+	}
+	kernels.InitSeq(k.zp)
+	kernels.InitSeq(k.zq)
+	kernels.InitSeq(k.zr)
+	kernels.InitSeq(k.zm)
+	kernels.InitSeq(k.zz)
+	return k
+}
+
+func (k *hydro2DInst[F]) Run(r team.Runner) {
+	jn, kn := k.jn, k.kn
+	za, zb, zm, zp, zq, zr := k.za, k.zb, k.zm, k.zp, k.zq, k.zr
+	zu, zv, zz := k.zu, k.zv, k.zz
+	s, t := k.s, k.t
+	idx := func(kk, j int) int { return kk*jn + j }
+	// Loop 1.
+	team.For(r, kn-2, func(_, lo, hi int) {
+		for kk := lo + 1; kk < hi+1; kk++ {
+			for j := 1; j < jn-1; j++ {
+				za[idx(kk, j)] = (zp[idx(kk+1, j-1)] + zq[idx(kk+1, j-1)] - zp[idx(kk, j-1)] - zq[idx(kk, j-1)]) *
+					(zr[idx(kk, j)] + zr[idx(kk, j-1)]) / (zm[idx(kk, j-1)] + zm[idx(kk+1, j-1)])
+				zb[idx(kk, j)] = (zp[idx(kk, j-1)] + zq[idx(kk, j-1)] - zp[idx(kk, j)] - zq[idx(kk, j)]) *
+					(zr[idx(kk, j)] + zr[idx(kk-1, j)]) / (zm[idx(kk, j)] + zm[idx(kk, j-1)])
+			}
+		}
+	})
+	// Loop 2.
+	team.For(r, kn-2, func(_, lo, hi int) {
+		for kk := lo + 1; kk < hi+1; kk++ {
+			for j := 1; j < jn-1; j++ {
+				zu[idx(kk, j)] += s * (za[idx(kk, j)]*(zz[idx(kk, j)]-zz[idx(kk, j+1)]) -
+					za[idx(kk, j-1)]*(zz[idx(kk, j)]-zz[idx(kk, j-1)]) -
+					zb[idx(kk, j)]*(zz[idx(kk, j)]-zz[idx(kk-1, j)]) +
+					zb[idx(kk+1, j)]*(zz[idx(kk, j)]-zz[idx(kk+1, j)]))
+				zv[idx(kk, j)] += s * (za[idx(kk, j)]*(zr[idx(kk, j)]-zr[idx(kk, j+1)]) -
+					za[idx(kk, j-1)]*(zr[idx(kk, j)]-zr[idx(kk, j-1)]) -
+					zb[idx(kk, j)]*(zr[idx(kk, j)]-zr[idx(kk-1, j)]) +
+					zb[idx(kk+1, j)]*(zr[idx(kk, j)]-zr[idx(kk+1, j)]))
+			}
+		}
+	})
+	// Loop 3.
+	team.For(r, kn-2, func(_, lo, hi int) {
+		for kk := lo + 1; kk < hi+1; kk++ {
+			for j := 1; j < jn-1; j++ {
+				zr[idx(kk, j)] += t * zu[idx(kk, j)]
+				zz[idx(kk, j)] += t * zv[idx(kk, j)]
+			}
+		}
+	})
+}
+
+func (k *hydro2DInst[F]) Checksum() float64 {
+	return kernels.Checksum(k.zr) + kernels.Checksum(k.zz)
+}
+
+// --- INT_PREDICT: integrate predictors --------------------------------------------
+
+type intPredictInst[F prec.Float] struct {
+	n                                            int
+	px                                           []F // 13 planes
+	dm22, dm23, dm24, dm25, dm26, dm27, dm28, c0 F
+}
+
+func newIntPredict[F prec.Float](n int) kernels.Instance {
+	k := &intPredictInst[F]{
+		n: n, px: make([]F, 13*n),
+		dm22: 0.1, dm23: 0.2, dm24: 0.3, dm25: 0.4, dm26: 0.5, dm27: 0.6, dm28: 0.7, c0: 1.1,
+	}
+	kernels.InitSeq(k.px)
+	return k
+}
+
+func (k *intPredictInst[F]) Run(r team.Runner) {
+	px, off := k.px, k.n
+	team.For(r, k.n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			px[i] = k.dm28*px[off*12+i] + k.dm27*px[off*11+i] + k.dm26*px[off*10+i] +
+				k.dm25*px[off*9+i] + k.dm24*px[off*8+i] + k.dm23*px[off*7+i] +
+				k.dm22*px[off*6+i] +
+				k.c0*(px[off*4+i]+px[off*5+i]) + px[off*2+i]
+		}
+	})
+}
+
+func (k *intPredictInst[F]) Checksum() float64 { return kernels.Checksum(k.px[:k.n]) }
+
+// --- PLANCKIAN: w[i] = x[i] / (exp(y[i]/v[i]) - 1) -----------------------------------
+
+type planckianInst[F prec.Float] struct {
+	x, y, u, v, w []F
+}
+
+func newPlanckian[F prec.Float](n int) kernels.Instance {
+	k := &planckianInst[F]{
+		x: make([]F, n), y: make([]F, n), u: make([]F, n), v: make([]F, n), w: make([]F, n),
+	}
+	kernels.InitSeq(k.x)
+	kernels.InitSeq(k.u)
+	kernels.InitConst(k.v, 0.5)
+	return k
+}
+
+func (k *planckianInst[F]) Run(r team.Runner) {
+	x, y, u, v, w := k.x, k.y, k.u, k.v, k.w
+	expmax := F(20)
+	team.For(r, len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = u[i] / v[i]
+			if y[i] > expmax {
+				y[i] = expmax
+			}
+			w[i] = x[i] / (kernels.Exp(y[i]) - 1)
+		}
+	})
+}
+
+func (k *planckianInst[F]) Checksum() float64 { return kernels.Checksum(k.w) }
+
+// --- TRIDIAG_ELIM: xout[i] = z[i] * (y[i] - xin[i-1]) ---------------------------------
+
+type tridiagElimInst[F prec.Float] struct {
+	xout, xin, y, z []F
+}
+
+func newTridiagElim[F prec.Float](n int) kernels.Instance {
+	k := &tridiagElimInst[F]{
+		xout: make([]F, n), xin: make([]F, n), y: make([]F, n), z: make([]F, n),
+	}
+	kernels.InitSeq(k.xin)
+	kernels.InitSeq(k.y)
+	kernels.InitConst(k.z, 0.5)
+	return k
+}
+
+func (k *tridiagElimInst[F]) Run(r team.Runner) {
+	xout, xin, y, z := k.xout, k.xin, k.y, k.z
+	team.For(r, len(xout)-1, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			xout[i] = z[i] * (y[i] - xin[i-1])
+		}
+	})
+}
+
+func (k *tridiagElimInst[F]) Checksum() float64 { return kernels.Checksum(k.xout) }
+
+// Specs returns the eleven Lcals kernels.
+func Specs() []kernels.Spec {
+	unitF := func(arr string, kind ir.AccessKind) ir.Access {
+		return ir.Access{Array: arr, Kind: kind, Pattern: ir.Unit, PerIter: 1}
+	}
+	return []kernels.Spec{
+		{
+			Name: "DIFF_PREDICT", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "DIFF_PREDICT", Nest: 1, FlopsPerIter: 9,
+				Features: ir.NonUnitStride,
+				Accesses: []ir.Access{
+					{Array: "px", Kind: ir.Load, Pattern: ir.Strided, Stride: 1 << 20, PerIter: 10},
+					{Array: "cx", Kind: ir.Load, Pattern: ir.Strided, Stride: 1 << 20, PerIter: 1},
+					{Array: "px", Kind: ir.Store, Pattern: ir.Strided, Stride: 1 << 20, PerIter: 10}}},
+			DefaultN: defaultN / 8, Reps: reps / 4, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 28 * float64(n) },
+			Build32: newDiffPredict[float32], Build64: newDiffPredict[float64],
+		},
+		{
+			Name: "EOS", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "EOS", Nest: 1, FlopsPerIter: 16,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					unitF("y", ir.Load), unitF("z", ir.Load),
+					{Array: "u", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 7},
+					unitF("x", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 4 * float64(n) },
+			Build32: newEOS[float32], Build64: newEOS[float64],
+		},
+		{
+			Name: "FIRST_DIFF", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "FIRST_DIFF", Nest: 1, FlopsPerIter: 1,
+				Accesses: []ir.Access{
+					{Array: "y", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 2},
+					unitF("x", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newFirstDiff[float32], Build64: newFirstDiff[float64],
+		},
+		{
+			Name: "FIRST_MIN", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "FIRST_MIN", Nest: 1, FlopsPerIter: 1,
+				Features: ir.MinMaxReduction | ir.MinMaxLoc | ir.Conditional,
+				Accesses: []ir.Access{unitF("x", ir.Load)}},
+			DefaultN: defaultN, Reps: reps / 2, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return float64(n) },
+			Build32: newFirstMin[float32], Build64: newFirstMin[float64],
+		},
+		{
+			Name: "FIRST_SUM", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "FIRST_SUM", Nest: 1, FlopsPerIter: 1,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					{Array: "y", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 2},
+					unitF("x", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newFirstSum[float32], Build64: newFirstSum[float64],
+		},
+		{
+			Name: "GEN_LIN_RECUR", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "GEN_LIN_RECUR", Nest: 1, FlopsPerIter: 3,
+				Features: ir.LoopCarried,
+				Accesses: []ir.Access{
+					unitF("sa", ir.Load), unitF("sb", ir.Load), unitF("b5", ir.Store)}},
+			DefaultN: defaultN / 4, Reps: reps / 4, Regions: 2, SeqOnly: true,
+			Iters:          func(n int) float64 { return 2 * float64(n) },
+			FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32:        newGenLinRecur[float32], Build64: newGenLinRecur[float64],
+		},
+		{
+			Name: "HYDRO_1D", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "HYDRO_1D", Nest: 1, FlopsPerIter: 5,
+				Accesses: []ir.Access{
+					unitF("y", ir.Load),
+					{Array: "z", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 2},
+					unitF("x", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32: newHydro1D[float32], Build64: newHydro1D[float64],
+		},
+		{
+			Name: "HYDRO_2D", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "HYDRO_2D", Nest: 2, FlopsPerIter: 22,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					{Array: "zp", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 4},
+					{Array: "zq", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 4},
+					{Array: "zr", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 3},
+					{Array: "zm", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 3},
+					{Array: "zz", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 3},
+					unitF("za", ir.Store), unitF("zb", ir.Store),
+					unitF("zu", ir.Store), unitF("zv", ir.Store)}},
+			DefaultN: defaultN / 4, Reps: reps / 8, Regions: 3,
+			Iters: func(n int) float64 {
+				jn := 1
+				for (jn+1)*(jn+1) <= n {
+					jn++
+				}
+				return float64((jn - 2) * (jn - 2))
+			},
+			FootprintElems: func(n int) float64 { return 9 * float64(n) },
+			Build32:        newHydro2D[float32], Build64: newHydro2D[float64],
+		},
+		{
+			Name: "INT_PREDICT", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "INT_PREDICT", Nest: 1, FlopsPerIter: 17,
+				Features: ir.NonUnitStride,
+				Accesses: []ir.Access{
+					{Array: "px", Kind: ir.Load, Pattern: ir.Strided, Stride: 1 << 20, PerIter: 10},
+					{Array: "px", Kind: ir.Store, Pattern: ir.Strided, Stride: 1 << 20, PerIter: 1}}},
+			DefaultN: defaultN / 8, Reps: reps / 4, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 13 * float64(n) },
+			Build32: newIntPredict[float32], Build64: newIntPredict[float64],
+		},
+		{
+			Name: "PLANCKIAN", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "PLANCKIAN", Nest: 1, FlopsPerIter: 4,
+				Features: ir.FunctionCall | ir.Conditional,
+				Accesses: []ir.Access{
+					unitF("x", ir.Load), unitF("u", ir.Load), unitF("v", ir.Load),
+					unitF("y", ir.Store), unitF("w", ir.Store)}},
+			DefaultN: defaultN / 2, Reps: reps / 4, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 5 * float64(n) },
+			Build32: newPlanckian[float32], Build64: newPlanckian[float64],
+		},
+		{
+			Name: "TRIDIAG_ELIM", Class: kernels.Lcals,
+			Loop: ir.Loop{Kernel: "TRIDIAG_ELIM", Nest: 1, FlopsPerIter: 2,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					unitF("y", ir.Load), unitF("z", ir.Load),
+					{Array: "xin", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 1},
+					unitF("xout", ir.Store)}},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 4 * float64(n) },
+			Build32: newTridiagElim[float32], Build64: newTridiagElim[float64],
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package lcals
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/team"
+)
+
+func specByName(t *testing.T, name string) kernels.Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %s not found", name)
+	return kernels.Spec{}
+}
+
+func TestFirstDiffReference(t *testing.T) {
+	spec := specByName(t, "FIRST_DIFF")
+	inst := spec.Build64(256).(*firstDiffInst[float64])
+	inst.Run(team.Sequential{})
+	for i := range inst.x {
+		if inst.x[i] != inst.y[i+1]-inst.y[i] {
+			t.Fatalf("x[%d] wrong", i)
+		}
+	}
+}
+
+func TestFirstSumReference(t *testing.T) {
+	spec := specByName(t, "FIRST_SUM")
+	inst := spec.Build64(256).(*firstSumInst[float64])
+	tm := team.New(3)
+	defer tm.Close()
+	inst.Run(tm)
+	if inst.x[0] != inst.y[0] {
+		t.Error("boundary element wrong")
+	}
+	for i := 1; i < len(inst.x); i++ {
+		if inst.x[i] != inst.y[i-1]+inst.y[i] {
+			t.Fatalf("x[%d] wrong", i)
+		}
+	}
+}
+
+func TestFirstMinFindsPlantedMinimum(t *testing.T) {
+	spec := specByName(t, "FIRST_MIN")
+	tm := team.New(4)
+	defer tm.Close()
+	n := 10001
+	inst := spec.Build64(n).(*firstMinInst[float64])
+	inst.Run(tm)
+	if inst.min != -1 {
+		t.Errorf("min = %v, want -1 (planted)", inst.min)
+	}
+	if inst.loc != n/2 {
+		t.Errorf("loc = %d, want %d", inst.loc, n/2)
+	}
+}
+
+func TestTridiagElimReference(t *testing.T) {
+	spec := specByName(t, "TRIDIAG_ELIM")
+	inst := spec.Build64(128).(*tridiagElimInst[float64])
+	inst.Run(team.Sequential{})
+	for i := 1; i < len(inst.xout); i++ {
+		want := inst.z[i] * (inst.y[i] - inst.xin[i-1])
+		if inst.xout[i] != want {
+			t.Fatalf("xout[%d] = %v, want %v", i, inst.xout[i], want)
+		}
+	}
+}
+
+func TestGenLinRecurDeterministicAcrossRunners(t *testing.T) {
+	// The recurrence runs sequentially even on a team; results must be
+	// identical regardless of the runner.
+	spec := specByName(t, "GEN_LIN_RECUR")
+	tm := team.New(4)
+	defer tm.Close()
+	a := spec.Build64(2000)
+	b := spec.Build64(2000)
+	a.Run(team.Sequential{})
+	b.Run(tm)
+	if a.Checksum() != b.Checksum() {
+		t.Errorf("recurrence differs across runners: %v vs %v", a.Checksum(), b.Checksum())
+	}
+}
+
+func TestHydro1DReference(t *testing.T) {
+	spec := specByName(t, "HYDRO_1D")
+	inst := spec.Build64(200).(*hydro1DInst[float64])
+	inst.Run(team.Sequential{})
+	for i := range inst.x {
+		want := inst.q + inst.y[i]*(inst.rr*inst.z[i+10]+inst.t*inst.z[i+11])
+		if inst.x[i] != want {
+			t.Fatalf("x[%d] wrong", i)
+		}
+	}
+}
+
+func TestEOSReference(t *testing.T) {
+	spec := specByName(t, "EOS")
+	inst := spec.Build64(100).(*eosInst[float64])
+	inst.Run(team.Sequential{})
+	i := 42
+	q, r, tt := inst.q, inst.rr, inst.t
+	u, y, z := inst.u, inst.y, inst.z
+	want := u[i] + r*(z[i]+r*y[i]) +
+		tt*(u[i+3]+r*(u[i+2]+r*u[i+1])+tt*(u[i+6]+q*(u[i+5]+q*u[i+4])))
+	if inst.x[i] != want {
+		t.Errorf("x[%d] = %v, want %v", i, inst.x[i], want)
+	}
+}
+
+func TestPlanckianBounded(t *testing.T) {
+	spec := specByName(t, "PLANCKIAN")
+	inst := spec.Build64(1000).(*planckianInst[float64])
+	tm := team.New(2)
+	defer tm.Close()
+	inst.Run(tm)
+	for i, w := range inst.w {
+		if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+			t.Fatalf("w[%d] = %v", i, w)
+		}
+	}
+}
+
+func TestDiffAndIntPredictStable(t *testing.T) {
+	// The predictor kernels update in place: repeated runs must stay
+	// finite (no blow-up from the difference chains).
+	for _, name := range []string{"DIFF_PREDICT", "INT_PREDICT"} {
+		spec := specByName(t, name)
+		inst := spec.Build64(500)
+		for r := 0; r < 5; r++ {
+			inst.Run(team.Sequential{})
+		}
+		if cs := inst.Checksum(); math.IsNaN(cs) || math.IsInf(cs, 0) {
+			t.Errorf("%s: checksum %v after 5 reps", name, cs)
+		}
+	}
+}
+
+func TestHydro2DConserves(t *testing.T) {
+	spec := specByName(t, "HYDRO_2D")
+	tm := team.New(3)
+	defer tm.Close()
+	seq := spec.Build64(900)
+	par := spec.Build64(900)
+	seq.Run(team.Sequential{})
+	par.Run(tm)
+	diff := math.Abs(seq.Checksum() - par.Checksum())
+	if diff > 1e-9*(1+math.Abs(seq.Checksum())) {
+		t.Errorf("parallel hydro2d %v != sequential %v", par.Checksum(), seq.Checksum())
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 11 {
+		t.Fatalf("lcals has %d kernels, want 11", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}

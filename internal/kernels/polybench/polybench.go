@@ -1,0 +1,724 @@
+// Package polybench implements the thirteen Polybench-class RAJAPerf
+// kernels — "thirteen polyhedral kernels which includes two and three
+// matrix multiplications, matrix transposition and vector
+// multiplication, a 2D Jacobi stencil computation, and an alternating
+// direction implicit solver". This is the class Figure 3 studies kernel
+// by kernel under GCC vs Clang VLA/VLS.
+package polybench
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/prec"
+	"repro/internal/team"
+)
+
+func sq(n int) float64 { return float64(n) * float64(n) }
+func cu(n int) float64 { return float64(n) * float64(n) * float64(n) }
+
+// --- GEMM: C = alpha*A*B + beta*C --------------------------------------------
+
+type gemmInst[F prec.Float] struct {
+	n           int
+	a, b, c     []F
+	alpha, beta F
+}
+
+func newGemm[F prec.Float](n int) kernels.Instance {
+	k := &gemmInst[F]{n: n, a: make([]F, n*n), b: make([]F, n*n), c: make([]F, n*n),
+		alpha: 1.5, beta: 1.2}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	return k
+}
+
+func (k *gemmInst[F]) Run(r team.Runner) {
+	n, a, b, c, alpha, beta := k.n, k.a, k.b, k.c, k.alpha, k.beta
+	team.For(r, n, func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			for j := 0; j < n; j++ {
+				c[i*n+j] *= beta
+			}
+			for kk := 0; kk < n; kk++ {
+				av := alpha * a[i*n+kk]
+				for j := 0; j < n; j++ {
+					c[i*n+j] += av * b[kk*n+j]
+				}
+			}
+		}
+	})
+}
+
+func (k *gemmInst[F]) Checksum() float64 { return kernels.Checksum(k.c) }
+
+// matmul computes c = a*b for n x n matrices (helper for 2MM/3MM).
+func matmul[F prec.Float](r team.Runner, n int, c, a, b []F) {
+	team.For(r, n, func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			row := c[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
+			}
+			for kk := 0; kk < n; kk++ {
+				av := a[i*n+kk]
+				brow := b[kk*n : (kk+1)*n]
+				for j := range row {
+					row[j] += av * brow[j]
+				}
+			}
+		}
+	})
+}
+
+// --- 2MM: D = (A*B)*C ----------------------------------------------------------
+
+type twoMMInst[F prec.Float] struct {
+	n               int
+	a, b, c, tmp, d []F
+}
+
+func new2MM[F prec.Float](n int) kernels.Instance {
+	k := &twoMMInst[F]{n: n,
+		a: make([]F, n*n), b: make([]F, n*n), c: make([]F, n*n),
+		tmp: make([]F, n*n), d: make([]F, n*n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	kernels.InitSeq(k.c)
+	return k
+}
+
+func (k *twoMMInst[F]) Run(r team.Runner) {
+	matmul(r, k.n, k.tmp, k.a, k.b)
+	matmul(r, k.n, k.d, k.tmp, k.c)
+}
+
+func (k *twoMMInst[F]) Checksum() float64 { return kernels.Checksum(k.d) }
+
+// --- 3MM: G = (A*B)*(C*D) --------------------------------------------------------
+
+type threeMMInst[F prec.Float] struct {
+	n                   int
+	a, b, c, d, e, f, g []F
+}
+
+func new3MM[F prec.Float](n int) kernels.Instance {
+	k := &threeMMInst[F]{n: n,
+		a: make([]F, n*n), b: make([]F, n*n), c: make([]F, n*n), d: make([]F, n*n),
+		e: make([]F, n*n), f: make([]F, n*n), g: make([]F, n*n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	kernels.InitSeq(k.c)
+	kernels.InitSeq(k.d)
+	return k
+}
+
+func (k *threeMMInst[F]) Run(r team.Runner) {
+	matmul(r, k.n, k.e, k.a, k.b)
+	matmul(r, k.n, k.f, k.c, k.d)
+	matmul(r, k.n, k.g, k.e, k.f)
+}
+
+func (k *threeMMInst[F]) Checksum() float64 { return kernels.Checksum(k.g) }
+
+// --- ADI: alternating direction implicit solver ------------------------------------
+
+type adiInst[F prec.Float] struct {
+	n          int
+	u, v, p, q []F
+}
+
+func newADI[F prec.Float](n int) kernels.Instance {
+	k := &adiInst[F]{n: n, u: make([]F, n*n), v: make([]F, n*n),
+		p: make([]F, n*n), q: make([]F, n*n)}
+	kernels.InitSeq(k.u)
+	return k
+}
+
+func (k *adiInst[F]) Run(r team.Runner) {
+	n := k.n
+	u, v, p, q := k.u, k.v, k.p, k.q
+	a, b, c, d, e, f := F(0.2), F(0.6), F(0.2), F(0.2), F(0.6), F(0.2)
+	// Column sweep: each row i carries a forward recurrence then a
+	// backward substitution; rows are independent (parallel).
+	team.For(r, n-2, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			v[0*n+i] = 1
+			p[i*n+0] = 0
+			q[i*n+0] = v[0*n+i]
+			for j := 1; j < n-1; j++ {
+				p[i*n+j] = -c / (a*p[i*n+j-1] + b)
+				q[i*n+j] = (-d*u[j*n+i-1] + (1+2*d)*u[j*n+i] - f*u[j*n+i+1] - a*q[i*n+j-1]) /
+					(a*p[i*n+j-1] + b)
+			}
+			v[(n-1)*n+i] = 1
+			for j := n - 2; j >= 1; j-- {
+				v[j*n+i] = p[i*n+j]*v[(j+1)*n+i] + q[i*n+j]
+			}
+		}
+	})
+	// Row sweep.
+	team.For(r, n-2, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			u[i*n+0] = 1
+			p[i*n+0] = 0
+			q[i*n+0] = u[i*n+0]
+			for j := 1; j < n-1; j++ {
+				p[i*n+j] = -f / (d*p[i*n+j-1] + e)
+				q[i*n+j] = (-a*v[(i-1)*n+j] + (1+2*a)*v[i*n+j] - c*v[(i+1)*n+j] - d*q[i*n+j-1]) /
+					(d*p[i*n+j-1] + e)
+			}
+			u[i*n+n-1] = 1
+			for j := n - 2; j >= 1; j-- {
+				u[i*n+j] = p[i*n+j]*u[i*n+j+1] + q[i*n+j]
+			}
+		}
+	})
+}
+
+func (k *adiInst[F]) Checksum() float64 { return kernels.Checksum(k.u) }
+
+// --- ATAX: y = A^T (A x) --------------------------------------------------------------
+
+type ataxInst[F prec.Float] struct {
+	n          int
+	a, x, y, t []F
+}
+
+func newATAX[F prec.Float](n int) kernels.Instance {
+	k := &ataxInst[F]{n: n, a: make([]F, n*n), x: make([]F, n), y: make([]F, n), t: make([]F, n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.x)
+	return k
+}
+
+func (k *ataxInst[F]) Run(r team.Runner) {
+	n, a, x, y, tmp := k.n, k.a, k.x, k.y, k.t
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s F
+			row := a[i*n : (i+1)*n]
+			for j := range row {
+				s += row[j] * x[j]
+			}
+			tmp[i] = s
+		}
+	})
+	// y = A^T tmp: column-wise accumulation, parallel over columns.
+	team.For(r, n, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s F
+			for i := 0; i < n; i++ {
+				s += a[i*n+j] * tmp[i]
+			}
+			y[j] = s
+		}
+	})
+}
+
+func (k *ataxInst[F]) Checksum() float64 { return kernels.Checksum(k.y) }
+
+// --- FDTD_2D: finite-difference time domain -----------------------------------------
+
+type fdtd2DInst[F prec.Float] struct {
+	n          int
+	ex, ey, hz []F
+	step       int
+}
+
+func newFDTD2D[F prec.Float](n int) kernels.Instance {
+	k := &fdtd2DInst[F]{n: n, ex: make([]F, n*n), ey: make([]F, n*n), hz: make([]F, n*n)}
+	kernels.InitSeq(k.ex)
+	kernels.InitSeq(k.ey)
+	kernels.InitSeq(k.hz)
+	return k
+}
+
+func (k *fdtd2DInst[F]) Run(r team.Runner) {
+	n := k.n
+	ex, ey, hz := k.ex, k.ey, k.hz
+	t := F(k.step % 7)
+	k.step++
+	// Loop 1: ey boundary row.
+	team.For(r, n, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ey[j] = t
+		}
+	})
+	// Loop 2: ey update.
+	team.For(r, n-1, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			for j := 0; j < n; j++ {
+				ey[i*n+j] -= 0.5 * (hz[i*n+j] - hz[(i-1)*n+j])
+			}
+		}
+	})
+	// Loop 3: ex update.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n; j++ {
+				ex[i*n+j] -= 0.5 * (hz[i*n+j] - hz[i*n+j-1])
+			}
+		}
+	})
+	// Loop 4: hz update.
+	team.For(r, n-1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n-1; j++ {
+				hz[i*n+j] -= 0.7 * (ex[i*n+j+1] - ex[i*n+j] + ey[(i+1)*n+j] - ey[i*n+j])
+			}
+		}
+	})
+}
+
+func (k *fdtd2DInst[F]) Checksum() float64 { return kernels.Checksum(k.hz) }
+
+// --- FLOYD_WARSHALL: all-pairs shortest paths ------------------------------------------
+
+type floydInst[F prec.Float] struct {
+	n    int
+	pin  []F
+	pout []F
+}
+
+func newFloyd[F prec.Float](n int) kernels.Instance {
+	k := &floydInst[F]{n: n, pin: make([]F, n*n), pout: make([]F, n*n)}
+	kernels.InitPseudo(k.pin, 7)
+	for i := range k.pin {
+		k.pin[i] = k.pin[i]*9 + 1
+	}
+	for i := 0; i < n; i++ {
+		k.pin[i*n+i] = 0
+	}
+	return k
+}
+
+func (k *floydInst[F]) Run(r team.Runner) {
+	n := k.n
+	pin, pout := k.pin, k.pout
+	for kk := 0; kk < n; kk++ {
+		team.For(r, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ik := pin[i*n+kk]
+				for j := 0; j < n; j++ {
+					v := ik + pin[kk*n+j]
+					if pin[i*n+j] <= v {
+						pout[i*n+j] = pin[i*n+j]
+					} else {
+						pout[i*n+j] = v
+					}
+				}
+			}
+		})
+		pin, pout = pout, pin
+	}
+	// Keep the final distances in pin's storage for the checksum.
+	if k.n%2 == 1 {
+		copy(k.pin, pin)
+	}
+}
+
+func (k *floydInst[F]) Checksum() float64 { return kernels.Checksum(k.pin) }
+
+// --- GEMVER: vector generalised multiply ----------------------------------------------
+
+type gemverInst[F prec.Float] struct {
+	n                          int
+	a                          []F
+	u1, v1, u2, v2, w, x, y, z []F
+	alpha, beta                F
+}
+
+func newGemver[F prec.Float](n int) kernels.Instance {
+	k := &gemverInst[F]{n: n, a: make([]F, n*n),
+		u1: make([]F, n), v1: make([]F, n), u2: make([]F, n), v2: make([]F, n),
+		w: make([]F, n), x: make([]F, n), y: make([]F, n), z: make([]F, n),
+		alpha: 1.5, beta: 1.2}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.u1)
+	kernels.InitSeq(k.v1)
+	kernels.InitSigned(k.u2)
+	kernels.InitSigned(k.v2)
+	kernels.InitSeq(k.y)
+	kernels.InitSeq(k.z)
+	return k
+}
+
+func (k *gemverInst[F]) Run(r team.Runner) {
+	n, a := k.n, k.a
+	// Loop 1: A += u1 v1^T + u2 v2^T.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ui1, ui2 := k.u1[i], k.u2[i]
+			row := a[i*n : (i+1)*n]
+			for j := range row {
+				row[j] += ui1*k.v1[j] + ui2*k.v2[j]
+			}
+		}
+	})
+	// Loop 2: x = beta * A^T y + z.
+	team.For(r, n, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s F
+			for i := 0; i < n; i++ {
+				s += a[i*n+j] * k.y[i]
+			}
+			k.x[j] = k.beta*s + k.z[j]
+		}
+	})
+	// Loop 3: w = alpha * A x.
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s F
+			row := a[i*n : (i+1)*n]
+			for j := range row {
+				s += row[j] * k.x[j]
+			}
+			k.w[i] = k.alpha * s
+		}
+	})
+}
+
+func (k *gemverInst[F]) Checksum() float64 { return kernels.Checksum(k.w) }
+
+// --- GESUMMV: y = alpha*A*x + beta*B*x ---------------------------------------------------
+
+type gesummvInst[F prec.Float] struct {
+	n           int
+	a, b, x, y  []F
+	alpha, beta F
+}
+
+func newGesummv[F prec.Float](n int) kernels.Instance {
+	k := &gesummvInst[F]{n: n, a: make([]F, n*n), b: make([]F, n*n),
+		x: make([]F, n), y: make([]F, n), alpha: 1.5, beta: 1.2}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	kernels.InitSeq(k.x)
+	return k
+}
+
+func (k *gesummvInst[F]) Run(r team.Runner) {
+	n := k.n
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sa, sb F
+			arow := k.a[i*n : (i+1)*n]
+			brow := k.b[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				sa += arow[j] * k.x[j]
+				sb += brow[j] * k.x[j]
+			}
+			k.y[i] = k.alpha*sa + k.beta*sb
+		}
+	})
+}
+
+func (k *gesummvInst[F]) Checksum() float64 { return kernels.Checksum(k.y) }
+
+// --- HEAT_3D: 7-point 3D stencil, double-buffered ------------------------------------------
+
+type heat3DInst[F prec.Float] struct {
+	n    int
+	a, b []F
+}
+
+func newHeat3D[F prec.Float](n int) kernels.Instance {
+	k := &heat3DInst[F]{n: n, a: make([]F, n*n*n), b: make([]F, n*n*n)}
+	kernels.InitSeq(k.a)
+	copy(k.b, k.a) // PolyBench initialises both buffers
+	return k
+}
+
+func (k *heat3DInst[F]) stencil(r team.Runner, dst, src []F) {
+	n := k.n
+	idx := func(i, j, kk int) int { return (i*n+j)*n + kk }
+	team.For(r, n-2, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			for j := 1; j < n-1; j++ {
+				for kk := 1; kk < n-1; kk++ {
+					dst[idx(i, j, kk)] = 0.125*(src[idx(i+1, j, kk)]-2*src[idx(i, j, kk)]+src[idx(i-1, j, kk)]) +
+						0.125*(src[idx(i, j+1, kk)]-2*src[idx(i, j, kk)]+src[idx(i, j-1, kk)]) +
+						0.125*(src[idx(i, j, kk+1)]-2*src[idx(i, j, kk)]+src[idx(i, j, kk-1)]) +
+						src[idx(i, j, kk)]
+				}
+			}
+		}
+	})
+}
+
+func (k *heat3DInst[F]) Run(r team.Runner) {
+	k.stencil(r, k.b, k.a)
+	k.stencil(r, k.a, k.b)
+}
+
+func (k *heat3DInst[F]) Checksum() float64 { return kernels.Checksum(k.a) }
+
+// --- JACOBI_1D: 3-point stencil, double-buffered ---------------------------------------------
+
+type jacobi1DInst[F prec.Float] struct{ a, b []F }
+
+func newJacobi1D[F prec.Float](n int) kernels.Instance {
+	k := &jacobi1DInst[F]{a: make([]F, n), b: make([]F, n)}
+	kernels.InitSeq(k.a)
+	copy(k.b, k.a) // PolyBench initialises both buffers
+	return k
+}
+
+func (k *jacobi1DInst[F]) Run(r team.Runner) {
+	a, b := k.a, k.b
+	third := F(1.0 / 3.0)
+	team.For(r, len(a)-2, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			b[i] = third * (a[i-1] + a[i] + a[i+1])
+		}
+	})
+	team.For(r, len(a)-2, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			a[i] = third * (b[i-1] + b[i] + b[i+1])
+		}
+	})
+}
+
+func (k *jacobi1DInst[F]) Checksum() float64 { return kernels.Checksum(k.a) }
+
+// --- JACOBI_2D: 5-point stencil, double-buffered ----------------------------------------------
+
+type jacobi2DInst[F prec.Float] struct {
+	n    int
+	a, b []F
+}
+
+func newJacobi2D[F prec.Float](n int) kernels.Instance {
+	k := &jacobi2DInst[F]{n: n, a: make([]F, n*n), b: make([]F, n*n)}
+	kernels.InitSeq(k.a)
+	copy(k.b, k.a) // PolyBench initialises both buffers
+	return k
+}
+
+func (k *jacobi2DInst[F]) sweep(r team.Runner, dst, src []F) {
+	n := k.n
+	team.For(r, n-2, func(_, lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			for j := 1; j < n-1; j++ {
+				dst[i*n+j] = 0.2 * (src[i*n+j] + src[i*n+j-1] + src[i*n+j+1] +
+					src[(i+1)*n+j] + src[(i-1)*n+j])
+			}
+		}
+	})
+}
+
+func (k *jacobi2DInst[F]) Run(r team.Runner) {
+	k.sweep(r, k.b, k.a)
+	k.sweep(r, k.a, k.b)
+}
+
+func (k *jacobi2DInst[F]) Checksum() float64 { return kernels.Checksum(k.a) }
+
+// --- MVT: x1 += A y1 ; x2 += A^T y2 --------------------------------------------------------------
+
+type mvtInst[F prec.Float] struct {
+	n                 int
+	a, x1, x2, y1, y2 []F
+}
+
+func newMVT[F prec.Float](n int) kernels.Instance {
+	k := &mvtInst[F]{n: n, a: make([]F, n*n),
+		x1: make([]F, n), x2: make([]F, n), y1: make([]F, n), y2: make([]F, n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.y1)
+	kernels.InitSigned(k.y2)
+	return k
+}
+
+func (k *mvtInst[F]) Run(r team.Runner) {
+	n, a := k.n, k.a
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s F
+			row := a[i*n : (i+1)*n]
+			for j := range row {
+				s += row[j] * k.y1[j]
+			}
+			k.x1[i] += s
+		}
+	})
+	team.For(r, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s F
+			for j := 0; j < n; j++ {
+				s += a[j*n+i] * k.y2[j]
+			}
+			k.x2[i] += s
+		}
+	})
+}
+
+func (k *mvtInst[F]) Checksum() float64 {
+	return kernels.Checksum(k.x1) + kernels.Checksum(k.x2)
+}
+
+// Specs returns the thirteen Polybench kernels.
+func Specs() []kernels.Spec {
+	unitF := func(arr string, kind ir.AccessKind) ir.Access {
+		return ir.Access{Array: arr, Kind: kind, Pattern: ir.Unit, PerIter: 1}
+	}
+	bcast := func(arr string) ir.Access {
+		return ir.Access{Array: arr, Kind: ir.Load, Pattern: ir.Broadcast, PerIter: 1}
+	}
+	matN := 640
+	return []kernels.Spec{
+		{
+			Name: "2MM", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "2MM", Nest: 3, FlopsPerIter: 4,
+				Features: ir.OuterLoopReuse,
+				Accesses: []ir.Access{bcast("a"), unitF("b", ir.Load), unitF("c", ir.Load), unitF("d", ir.Store)}},
+			DefaultN: matN, Reps: 10, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * cu(n) },
+			FootprintElems: func(n int) float64 { return 5 * sq(n) },
+			Build32:        new2MM[float32], Build64: new2MM[float64],
+		},
+		{
+			Name: "3MM", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "3MM", Nest: 3, FlopsPerIter: 6,
+				Features: ir.OuterLoopReuse,
+				Accesses: []ir.Access{bcast("a"), unitF("b", ir.Load), unitF("e", ir.Load), unitF("g", ir.Store)}},
+			DefaultN: matN, Reps: 10, Regions: 3,
+			Iters:          func(n int) float64 { return 3 * cu(n) },
+			FootprintElems: func(n int) float64 { return 7 * sq(n) },
+			Build32:        new3MM[float32], Build64: new3MM[float64],
+		},
+		{
+			Name: "ADI", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "ADI", Nest: 2, FlopsPerIter: 14,
+				Features: ir.LoopCarried,
+				Accesses: []ir.Access{
+					{Array: "u", Kind: ir.Load, Pattern: ir.Transpose, Stride: 512, PerIter: 3},
+					unitF("p", ir.Load), unitF("q", ir.Load),
+					unitF("p", ir.Store), unitF("q", ir.Store),
+					{Array: "v", Kind: ir.Store, Pattern: ir.Transpose, Stride: 512, PerIter: 1}}},
+			DefaultN: matN, Reps: 10, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * sq(n) },
+			FootprintElems: func(n int) float64 { return 4 * sq(n) },
+			Build32:        newADI[float32], Build64: newADI[float64],
+		},
+		{
+			Name: "ATAX", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "ATAX", Nest: 2, FlopsPerIter: 4,
+				Features: ir.SumReduction | ir.NonUnitStride,
+				Accesses: []ir.Access{
+					unitF("arow", ir.Load),
+					{Array: "acol", Kind: ir.Load, Pattern: ir.Transpose, Stride: 512, PerIter: 1},
+					bcast("x"), unitF("y", ir.Store)}},
+			DefaultN: matN * 2, Reps: 50, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * sq(n) },
+			FootprintElems: func(n int) float64 { return sq(n) + 3*float64(n) },
+			Build32:        newATAX[float32], Build64: newATAX[float64],
+		},
+		{
+			Name: "FDTD_2D", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "FDTD_2D", Nest: 2, FlopsPerIter: 11,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					{Array: "hz", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 3},
+					{Array: "ex", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 2},
+					{Array: "ey", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 2},
+					unitF("ex", ir.Store), unitF("ey", ir.Store), unitF("hz", ir.Store)}},
+			DefaultN: 1536, Reps: 20, Regions: 4,
+			Iters: sq, FootprintElems: func(n int) float64 { return 3 * sq(n) },
+			Build32: newFDTD2D[float32], Build64: newFDTD2D[float64],
+		},
+		{
+			Name: "FLOYD_WARSHALL", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "FLOYD_WARSHALL", Nest: 3, FlopsPerIter: 1, IntOpsPerIter: 1,
+				Features: ir.Conditional | ir.LoopCarried | ir.MinMaxReduction,
+				Accesses: []ir.Access{
+					unitF("pin", ir.Load), bcast("pik"),
+					unitF("pkj", ir.Load), unitF("pout", ir.Store)}},
+			DefaultN: 320, Reps: 4, Regions: 320,
+			Iters: cu, FootprintElems: func(n int) float64 { return 2 * sq(n) },
+			Build32: newFloyd[float32], Build64: newFloyd[float64],
+		},
+		{
+			Name: "GEMM", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "GEMM", Nest: 3, FlopsPerIter: 2,
+				Features: ir.OuterLoopReuse,
+				Accesses: []ir.Access{bcast("a"), unitF("b", ir.Load),
+					unitF("c", ir.Load), unitF("c", ir.Store)}},
+			DefaultN: matN, Reps: 10, Regions: 1,
+			Iters: cu, FootprintElems: func(n int) float64 { return 3 * sq(n) },
+			Build32: newGemm[float32], Build64: newGemm[float64],
+		},
+		{
+			Name: "GEMVER", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "GEMVER", Nest: 2, FlopsPerIter: 8,
+				Features: ir.SumReduction | ir.NonUnitStride,
+				Accesses: []ir.Access{
+					unitF("a", ir.Load), unitF("a", ir.Store),
+					{Array: "at", Kind: ir.Load, Pattern: ir.Transpose, Stride: 512, PerIter: 1},
+					bcast("v1"), bcast("v2"), unitF("w", ir.Store)}},
+			DefaultN: matN * 2, Reps: 20, Regions: 3,
+			Iters:          func(n int) float64 { return 3 * sq(n) },
+			FootprintElems: func(n int) float64 { return sq(n) + 8*float64(n) },
+			Build32:        newGemver[float32], Build64: newGemver[float64],
+		},
+		{
+			Name: "GESUMMV", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "GESUMMV", Nest: 2, FlopsPerIter: 4,
+				Features: ir.SumReduction,
+				Accesses: []ir.Access{unitF("a", ir.Load), unitF("b", ir.Load),
+					bcast("x"), unitF("y", ir.Store)}},
+			DefaultN: matN * 2, Reps: 20, Regions: 1,
+			Iters: sq, FootprintElems: func(n int) float64 { return 2*sq(n) + 2*float64(n) },
+			Build32: newGesummv[float32], Build64: newGesummv[float64],
+		},
+		{
+			Name: "HEAT_3D", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "HEAT_3D", Nest: 3, FlopsPerIter: 11,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					{Array: "src", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 7},
+					unitF("dst", ir.Store)}},
+			DefaultN: 128, Reps: 20, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * cu(n) },
+			FootprintElems: func(n int) float64 { return 2 * cu(n) },
+			Build32:        newHeat3D[float32], Build64: newHeat3D[float64],
+		},
+		{
+			Name: "JACOBI_1D", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "JACOBI_1D", Nest: 1, FlopsPerIter: 3,
+				Features: ir.PotentialAlias,
+				Accesses: []ir.Access{
+					{Array: "a", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 3},
+					unitF("b", ir.Store)}},
+			DefaultN: 1 << 20, Reps: 100, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * float64(n) },
+			FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32:        newJacobi1D[float32], Build64: newJacobi1D[float64],
+		},
+		{
+			Name: "JACOBI_2D", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "JACOBI_2D", Nest: 2, FlopsPerIter: 5,
+				Features: ir.PotentialAlias | ir.ShortTrip,
+				Accesses: []ir.Access{
+					{Array: "a", Kind: ir.Load, Pattern: ir.Stencil, PerIter: 5},
+					unitF("b", ir.Store)}},
+			DefaultN: 1536, Reps: 20, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * sq(n) },
+			FootprintElems: func(n int) float64 { return 2 * sq(n) },
+			Build32:        newJacobi2D[float32], Build64: newJacobi2D[float64],
+		},
+		{
+			Name: "MVT", Class: kernels.Polybench,
+			Loop: ir.Loop{Kernel: "MVT", Nest: 2, FlopsPerIter: 4,
+				Features: ir.SumReduction | ir.NonUnitStride,
+				Accesses: []ir.Access{
+					unitF("a", ir.Load),
+					{Array: "at", Kind: ir.Load, Pattern: ir.Transpose, Stride: 512, PerIter: 1},
+					bcast("y1"), unitF("x1", ir.Store)}},
+			DefaultN: matN * 2, Reps: 20, Regions: 2,
+			Iters:          func(n int) float64 { return 2 * sq(n) },
+			FootprintElems: func(n int) float64 { return sq(n) + 4*float64(n) },
+			Build32:        newMVT[float32], Build64: newMVT[float64],
+		},
+	}
+}

@@ -1,0 +1,287 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/team"
+)
+
+func specByName(t *testing.T, name string) kernels.Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %s not found", name)
+	return kernels.Spec{}
+}
+
+func naiveMatmul(n int, a, b []float64) []float64 {
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	spec := specByName(t, "GEMM")
+	n := 24
+	inst := spec.Build64(n).(*gemmInst[float64])
+	a := append([]float64(nil), inst.a...)
+	b := append([]float64(nil), inst.b...)
+	c0 := append([]float64(nil), inst.c...)
+	tm := team.New(3)
+	defer tm.Close()
+	inst.Run(tm)
+	ab := naiveMatmul(n, a, b)
+	want := make([]float64, n*n)
+	for i := range want {
+		want[i] = 1.2*c0[i] + 1.5*ab[i]
+	}
+	if d := maxAbsDiff(inst.c, want); d > 1e-9 {
+		t.Errorf("GEMM differs from reference by %v", d)
+	}
+}
+
+func Test2MMComposition(t *testing.T) {
+	spec := specByName(t, "2MM")
+	n := 16
+	inst := spec.Build64(n).(*twoMMInst[float64])
+	inst.Run(team.Sequential{})
+	want := naiveMatmul(n, naiveMatmul(n, inst.a, inst.b), inst.c)
+	if d := maxAbsDiff(inst.d, want); d > 1e-9 {
+		t.Errorf("2MM differs from reference by %v", d)
+	}
+}
+
+func Test3MMComposition(t *testing.T) {
+	spec := specByName(t, "3MM")
+	n := 12
+	inst := spec.Build64(n).(*threeMMInst[float64])
+	inst.Run(team.Sequential{})
+	e := naiveMatmul(n, inst.a, inst.b)
+	f := naiveMatmul(n, inst.c, inst.d)
+	want := naiveMatmul(n, e, f)
+	if d := maxAbsDiff(inst.g, want); d > 1e-9 {
+		t.Errorf("3MM differs from reference by %v", d)
+	}
+}
+
+func TestATAXReference(t *testing.T) {
+	spec := specByName(t, "ATAX")
+	n := 20
+	inst := spec.Build64(n).(*ataxInst[float64])
+	a := append([]float64(nil), inst.a...)
+	x := append([]float64(nil), inst.x...)
+	inst.Run(team.Sequential{})
+	// y = A^T (A x)
+	ax := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ax[i] += a[i*n+j] * x[j]
+		}
+	}
+	want := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want[j] += a[i*n+j] * ax[i]
+		}
+	}
+	if d := maxAbsDiff(inst.y, want); d > 1e-9 {
+		t.Errorf("ATAX differs by %v", d)
+	}
+}
+
+func TestMVTReference(t *testing.T) {
+	spec := specByName(t, "MVT")
+	n := 18
+	inst := spec.Build64(n).(*mvtInst[float64])
+	a := append([]float64(nil), inst.a...)
+	y1 := append([]float64(nil), inst.y1...)
+	y2 := append([]float64(nil), inst.y2...)
+	inst.Run(team.Sequential{})
+	for i := 0; i < n; i++ {
+		var s1, s2 float64
+		for j := 0; j < n; j++ {
+			s1 += a[i*n+j] * y1[j]
+			s2 += a[j*n+i] * y2[j]
+		}
+		if math.Abs(inst.x1[i]-s1) > 1e-9 || math.Abs(inst.x2[i]-s2) > 1e-9 {
+			t.Fatalf("MVT row %d wrong", i)
+		}
+	}
+}
+
+func TestGesummvReference(t *testing.T) {
+	spec := specByName(t, "GESUMMV")
+	n := 16
+	inst := spec.Build64(n).(*gesummvInst[float64])
+	inst.Run(team.Sequential{})
+	for i := 0; i < n; i++ {
+		var sa, sb float64
+		for j := 0; j < n; j++ {
+			sa += inst.a[i*n+j] * inst.x[j]
+			sb += inst.b[i*n+j] * inst.x[j]
+		}
+		want := 1.5*sa + 1.2*sb
+		if math.Abs(float64(inst.y[i])-want) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, inst.y[i], want)
+		}
+	}
+}
+
+func TestJacobi1DSweep(t *testing.T) {
+	spec := specByName(t, "JACOBI_1D")
+	inst := spec.Build64(64).(*jacobi1DInst[float64])
+	a0 := append([]float64(nil), inst.a...)
+	inst.Run(team.Sequential{})
+	// First sweep into b (whose boundary keeps its initial copy of a).
+	b := append([]float64(nil), a0...)
+	for i := 1; i < len(a0)-1; i++ {
+		b[i] = (a0[i-1] + a0[i] + a0[i+1]) / 3
+	}
+	// Second sweep back into a.
+	want := append([]float64(nil), a0...)
+	for i := 1; i < len(a0)-1; i++ {
+		want[i] = (b[i-1] + b[i] + b[i+1]) / 3
+	}
+	if d := maxAbsDiff(inst.a, want); d > 1e-9 {
+		t.Errorf("JACOBI_1D differs by %v", d)
+	}
+}
+
+func TestJacobi2DSmoothing(t *testing.T) {
+	// A Jacobi sweep is an averaging operator: the value range must
+	// contract (maximum principle).
+	spec := specByName(t, "JACOBI_2D")
+	inst := spec.Build64(32).(*jacobi2DInst[float64])
+	min0, max0 := minMax(inst.a)
+	tm := team.New(2)
+	defer tm.Close()
+	for r := 0; r < 3; r++ {
+		inst.Run(tm)
+	}
+	min1, max1 := minMaxInterior(inst.a, inst.n)
+	if min1 < min0-1e-12 || max1 > max0+1e-12 {
+		t.Errorf("Jacobi sweep expanded value range: [%v,%v] -> [%v,%v]",
+			min0, max0, min1, max1)
+	}
+}
+
+func minMax(xs []float64) (float64, float64) {
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+func minMaxInterior(xs []float64, n int) (float64, float64) {
+	mn, mx := xs[n+1], xs[n+1]
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			x := xs[i*n+j]
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+	}
+	return mn, mx
+}
+
+func TestFloydWarshallTriangleInequality(t *testing.T) {
+	spec := specByName(t, "FLOYD_WARSHALL")
+	n := 24
+	inst := spec.Build64(n).(*floydInst[float64])
+	tm := team.New(3)
+	defer tm.Close()
+	inst.Run(tm)
+	d := inst.pin
+	// All-pairs shortest paths satisfy d(i,j) <= d(i,k) + d(k,j).
+	for i := 0; i < n; i++ {
+		if d[i*n+i] > 1e-12 {
+			t.Fatalf("d(%d,%d) = %v, want 0", i, i, d[i*n+i])
+		}
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if d[i*n+j] > d[i*n+k]+d[k*n+j]+1e-9 {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestHeat3DStability(t *testing.T) {
+	spec := specByName(t, "HEAT_3D")
+	inst := spec.Build64(12).(*heat3DInst[float64])
+	min0, max0 := minMax(inst.a)
+	for r := 0; r < 3; r++ {
+		inst.Run(team.Sequential{})
+	}
+	min1, max1 := minMax(inst.a)
+	// The explicit heat stencil with these coefficients is stable:
+	// values stay within a modest expansion of the initial range.
+	span0 := max0 - min0
+	if max1 > max0+span0 || min1 < min0-span0 {
+		t.Errorf("heat stencil unstable: [%v,%v] -> [%v,%v]", min0, max0, min1, max1)
+	}
+}
+
+func TestFDTDAndADIAndGemverRun(t *testing.T) {
+	tm := team.New(2)
+	defer tm.Close()
+	for _, name := range []string{"FDTD_2D", "ADI", "GEMVER"} {
+		spec := specByName(t, name)
+		seq := spec.Build64(40)
+		par := spec.Build64(40)
+		seq.Run(team.Sequential{})
+		par.Run(tm)
+		if math.Abs(seq.Checksum()-par.Checksum()) > 1e-6*(1+math.Abs(seq.Checksum())) {
+			t.Errorf("%s: parallel %v != sequential %v", name, par.Checksum(), seq.Checksum())
+		}
+		if math.IsNaN(seq.Checksum()) {
+			t.Errorf("%s: NaN checksum", name)
+		}
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 13 {
+		t.Fatalf("polybench has %d kernels, want 13", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package stream implements the five Stream-class RAJAPerf kernels:
+// ADD, COPY, DOT, MUL and TRIAD — "five kernels that focus on memory
+// bandwidth and the corresponding computation ... based upon simple
+// vectorisable functions". The paper notes this is the one class the
+// XuanTie GCC fully auto-vectorises, which is why it shows the largest
+// vectorisation benefit in Figure 2.
+package stream
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/prec"
+	"repro/internal/team"
+)
+
+const (
+	defaultN = 1 << 20
+	reps     = 500
+)
+
+func lin(n int) float64 { return float64(n) }
+
+// --- ADD: c[i] = a[i] + b[i] ------------------------------------------
+
+type addInst[F prec.Float] struct{ a, b, c []F }
+
+func newAdd[F prec.Float](n int) kernels.Instance {
+	k := &addInst[F]{a: make([]F, n), b: make([]F, n), c: make([]F, n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	return k
+}
+
+func (k *addInst[F]) Run(r team.Runner) {
+	a, b, c := k.a, k.b, k.c
+	team.For(r, len(c), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+}
+
+func (k *addInst[F]) Checksum() float64 { return kernels.Checksum(k.c) }
+
+// --- COPY: c[i] = a[i] -------------------------------------------------
+
+type copyInst[F prec.Float] struct{ a, c []F }
+
+func newCopy[F prec.Float](n int) kernels.Instance {
+	k := &copyInst[F]{a: make([]F, n), c: make([]F, n)}
+	kernels.InitSeq(k.a)
+	return k
+}
+
+func (k *copyInst[F]) Run(r team.Runner) {
+	a, c := k.a, k.c
+	team.For(r, len(c), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i]
+		}
+	})
+}
+
+func (k *copyInst[F]) Checksum() float64 { return kernels.Checksum(k.c) }
+
+// --- DOT: dot += a[i] * b[i] --------------------------------------------
+
+type dotInst[F prec.Float] struct {
+	a, b []F
+	dot  float64
+}
+
+func newDot[F prec.Float](n int) kernels.Instance {
+	k := &dotInst[F]{a: make([]F, n), b: make([]F, n)}
+	kernels.InitSeq(k.a)
+	kernels.InitSeq(k.b)
+	return k
+}
+
+func (k *dotInst[F]) Run(r team.Runner) {
+	a, b := k.a, k.b
+	k.dot = float64(team.ForSum[F](r, len(a), func(_, lo, hi int) F {
+		var s F
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	}))
+}
+
+func (k *dotInst[F]) Checksum() float64 { return k.dot }
+
+// --- MUL: b[i] = alpha * c[i] -------------------------------------------
+
+type mulInst[F prec.Float] struct {
+	b, c  []F
+	alpha F
+}
+
+func newMul[F prec.Float](n int) kernels.Instance {
+	k := &mulInst[F]{b: make([]F, n), c: make([]F, n), alpha: 1.5}
+	kernels.InitSeq(k.c)
+	return k
+}
+
+func (k *mulInst[F]) Run(r team.Runner) {
+	b, c, alpha := k.b, k.c, k.alpha
+	team.For(r, len(b), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b[i] = alpha * c[i]
+		}
+	})
+}
+
+func (k *mulInst[F]) Checksum() float64 { return kernels.Checksum(k.b) }
+
+// --- TRIAD: a[i] = b[i] + alpha * c[i] -----------------------------------
+
+type triadInst[F prec.Float] struct {
+	a, b, c []F
+	alpha   F
+}
+
+func newTriad[F prec.Float](n int) kernels.Instance {
+	k := &triadInst[F]{a: make([]F, n), b: make([]F, n), c: make([]F, n), alpha: 1.5}
+	kernels.InitSeq(k.b)
+	kernels.InitSeq(k.c)
+	return k
+}
+
+func (k *triadInst[F]) Run(r team.Runner) {
+	a, b, c, alpha := k.a, k.b, k.c, k.alpha
+	team.For(r, len(a), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = b[i] + alpha*c[i]
+		}
+	})
+}
+
+func (k *triadInst[F]) Checksum() float64 { return kernels.Checksum(k.a) }
+
+// Specs returns the five Stream kernels.
+func Specs() []kernels.Spec {
+	return []kernels.Spec{
+		{
+			Name: "ADD", Class: kernels.Stream,
+			Loop: ir.Loop{
+				Kernel: "ADD", Nest: 1, FlopsPerIter: 1,
+				Accesses: []ir.Access{
+					{Array: "a", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "b", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "c", Kind: ir.Store, Pattern: ir.Unit, PerIter: 1},
+				},
+			},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32: newAdd[float32], Build64: newAdd[float64],
+		},
+		{
+			Name: "COPY", Class: kernels.Stream,
+			Loop: ir.Loop{
+				Kernel: "COPY", Nest: 1, FlopsPerIter: 0,
+				Accesses: []ir.Access{
+					{Array: "a", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "c", Kind: ir.Store, Pattern: ir.Unit, PerIter: 1},
+				},
+			},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newCopy[float32], Build64: newCopy[float64],
+		},
+		{
+			Name: "DOT", Class: kernels.Stream,
+			Loop: ir.Loop{
+				Kernel: "DOT", Nest: 1, FlopsPerIter: 2,
+				Features: ir.SumReduction,
+				Accesses: []ir.Access{
+					{Array: "a", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "b", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+				},
+			},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newDot[float32], Build64: newDot[float64],
+		},
+		{
+			Name: "MUL", Class: kernels.Stream,
+			Loop: ir.Loop{
+				Kernel: "MUL", Nest: 1, FlopsPerIter: 1,
+				Accesses: []ir.Access{
+					{Array: "c", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "b", Kind: ir.Store, Pattern: ir.Unit, PerIter: 1},
+				},
+			},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 2 * float64(n) },
+			Build32: newMul[float32], Build64: newMul[float64],
+		},
+		{
+			Name: "TRIAD", Class: kernels.Stream,
+			Loop: ir.Loop{
+				Kernel: "TRIAD", Nest: 1, FlopsPerIter: 2,
+				Accesses: []ir.Access{
+					{Array: "b", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "c", Kind: ir.Load, Pattern: ir.Unit, PerIter: 1},
+					{Array: "a", Kind: ir.Store, Pattern: ir.Unit, PerIter: 1},
+				},
+			},
+			DefaultN: defaultN, Reps: reps, Regions: 1,
+			Iters: lin, FootprintElems: func(n int) float64 { return 3 * float64(n) },
+			Build32: newTriad[float32], Build64: newTriad[float64],
+		},
+	}
+}

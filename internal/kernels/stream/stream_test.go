@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/team"
+)
+
+func specByName(t *testing.T, name string) kernels.Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %s not found", name)
+	return kernels.Spec{}
+}
+
+func TestTriadReference(t *testing.T) {
+	spec := specByName(t, "TRIAD")
+	inst := spec.Build64(100).(*triadInst[float64])
+	inst.Run(team.Sequential{})
+	for i := range inst.a {
+		want := inst.b[i] + 1.5*inst.c[i]
+		if inst.a[i] != want {
+			t.Fatalf("a[%d] = %v, want %v", i, inst.a[i], want)
+		}
+	}
+}
+
+func TestAddReference(t *testing.T) {
+	spec := specByName(t, "ADD")
+	inst := spec.Build32(100).(*addInst[float32])
+	inst.Run(team.Sequential{})
+	for i := range inst.c {
+		if inst.c[i] != inst.a[i]+inst.b[i] {
+			t.Fatalf("c[%d] wrong", i)
+		}
+	}
+}
+
+func TestMulReference(t *testing.T) {
+	spec := specByName(t, "MUL")
+	inst := spec.Build64(64).(*mulInst[float64])
+	inst.Run(team.Sequential{})
+	for i := range inst.b {
+		if inst.b[i] != 1.5*inst.c[i] {
+			t.Fatalf("b[%d] wrong", i)
+		}
+	}
+}
+
+func TestCopyReference(t *testing.T) {
+	spec := specByName(t, "COPY")
+	inst := spec.Build64(64).(*copyInst[float64])
+	inst.Run(team.Sequential{})
+	for i := range inst.c {
+		if inst.c[i] != inst.a[i] {
+			t.Fatalf("c[%d] wrong", i)
+		}
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	spec := specByName(t, "DOT")
+	inst := spec.Build64(5000).(*dotInst[float64])
+	tm := team.New(4)
+	defer tm.Close()
+	inst.Run(tm)
+	want := 0.0
+	for i := range inst.a {
+		want += inst.a[i] * inst.b[i]
+	}
+	if diff := inst.dot - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("dot = %v, want %v", inst.dot, want)
+	}
+}
+
+func TestStreamSpecsShape(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("stream has %d kernels, want 5", len(specs))
+	}
+	for _, s := range specs {
+		if s.Class != kernels.Stream {
+			t.Errorf("%s: wrong class %v", s.Name, s.Class)
+		}
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+		// Stream kernels have no vectorisation-blocking features
+		// except DOT's sum reduction.
+		if s.Name != "DOT" && s.Loop.Features != 0 {
+			t.Errorf("%s: unexpected features %v", s.Name, s.Loop.Features)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package perfmodel
+
+import "repro/internal/ir"
+
+// Calibration collects the model's free constants. The defaults were
+// fitted so the study engine reproduces the qualitative results of the
+// paper's tables and figures (see EXPERIMENTS.md for the cell-by-cell
+// comparison); the ablation benchmarks sweep them to show which results
+// are robust to the choices.
+type Calibration struct {
+	// LSUPerCycle scales load/store issue throughput relative to a
+	// 3-wide front end (1.5 ≈ two LSU pipes shared with other work).
+	LSUPerCycle float64
+	// VLAFactor is the throughput of VLA code relative to VLS on a
+	// vector-length-specific microarchitecture like the C920
+	// ("VLS tends to outperform VLA").
+	VLAFactor float64
+	// CacheUsableFraction discounts cache capacity for conflict misses
+	// and code/metadata footprint.
+	CacheUsableFraction float64
+	// PatternEff maps access patterns to bandwidth efficiency (line
+	// utilisation and prefetchability).
+	PatternEff map[ir.Pattern]float64
+	// AtomicRMWCycles is the cost of one uncontended atomic
+	// read-modify-write in core cycles (so slower-clocked cores pay
+	// proportionally more wall time).
+	AtomicRMWCycles float64
+	// AtomicContention is the per-extra-thread line-bouncing multiplier
+	// for atomics hitting one shared location.
+	AtomicContention float64
+	// StragglerExponent shapes how the straggler delay grows with
+	// occupancy; the 32->64 thread cliff in Tables 1-3 needs a steep
+	// curve (fitted 3.7).
+	StragglerExponent float64
+	// ScalarMemBW32 and ScalarMemBW64 are the fractions of a level's
+	// bandwidth scalar (non-vectorised) code extracts on a machine with
+	// a vector unit: narrow accesses and fewer outstanding misses hurt,
+	// twice as much at FP32 where each access moves half the bytes.
+	// This asymmetry is what makes vectorisation matter more at FP32 on
+	// the C920 (Figure 2).
+	ScalarMemBW32 float64
+	ScalarMemBW64 float64
+}
+
+// DefaultCalibration returns the fitted constants.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		LSUPerCycle:         1.5,
+		VLAFactor:           0.88,
+		CacheUsableFraction: 0.80,
+		PatternEff: map[ir.Pattern]float64{
+			ir.Unit:      1.0,
+			ir.Stencil:   0.85,
+			ir.Strided:   0.45,
+			ir.Transpose: 0.30,
+			ir.Indirect:  0.20,
+			ir.Random:    0.12,
+			ir.Broadcast: 1.0,
+		},
+		AtomicRMWCycles:   36,
+		AtomicContention:  0.8,
+		StragglerExponent: 3.7,
+		ScalarMemBW32:     0.60,
+		ScalarMemBW64:     0.85,
+	}
+}

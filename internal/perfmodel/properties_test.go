@@ -1,0 +1,192 @@
+package perfmodel
+
+// Property-based tests (testing/quick) over the performance model:
+// invariants that must hold for any kernel, machine and configuration,
+// independent of calibration values.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/autovec"
+	"repro/internal/machine"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/suite"
+)
+
+func TestTimesAlwaysPositiveFinite(t *testing.T) {
+	machines := machine.All()
+	specs := suite.All()
+	mdl := New()
+	f := func(mi, si, ti, pi, poli uint8) bool {
+		m := machines[int(mi)%len(machines)]
+		spec := specs[int(si)%len(specs)]
+		threads := 1 + int(ti)%m.Cores
+		p := prec.Both[int(pi)%2]
+		pol := placement.Policies[int(poli)%len(placement.Policies)]
+		b, err := mdl.KernelTime(spec, Config{
+			Machine: m, Threads: threads, Placement: pol, Prec: p,
+			Compiler: DefaultCompilerFor(m), Mode: autovec.VLS,
+		})
+		if err != nil {
+			return false
+		}
+		return b.Seconds > 0 && !math.IsInf(b.Seconds, 0) && !math.IsNaN(b.Seconds) &&
+			b.PerRep > 0 && b.SyncSec >= 0 && b.MemSec >= 0 && b.CompSec >= 0
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargerProblemsNeverFaster(t *testing.T) {
+	mdl := New()
+	spec, _ := suite.ByName("TRIAD")
+	f := func(rawN uint16, ti uint8) bool {
+		n := 1024 + int(rawN)*8
+		threads := 1 + int(ti)%16
+		cfg := Config{
+			Machine: machine.SG2042(), Threads: threads,
+			Placement: placement.CyclicNUMA, Prec: prec.F64,
+			Compiler: autovec.GCCXuanTie, ProblemN: n,
+		}
+		small, err := mdl.KernelTime(spec, cfg)
+		if err != nil {
+			return false
+		}
+		cfg.ProblemN = n * 2
+		big, err := mdl.KernelTime(spec, cfg)
+		if err != nil {
+			return false
+		}
+		// Doubling a linear-iteration kernel's size must not reduce
+		// time (bandwidth can only get worse as the set grows).
+		return big.Seconds >= small.Seconds*0.999
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarBuildNeverMuchFasterUnderGCC(t *testing.T) {
+	// Under the GCC model, enabling vectorisation must never lose more
+	// than a sliver (the paper recommends "vectorisation should be
+	// enabled where possible").
+	mdl := New()
+	specs := suite.All()
+	f := func(si, pi uint8) bool {
+		spec := specs[int(si)%len(specs)]
+		p := prec.Both[int(pi)%2]
+		base := Config{
+			Machine: machine.SG2042(), Threads: 1, Placement: placement.Block,
+			Prec: p, Compiler: autovec.GCCXuanTie, Mode: autovec.VLS,
+		}
+		scalar := base
+		scalar.ScalarOnly = true
+		tv, err := mdl.KernelTime(spec, base)
+		if err != nil {
+			return false
+		}
+		ts, err := mdl.KernelTime(spec, scalar)
+		if err != nil {
+			return false
+		}
+		return ts.Seconds >= tv.Seconds*0.9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreBandwidthNeverSlower(t *testing.T) {
+	// Doubling every bandwidth in the machine description must not
+	// increase any kernel's time.
+	specs := suite.All()
+	mdl := New()
+	boost := func() *machine.Machine {
+		m := machine.SG2042()
+		m.CtrlBW *= 2
+		m.CoreMemBW *= 2
+		for i := range m.Caches {
+			m.Caches[i].BWPerCore *= 2
+			m.Caches[i].BWAggregate *= 2
+		}
+		return m
+	}
+	fast := boost()
+	slow := machine.SG2042()
+	f := func(si, ti uint8) bool {
+		spec := specs[int(si)%len(specs)]
+		threads := 1 + int(ti)%32
+		mk := func(m *machine.Machine) (Breakdown, error) {
+			return mdl.KernelTime(spec, Config{
+				Machine: m, Threads: threads, Placement: placement.ClusterCyclic,
+				Prec: prec.F32, Compiler: autovec.GCCXuanTie,
+			})
+		}
+		a, err := mk(slow)
+		if err != nil {
+			return false
+		}
+		b, err := mk(fast)
+		if err != nil {
+			return false
+		}
+		return b.Seconds <= a.Seconds*1.001
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	mdl := New()
+	specs := suite.All()
+	f := func(si, ti uint8) bool {
+		spec := specs[int(si)%len(specs)]
+		cfg := Config{
+			Machine: machine.EPYC7742(), Threads: 1 + int(ti)%64,
+			Placement: placement.Block, Prec: prec.F64,
+			Compiler: autovec.GCCx86,
+		}
+		a, err := mdl.KernelTime(spec, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := mdl.KernelTime(spec, cfg)
+		if err != nil {
+			return false
+		}
+		return a.Seconds == b.Seconds && a.ServedBy == b.ServedBy
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(15))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncOverheadMonotoneInThreads(t *testing.T) {
+	mdl := New()
+	m := machine.SG2042()
+	prev := 0.0
+	for threads := 2; threads <= 64; threads++ {
+		s := mdl.syncOverhead(m, threads)
+		if s < prev {
+			t.Fatalf("sync overhead dropped at %d threads: %v < %v", threads, s, prev)
+		}
+		prev = s
+	}
+	// The 32->64 jump must dwarf the 16->32 jump (the cliff).
+	d32 := mdl.syncOverhead(m, 32) - mdl.syncOverhead(m, 16)
+	d64 := mdl.syncOverhead(m, 64) - mdl.syncOverhead(m, 32)
+	if d64 < 3*d32 {
+		t.Errorf("straggler cliff too shallow: d64=%v d32=%v", d64, d32)
+	}
+}

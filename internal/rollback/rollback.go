@@ -1,0 +1,119 @@
+// Package rollback translates RVV v1.0 programs to RVV v0.7.1, standing
+// in for the RVV-Rollback tool ([10]/[11]) the paper uses: "To enable
+// experimentation with Clang we leveraged the RVV-rollback tool which
+// operates upon RVV v1.0 assembly and rewrites it to backport it to RVV
+// v0.7.1". The Clang-shaped v1.0 output of internal/rvv's code
+// generators becomes executable on a v0.7.1 (C920-like) VM through this
+// package, which is exactly the paper's toolchain pipeline.
+//
+// Translation rules (mirroring the real tool's core rewrites):
+//
+//   - vsetvli: drop the ta/ma policy tokens (v0.7.1 has no vtype policy
+//     bits; tails are always undisturbed). Rolling back a tail-agnostic
+//     program is safe because undisturbed tails are one of the
+//     behaviours a tail-agnostic program must already tolerate.
+//   - vle32.v/vse32.v -> vlw.v/vsw.v (typed 32-bit load/store).
+//   - vle64.v/vse64.v -> vle.v/vse.v (SEW-sized load/store; requires
+//     the governing vtype SEW to be 64, which the translator verifies
+//     by tracking vsetvli flow).
+//   - Arithmetic/config mnemonics shared by the dialects pass through.
+//
+// Untranslatable v1.0 constructs are rejected with a diagnostic, as the
+// real tool does: fractional LMUL (mf2/mf4/mf8) and whole-register
+// load/store/move (vl1r.v/vs1r.v/vmv1r.v) have no v0.7.1 equivalent.
+package rollback
+
+import (
+	"fmt"
+
+	"repro/internal/rvv"
+)
+
+// Error describes why a program cannot be rolled back.
+type Error struct {
+	Index  int // instruction index
+	Reason string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("rollback: inst %d: %s", e.Index, e.Reason)
+}
+
+// Translate rewrites a v1.0 program into a v0.7.1 program, or returns
+// an *Error for untranslatable constructs.
+func Translate(p *rvv.Program) (*rvv.Program, error) {
+	if p.Dialect != rvv.V10 {
+		return nil, fmt.Errorf("rollback: input must be RVV v1.0, got %v", p.Dialect)
+	}
+	out := &rvv.Program{Dialect: rvv.V071, Insts: make([]rvv.Inst, len(p.Insts))}
+
+	// Track the SEW each straight-line region executes under, so the
+	// 64-bit load rewrite can be checked. Branch targets reset to
+	// unknown (conservative join).
+	const sewUnknown = 0
+	sewAt := make([]int, len(p.Insts)+1)
+	branchTarget := make([]bool, len(p.Insts)+1)
+	for _, in := range p.Insts {
+		switch in.Op {
+		case rvv.OpBNEZ, rvv.OpBEQZ, rvv.OpBGE, rvv.OpBLT, rvv.OpJ:
+			branchTarget[in.Target] = true
+		}
+	}
+	sew := sewUnknown
+
+	for i, in := range p.Insts {
+		if branchTarget[i] {
+			// Conservatively keep the last seen SEW: vsetvli dominates
+			// loop headers in compiler-emitted code; a mismatch is
+			// caught when a typed load disagrees below.
+			sewAt[i] = sew
+		}
+		t := in // copy
+		switch in.Op {
+		case rvv.OpVSETVLI:
+			if in.LMUL < 1 {
+				return nil, &Error{i, fmt.Sprintf(
+					"fractional LMUL mf%d has no RVV v0.7.1 equivalent", -in.LMUL)}
+			}
+			t.TA, t.MA = false, false // strip policy bits
+			sew = in.SEW
+		case rvv.OpVL1R, rvv.OpVS1R, rvv.OpVMV1R:
+			return nil, &Error{i, "whole-register instructions have no RVV v0.7.1 equivalent"}
+		case rvv.OpVLE32:
+			t.Op = rvv.OpVLW
+		case rvv.OpVSE32:
+			t.Op = rvv.OpVSW
+		case rvv.OpVLE64:
+			if sew != 64 && sew != sewUnknown {
+				return nil, &Error{i, fmt.Sprintf(
+					"vle64.v under SEW=%d cannot map to the SEW-sized vle.v", sew)}
+			}
+			t.Op = rvv.OpVLE
+		case rvv.OpVSE64:
+			if sew != 64 && sew != sewUnknown {
+				return nil, &Error{i, fmt.Sprintf(
+					"vse64.v under SEW=%d cannot map to the SEW-sized vse.v", sew)}
+			}
+			t.Op = rvv.OpVSE
+		}
+		out.Insts[i] = t
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("rollback: produced invalid v0.7.1 program: %w", err)
+	}
+	return out, nil
+}
+
+// TranslateText assembles v1.0 source, rolls it back, and returns the
+// v0.7.1 assembly text (the CLI pipeline of the real tool).
+func TranslateText(src string) (string, error) {
+	p, err := rvv.Assemble(src, rvv.V10)
+	if err != nil {
+		return "", fmt.Errorf("rollback: input does not assemble as RVV v1.0: %w", err)
+	}
+	out, err := Translate(p)
+	if err != nil {
+		return "", err
+	}
+	return out.Format(), nil
+}

@@ -1,0 +1,207 @@
+package rollback
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rvv"
+)
+
+const (
+	dstAddr  = 0x1000
+	src1Addr = 0x8000
+	src2Addr = 0x10000
+	outAddr  = 0x18000
+	memSize  = 0x20000
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Round((rng.Float64()*4-2)*16) / 16
+	}
+	return out
+}
+
+// runOn executes a program on a fresh VM of the program's dialect and
+// returns dst (or out for KDot).
+func runOn(t *testing.T, p *rvv.Program, k rvv.GenKernel, sew, n int,
+	alpha float64, src1, src2, dst0 []float64) []float64 {
+	t.Helper()
+	vm, err := rvv.NewVM(p.Dialect, 128, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := sew / 8
+	vm.WriteFloats(src1Addr, src1, sz)
+	if src2 != nil {
+		vm.WriteFloats(src2Addr, src2, sz)
+	}
+	if dst0 != nil {
+		vm.WriteFloats(dstAddr, dst0, sz)
+	}
+	vm.X[10], vm.X[11], vm.X[12], vm.X[13], vm.X[14] =
+		int64(n), dstAddr, src1Addr, src2Addr, outAddr
+	vm.F[10] = alpha
+	if err := vm.Run(p, 10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if k == rvv.KDot {
+		out, _ := vm.ReadFloats(outAddr, 1, sz)
+		return out
+	}
+	out, _ := vm.ReadFloats(dstAddr, n, sz)
+	return out
+}
+
+func TestRoundTripSemanticEquivalence(t *testing.T) {
+	// The paper's pipeline: Clang-shaped v1.0 code -> rollback ->
+	// execute on a v0.7.1 core. Results must match the original v1.0
+	// execution for every kernel, SEW and mode.
+	kernels := []rvv.GenKernel{rvv.KCopy, rvv.KScale, rvv.KAdd, rvv.KTriad, rvv.KDaxpy, rvv.KDot}
+	for _, k := range kernels {
+		for _, sew := range []int{32, 64} {
+			for _, mode := range []rvv.GenMode{rvv.ModeVLS, rvv.ModeVLA} {
+				for _, n := range []int{1, 4, 7, 33, 100} {
+					cfg := rvv.GenConfig{Dialect: rvv.V10, SEW: sew, Mode: mode, VLEN: 128}
+					_, p10, err := rvv.Generate(k, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p071, err := Translate(p10)
+					if err != nil {
+						t.Fatalf("%v/%v/e%d: rollback failed: %v", k, mode, sew, err)
+					}
+					src1, src2, dst0 := randVec(n, 1), randVec(n, 2), randVec(n, 3)
+					want := runOn(t, p10, k, sew, n, 1.25, src1, src2, dst0)
+					got := runOn(t, p071, k, sew, n, 1.25, src1, src2, dst0)
+					for i := range want {
+						if math.Abs(got[i]-want[i]) > 1e-6 {
+							t.Errorf("%v/%v/e%d n=%d: rolled-back[%d] = %v, v1.0 = %v",
+								k, mode, sew, n, i, got[i], want[i])
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMnemonicRewrites(t *testing.T) {
+	out, err := TranslateText(`
+	vsetvli t0, a0, e32, m1, ta, ma
+	vle32.v v1, (a2)
+	vfadd.vv v2, v1, v1
+	vse32.v v2, (a1)
+	halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vlw.v", "vsw.v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+	for _, banned := range []string{"vle32.v", "vse32.v", "ta", "ma"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("output still contains v1.0 construct %q:\n%s", banned, out)
+		}
+	}
+}
+
+func Test64BitRewrites(t *testing.T) {
+	out, err := TranslateText(`
+	vsetvli t0, a0, e64, m1, ta, ma
+	vle64.v v1, (a2)
+	vse64.v v1, (a1)
+	halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "vle.v") || !strings.Contains(out, "vse.v") {
+		t.Errorf("64-bit ops should map to SEW-sized vle.v/vse.v:\n%s", out)
+	}
+}
+
+func TestUntranslatableConstructs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"fractional LMUL", "\tvsetvli t0, a0, e32, mf2, ta, ma\n\thalt"},
+		{"whole-register load", "\tvl1r.v v1, (a1)\n\thalt"},
+		{"whole-register store", "\tvs1r.v v1, (a1)\n\thalt"},
+		{"whole-register move", "\tvmv1r.v v1, v2\n\thalt"},
+		{"vle64 under e32", "\tvsetvli t0, a0, e32, m1, ta, ma\n\tvle64.v v1, (a1)\n\thalt"},
+	}
+	for _, c := range cases {
+		if _, err := TranslateText(c.src); err == nil {
+			t.Errorf("%s: expected rollback rejection", c.name)
+		}
+	}
+}
+
+func TestErrorCarriesInstructionIndex(t *testing.T) {
+	p, err := rvv.Assemble("\tli a0, 1\n\tvsetvli t0, a0, e32, mf4, ta, ma\n\thalt", rvv.V10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Translate(p)
+	var rbErr *Error
+	if e, ok := err.(*Error); ok {
+		rbErr = e
+	}
+	if rbErr == nil {
+		t.Fatalf("expected *Error, got %v", err)
+	}
+	if rbErr.Index != 1 {
+		t.Errorf("error index = %d, want 1", rbErr.Index)
+	}
+	if rbErr.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestRejectsNonV10Input(t *testing.T) {
+	p, err := rvv.Assemble("\tvlw.v v1, (a1)\n\thalt", rvv.V071)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(p); err == nil {
+		t.Error("v0.7.1 input accepted")
+	}
+	if _, err := TranslateText("\tgarbage x1"); err == nil {
+		t.Error("unassemblable input accepted")
+	}
+}
+
+func TestOutputAlwaysValidV071(t *testing.T) {
+	// Property: for any generated kernel program, rollback output
+	// validates as v0.7.1 and contains no v1.0-only opcodes.
+	kernels := []rvv.GenKernel{rvv.KCopy, rvv.KScale, rvv.KAdd, rvv.KTriad, rvv.KDaxpy, rvv.KDot}
+	f := func(ki, si, mi uint8) bool {
+		k := kernels[int(ki)%len(kernels)]
+		sew := []int{32, 64}[int(si)%2]
+		mode := []rvv.GenMode{rvv.ModeVLS, rvv.ModeVLA}[int(mi)%2]
+		_, p, err := rvv.Generate(k, rvv.GenConfig{Dialect: rvv.V10, SEW: sew, Mode: mode, VLEN: 128})
+		if err != nil {
+			return false
+		}
+		out, err := Translate(p)
+		if err != nil {
+			return false
+		}
+		if out.Dialect != rvv.V071 {
+			return false
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

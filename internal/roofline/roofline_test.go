@@ -1,0 +1,130 @@
+package roofline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/prec"
+	"repro/internal/suite"
+)
+
+func TestCeilingsAndDiagonals(t *testing.T) {
+	m := machine.SG2042()
+	mdl := New(m, prec.F64)
+	if len(mdl.Ceilings) != 2 {
+		t.Fatalf("SG2042 should have vector + scalar ceilings, got %d", len(mdl.Ceilings))
+	}
+	if mdl.Peak() != m.PeakVectorFlops(prec.F64) {
+		t.Error("peak should be the vector ceiling")
+	}
+	// Diagonals: L1D, L2, L3, DRAM.
+	if len(mdl.Diagonals) != 4 {
+		t.Fatalf("got %d diagonals", len(mdl.Diagonals))
+	}
+	// No-vector machines have only the scalar ceiling.
+	v2 := New(machine.VisionFiveV2(), prec.F64)
+	if len(v2.Ceilings) != 1 {
+		t.Error("U74 has no vector ceiling")
+	}
+}
+
+func TestRidgeOrdering(t *testing.T) {
+	// Ridge points must grow as bandwidth shrinks: DRAM ridge > L1 ridge.
+	mdl := New(machine.SG2042(), prec.F32)
+	r1, err := mdl.Ridge("L1D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := mdl.Ridge("DRAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd <= r1 {
+		t.Errorf("DRAM ridge %.2f should exceed L1 ridge %.2f", rd, r1)
+	}
+	if _, err := mdl.Ridge("L9"); err == nil {
+		t.Error("unknown diagonal accepted")
+	}
+}
+
+func TestAttainableClamped(t *testing.T) {
+	mdl := New(machine.SG2042(), prec.F64)
+	low, err := mdl.Attainable(0.01, "DRAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= mdl.Peak() {
+		t.Error("low-AI attainable should sit below peak")
+	}
+	high, _ := mdl.Attainable(1e6, "DRAM")
+	if high != mdl.Peak() {
+		t.Error("high-AI attainable should clamp to peak")
+	}
+}
+
+func TestKernelIntensities(t *testing.T) {
+	// TRIAD: 2 flops / 24 bytes FP64 = 1/12.
+	triad, _ := suite.ByName("TRIAD")
+	ai := Intensity(triad, prec.F64)
+	if ai < 0.08 || ai > 0.09 {
+		t.Errorf("TRIAD FP64 AI = %v, want ~0.083", ai)
+	}
+	// FP32 doubles intensity.
+	if ai32 := Intensity(triad, prec.F32); ai32 < ai*1.9 {
+		t.Errorf("FP32 AI %v should be ~2x FP64 %v", ai32, ai)
+	}
+	// FIR (16-tap) has far higher intensity than TRIAD.
+	fir, _ := suite.ByName("FIR")
+	if Intensity(fir, prec.F64) <= 2*ai {
+		t.Error("FIR AI should far exceed TRIAD")
+	}
+	// COPY has zero flops.
+	cp, _ := suite.ByName("COPY")
+	if Intensity(cp, prec.F64) != 0 {
+		t.Error("COPY AI should be 0")
+	}
+}
+
+func TestPlaceSortsAndBounds(t *testing.T) {
+	pts := Place(machine.SG2042(), prec.F64, suite.All())
+	if len(pts) != 64 {
+		t.Fatalf("placed %d kernels", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].AI > pts[i].AI {
+			t.Fatal("points not sorted by intensity")
+		}
+	}
+	// Streams must be memory-bound on every machine.
+	for _, pt := range pts {
+		if pt.Kernel == "TRIAD" && pt.Bound != "memory" {
+			t.Error("TRIAD must be memory-bound")
+		}
+	}
+}
+
+func TestMemoryBoundShareExplainsTheStudy(t *testing.T) {
+	// Most of the suite is memory-bound on the SG2042 — the structural
+	// reason the paper's x86 gap is not just about vector width.
+	share := MemoryBoundShare(machine.SG2042(), prec.F64, suite.All())
+	if share < 0.5 {
+		t.Errorf("memory-bound share %.2f unexpectedly low", share)
+	}
+	if s := MemoryBoundShare(machine.SG2042(), prec.F64, nil); s != 0 {
+		t.Error("empty kernel set should give 0")
+	}
+}
+
+func TestTextRender(t *testing.T) {
+	out := Text(machine.SG2042(), prec.F32, suite.ByClass(5 /* Stream */))
+	for _, want := range []string{"Roofline: SG2042", "vector peak", "DRAM", "TRIAD", "ridge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Renders without kernels too.
+	if out := Text(machine.EPYC7742(), prec.F64, nil); !strings.Contains(out, "Rome") {
+		t.Error("machine-only render broken")
+	}
+}

@@ -1,0 +1,566 @@
+package rvv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// opInfo maps mnemonic text to opcode and operand format.
+type opFormat int
+
+const (
+	fmtXdImm    opFormat = iota // li xd, imm
+	fmtXdXs1Xs2                 // add xd, xs1, xs2
+	fmtXdXs1Imm                 // addi xd, xs1, imm
+	fmtXdXs1                    // mv xd, xs1
+	fmtBranch1                  // bnez xs1, label
+	fmtBranch2                  // bge xs1, xs2, label
+	fmtJump                     // j label
+	fmtNone                     // halt
+	fmtFMem                     // flw fd, imm(xs1) / fsw fs, imm(xs1)
+	fmtFdImm                    // fli fd, float
+	fmtFdFs1Fs2                 // fadd fd, fs1, fs2
+	fmtVsetvli                  // vsetvli xd, xs1, e32, m1[, ta, ma]
+	fmtVMem                     // vle32.v vd, (xs1)
+	fmtVdVs1Vs2                 // vfadd.vv vd, vs1, vs2
+	fmtVdVs1Imm                 // vadd.vi vd, vs1, imm
+	fmtVdVs1Fs                  // vfmul.vf vd, vs1, fs
+	fmtVdFsVs1                  // vfmacc.vf vd, fs, vs1
+	fmtVdFs                     // vfmv.v.f vd, fs
+	fmtVdXs                     // vmv.v.x vd, xs
+	fmtVdVs1                    // vmv1r.v vd, vs1
+)
+
+type opInfo struct {
+	op  Opcode
+	fmt opFormat
+}
+
+var mnemonics = map[string]opInfo{
+	"li":   {OpLI, fmtXdImm},
+	"add":  {OpADD, fmtXdXs1Xs2},
+	"addi": {OpADDI, fmtXdXs1Imm},
+	"sub":  {OpSUB, fmtXdXs1Xs2},
+	"mul":  {OpMUL, fmtXdXs1Xs2},
+	"slli": {OpSLLI, fmtXdXs1Imm},
+	"mv":   {OpMV, fmtXdXs1},
+	"bnez": {OpBNEZ, fmtBranch1},
+	"beqz": {OpBEQZ, fmtBranch1},
+	"bge":  {OpBGE, fmtBranch2},
+	"blt":  {OpBLT, fmtBranch2},
+	"j":    {OpJ, fmtJump},
+	"halt": {OpHALT, fmtNone},
+	"flw":  {OpFLW, fmtFMem},
+	"fld":  {OpFLD, fmtFMem},
+	"fsw":  {OpFSW, fmtFMem},
+	"fsd":  {OpFSD, fmtFMem},
+	"fli":  {OpFLI, fmtFdImm},
+	"fadd": {OpFADD, fmtFdFs1Fs2},
+	"fmul": {OpFMUL, fmtFdFs1Fs2},
+
+	"vsetvli": {OpVSETVLI, fmtVsetvli},
+
+	"vle32.v": {OpVLE32, fmtVMem},
+	"vle64.v": {OpVLE64, fmtVMem},
+	"vse32.v": {OpVSE32, fmtVMem},
+	"vse64.v": {OpVSE64, fmtVMem},
+	"vlw.v":   {OpVLW, fmtVMem},
+	"vsw.v":   {OpVSW, fmtVMem},
+	"vle.v":   {OpVLE, fmtVMem},
+	"vse.v":   {OpVSE, fmtVMem},
+	"vl1r.v":  {OpVL1R, fmtVMem},
+	"vs1r.v":  {OpVS1R, fmtVMem},
+
+	"vadd.vv":     {OpVADDVV, fmtVdVs1Vs2},
+	"vadd.vi":     {OpVADDVI, fmtVdVs1Imm},
+	"vfadd.vv":    {OpVFADDVV, fmtVdVs1Vs2},
+	"vfsub.vv":    {OpVFSUBVV, fmtVdVs1Vs2},
+	"vfmul.vv":    {OpVFMULVV, fmtVdVs1Vs2},
+	"vfmul.vf":    {OpVFMULVF, fmtVdVs1Fs},
+	"vfadd.vf":    {OpVFADDVF, fmtVdVs1Fs},
+	"vfmacc.vf":   {OpVFMACCVF, fmtVdFsVs1},
+	"vfmacc.vv":   {OpVFMACCVV, fmtVdVs1Vs2},
+	"vfmv.v.f":    {OpVFMVVF, fmtVdFs},
+	"vmv.v.x":     {OpVMVVX, fmtVdXs},
+	"vfredsum.vs": {OpVFREDSUM, fmtVdVs1Vs2},
+	"vmv1r.v":     {OpVMV1R, fmtVdVs1},
+}
+
+var opNames = func() map[Opcode]string {
+	m := make(map[Opcode]string, len(mnemonics))
+	for name, info := range mnemonics {
+		m[info.op] = name
+	}
+	return m
+}()
+
+func opName(op Opcode) string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", int(op))
+}
+
+var xAliases = func() map[string]int {
+	m := map[string]int{"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4, "fp": 8}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = i
+	}
+	for i, r := range []int{5, 6, 7, 28, 29, 30, 31} {
+		m[fmt.Sprintf("t%d", i)] = r
+	}
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("a%d", i)] = 10 + i
+	}
+	m["s0"], m["s1"] = 8, 9
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("s%d", i)] = 16 + i
+	}
+	return m
+}()
+
+var fAliases = func() map[string]int {
+	m := map[string]int{}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("f%d", i)] = i
+	}
+	for i, r := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
+		m[fmt.Sprintf("ft%d", i)] = r
+	}
+	m["fs0"], m["fs1"] = 8, 9
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("fa%d", i)] = 10 + i
+	}
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("fs%d", i)] = 16 + i
+	}
+	for i := 8; i <= 11; i++ {
+		m[fmt.Sprintf("ft%d", i)] = 20 + i
+	}
+	return m
+}()
+
+func parseX(tok string) (int, error) {
+	if r, ok := xAliases[tok]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("rvv: unknown integer register %q", tok)
+}
+
+func parseF(tok string) (int, error) {
+	if r, ok := fAliases[tok]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("rvv: unknown float register %q", tok)
+}
+
+func parseV(tok string) (int, error) {
+	if strings.HasPrefix(tok, "v") {
+		if n, err := strconv.Atoi(tok[1:]); err == nil && n >= 0 && n < 32 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("rvv: unknown vector register %q", tok)
+}
+
+// parseMem parses "(a1)" or "imm(a1)" returning (reg, offset).
+func parseMem(tok string) (int, int64, error) {
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, fmt.Errorf("rvv: bad memory operand %q", tok)
+	}
+	var off int64
+	if open > 0 {
+		v, err := strconv.ParseInt(tok[:open], 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("rvv: bad offset in %q", tok)
+		}
+		off = v
+	}
+	reg, err := parseX(tok[open+1 : len(tok)-1])
+	return reg, off, err
+}
+
+// Assemble parses the textual program in the given dialect. Labels end
+// with ':'; '#' starts a comment.
+func Assemble(src string, d Dialect) (*Program, error) {
+	lines := strings.Split(src, "\n")
+	labels := make(map[string]int)
+	type pending struct {
+		line string
+		num  int
+	}
+	var body []pending
+
+	// Pass 1: strip comments/labels, record label positions.
+	for num, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("rvv: line %d: bad label %q", num+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("rvv: line %d: duplicate label %q", num+1, label)
+			}
+			labels[label] = len(body)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		body = append(body, pending{line, num + 1})
+	}
+
+	// Pass 2: parse instructions.
+	p := &Program{Dialect: d}
+	for _, pe := range body {
+		in, err := parseInst(pe.line, d)
+		if err != nil {
+			return nil, fmt.Errorf("rvv: line %d: %w", pe.num, err)
+		}
+		p.Insts = append(p.Insts, in)
+	}
+
+	// Resolve branch targets.
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		switch in.Op {
+		case OpBNEZ, OpBEQZ, OpBGE, OpBLT, OpJ:
+			tgt, ok := labels[in.Label]
+			if !ok {
+				return nil, fmt.Errorf("rvv: undefined label %q", in.Label)
+			}
+			in.Target = tgt
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func splitOperands(rest string) []string {
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+func parseInst(line string, d Dialect) (Inst, error) {
+	var mnemonic, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mnemonic = line
+	}
+	info, ok := mnemonics[strings.ToLower(mnemonic)]
+	if !ok {
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	ops := splitOperands(rest)
+	in := Inst{Op: info.op}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch info.fmt {
+	case fmtNone:
+		err = need(0)
+	case fmtXdImm:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseX(ops[0]); err == nil {
+				in.Imm, err = strconv.ParseInt(ops[1], 0, 64)
+			}
+		}
+	case fmtXdXs1Xs2:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseX(ops[0]); err == nil {
+				if in.Rs1, err = parseX(ops[1]); err == nil {
+					in.Rs2, err = parseX(ops[2])
+				}
+			}
+		}
+	case fmtXdXs1Imm:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseX(ops[0]); err == nil {
+				if in.Rs1, err = parseX(ops[1]); err == nil {
+					in.Imm, err = strconv.ParseInt(ops[2], 0, 64)
+				}
+			}
+		}
+	case fmtXdXs1:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseX(ops[0]); err == nil {
+				in.Rs1, err = parseX(ops[1])
+			}
+		}
+	case fmtBranch1:
+		if err = need(2); err == nil {
+			if in.Rs1, err = parseX(ops[0]); err == nil {
+				in.Label = ops[1]
+			}
+		}
+	case fmtBranch2:
+		if err = need(3); err == nil {
+			if in.Rs1, err = parseX(ops[0]); err == nil {
+				if in.Rs2, err = parseX(ops[1]); err == nil {
+					in.Label = ops[2]
+				}
+			}
+		}
+	case fmtJump:
+		if err = need(1); err == nil {
+			in.Label = ops[0]
+		}
+	case fmtFMem:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseF(ops[0]); err == nil {
+				in.Rs1, in.Imm, err = parseMemInto(ops[1])
+			}
+		}
+	case fmtFdImm:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseF(ops[0]); err == nil {
+				in.FImm, err = strconv.ParseFloat(ops[1], 64)
+			}
+		}
+	case fmtFdFs1Fs2:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseF(ops[0]); err == nil {
+				if in.Rs1, err = parseF(ops[1]); err == nil {
+					in.Rs2, err = parseF(ops[2])
+				}
+			}
+		}
+	case fmtVsetvli:
+		err = parseVsetvli(&in, ops, d)
+	case fmtVMem:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				in.Rs1, _, err = parseMemInto(ops[1])
+			}
+		}
+	case fmtVdVs1Vs2:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				if in.Rs1, err = parseV(ops[1]); err == nil {
+					in.Rs2, err = parseV(ops[2])
+				}
+			}
+		}
+	case fmtVdVs1Imm:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				if in.Rs1, err = parseV(ops[1]); err == nil {
+					in.Imm, err = strconv.ParseInt(ops[2], 0, 64)
+				}
+			}
+		}
+	case fmtVdVs1Fs:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				if in.Rs1, err = parseV(ops[1]); err == nil {
+					in.Rs2, err = parseF(ops[2])
+				}
+			}
+		}
+	case fmtVdFsVs1:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				if in.Rs2, err = parseF(ops[1]); err == nil {
+					in.Rs1, err = parseV(ops[2])
+				}
+			}
+		}
+	case fmtVdFs:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				in.Rs2, err = parseF(ops[1])
+			}
+		}
+	case fmtVdXs:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				in.Rs1, err = parseX(ops[1])
+			}
+		}
+	case fmtVdVs1:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseV(ops[0]); err == nil {
+				in.Rs1, err = parseV(ops[1])
+			}
+		}
+	}
+	return in, err
+}
+
+func parseMemInto(tok string) (reg int, off int64, err error) {
+	return parseMem(tok)
+}
+
+func parseVsetvli(in *Inst, ops []string, d Dialect) error {
+	// vsetvli xd, xs1, e32, m1 [, ta|tu, ma|mu]
+	if len(ops) < 4 {
+		return fmt.Errorf("vsetvli: want at least 4 operands, got %d", len(ops))
+	}
+	var err error
+	if in.Rd, err = parseX(ops[0]); err != nil {
+		return err
+	}
+	if in.Rs1, err = parseX(ops[1]); err != nil {
+		return err
+	}
+	switch ops[2] {
+	case "e32":
+		in.SEW = 32
+	case "e64":
+		in.SEW = 64
+	case "e8":
+		in.SEW = 8
+	case "e16":
+		in.SEW = 16
+	default:
+		return fmt.Errorf("vsetvli: bad SEW token %q", ops[2])
+	}
+	switch ops[3] {
+	case "m1":
+		in.LMUL = 1
+	case "m2":
+		in.LMUL = 2
+	case "m4":
+		in.LMUL = 4
+	case "m8":
+		in.LMUL = 8
+	case "mf2":
+		in.LMUL = -2
+	case "mf4":
+		in.LMUL = -4
+	case "mf8":
+		in.LMUL = -8
+	default:
+		return fmt.Errorf("vsetvli: bad LMUL token %q", ops[3])
+	}
+	for _, tok := range ops[4:] {
+		switch tok {
+		case "ta":
+			in.TA = true
+		case "tu":
+			in.TA = false
+		case "ma":
+			in.MA = true
+		case "mu":
+			in.MA = false
+		default:
+			return fmt.Errorf("vsetvli: bad policy token %q", tok)
+		}
+	}
+	return nil
+}
+
+// Format renders the program back to assembly text; Assemble(Format(p))
+// round-trips.
+func (p *Program) Format() string {
+	// Collect branch targets to emit labels.
+	targets := make(map[int]string)
+	for _, in := range p.Insts {
+		switch in.Op {
+		case OpBNEZ, OpBEQZ, OpBGE, OpBLT, OpJ:
+			if _, ok := targets[in.Target]; !ok {
+				targets[in.Target] = fmt.Sprintf("L%d", in.Target)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, in := range p.Insts {
+		if lbl, ok := targets[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(&b, "\t%s\n", formatInst(in, targets))
+	}
+	if lbl, ok := targets[len(p.Insts)]; ok {
+		fmt.Fprintf(&b, "%s:\n", lbl)
+	}
+	return b.String()
+}
+
+func formatInst(in Inst, targets map[int]string) string {
+	x := func(r int) string { return fmt.Sprintf("x%d", r) }
+	f := func(r int) string { return fmt.Sprintf("f%d", r) }
+	v := func(r int) string { return fmt.Sprintf("v%d", r) }
+	lbl := func() string { return targets[in.Target] }
+	name := opName(in.Op)
+	switch in.Op {
+	case OpLI:
+		return fmt.Sprintf("%s %s, %d", name, x(in.Rd), in.Imm)
+	case OpADD, OpSUB, OpMUL:
+		return fmt.Sprintf("%s %s, %s, %s", name, x(in.Rd), x(in.Rs1), x(in.Rs2))
+	case OpADDI, OpSLLI:
+		return fmt.Sprintf("%s %s, %s, %d", name, x(in.Rd), x(in.Rs1), in.Imm)
+	case OpMV:
+		return fmt.Sprintf("%s %s, %s", name, x(in.Rd), x(in.Rs1))
+	case OpBNEZ, OpBEQZ:
+		return fmt.Sprintf("%s %s, %s", name, x(in.Rs1), lbl())
+	case OpBGE, OpBLT:
+		return fmt.Sprintf("%s %s, %s, %s", name, x(in.Rs1), x(in.Rs2), lbl())
+	case OpJ:
+		return fmt.Sprintf("%s %s", name, lbl())
+	case OpHALT:
+		return name
+	case OpFLW, OpFLD, OpFSW, OpFSD:
+		return fmt.Sprintf("%s %s, %d(%s)", name, f(in.Rd), in.Imm, x(in.Rs1))
+	case OpFLI:
+		return fmt.Sprintf("%s %s, %g", name, f(in.Rd), in.FImm)
+	case OpFADD, OpFMUL:
+		return fmt.Sprintf("%s %s, %s, %s", name, f(in.Rd), f(in.Rs1), f(in.Rs2))
+	case OpVSETVLI:
+		s := fmt.Sprintf("%s %s, %s, e%d, %s", name, x(in.Rd), x(in.Rs1), in.SEW, lmulToken(in.LMUL))
+		if in.TA {
+			s += ", ta"
+		}
+		if in.MA {
+			s += ", ma"
+		}
+		return s
+	case OpVLE32, OpVLE64, OpVSE32, OpVSE64, OpVLW, OpVSW, OpVLE, OpVSE, OpVL1R, OpVS1R:
+		return fmt.Sprintf("%s %s, (%s)", name, v(in.Rd), x(in.Rs1))
+	case OpVADDVV, OpVFADDVV, OpVFSUBVV, OpVFMULVV, OpVFMACCVV, OpVFREDSUM:
+		return fmt.Sprintf("%s %s, %s, %s", name, v(in.Rd), v(in.Rs1), v(in.Rs2))
+	case OpVADDVI:
+		return fmt.Sprintf("%s %s, %s, %d", name, v(in.Rd), v(in.Rs1), in.Imm)
+	case OpVFMULVF, OpVFADDVF:
+		return fmt.Sprintf("%s %s, %s, %s", name, v(in.Rd), v(in.Rs1), f(in.Rs2))
+	case OpVFMACCVF:
+		return fmt.Sprintf("%s %s, %s, %s", name, v(in.Rd), f(in.Rs2), v(in.Rs1))
+	case OpVFMVVF:
+		return fmt.Sprintf("%s %s, %s", name, v(in.Rd), f(in.Rs2))
+	case OpVMVVX:
+		return fmt.Sprintf("%s %s, %s", name, v(in.Rd), x(in.Rs1))
+	case OpVMV1R:
+		return fmt.Sprintf("%s %s, %s", name, v(in.Rd), v(in.Rs1))
+	}
+	return name
+}
+
+func lmulToken(l int) string {
+	if l < 0 {
+		return fmt.Sprintf("mf%d", -l)
+	}
+	return fmt.Sprintf("m%d", l)
+}

@@ -1,0 +1,419 @@
+package rvv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenKernel names an element-wise kernel template the code generators
+// support. These cover the Stream class (the one class GCC fully
+// auto-vectorises, per the paper) plus DAXPY.
+type GenKernel int
+
+const (
+	// KCopy: dst[i] = src1[i]
+	KCopy GenKernel = iota
+	// KScale: dst[i] = alpha * src1[i]
+	KScale
+	// KAdd: dst[i] = src1[i] + src2[i]
+	KAdd
+	// KTriad: dst[i] = src1[i] + alpha * src2[i]
+	KTriad
+	// KDaxpy: dst[i] += alpha * src1[i]
+	KDaxpy
+	// KDot: *out = sum(src1[i] * src2[i])
+	KDot
+)
+
+func (k GenKernel) String() string {
+	switch k {
+	case KCopy:
+		return "copy"
+	case KScale:
+		return "scale"
+	case KAdd:
+		return "add"
+	case KTriad:
+		return "triad"
+	case KDaxpy:
+		return "daxpy"
+	case KDot:
+		return "dot"
+	}
+	return fmt.Sprintf("GenKernel(%d)", int(k))
+}
+
+// GenMode selects the code shape.
+type GenMode int
+
+const (
+	// ModeScalar emits a plain scalar loop (the no-vectorisation
+	// baseline of Figure 2).
+	ModeScalar GenMode = iota
+	// ModeVLS emits vector-length-specific code: the loop is compiled
+	// for the full hardware VL with a scalar remainder loop — the shape
+	// XuanTie GCC emits ("generates Vector Length Specific (VLS) RVV
+	// assembly which specifically targets the 128-bit vector width").
+	ModeVLS
+	// ModeVLA emits vector-length-agnostic code: vsetvli renegotiates
+	// the VL every trip, no remainder loop — the shape Clang prefers.
+	ModeVLA
+)
+
+func (m GenMode) String() string {
+	switch m {
+	case ModeScalar:
+		return "scalar"
+	case ModeVLS:
+		return "VLS"
+	case ModeVLA:
+		return "VLA"
+	}
+	return fmt.Sprintf("GenMode(%d)", int(m))
+}
+
+// GenConfig parameterises code generation.
+type GenConfig struct {
+	Dialect Dialect
+	SEW     int // 32 or 64
+	Mode    GenMode
+	// VLEN is required for ModeVLS (the width the code is specialised
+	// to; 128 for the C920).
+	VLEN int
+}
+
+// Calling convention used by all generated programs:
+//
+//	a0 = n (element count)
+//	a1 = dst pointer
+//	a2 = src1 pointer
+//	a3 = src2 pointer (when used)
+//	a4 = out pointer (KDot)
+//	fa0 = alpha (when used)
+const (
+	RegN    = "a0"
+	RegDst  = "a1"
+	RegSrc1 = "a2"
+	RegSrc2 = "a3"
+	RegOut  = "a4"
+)
+
+// Generate emits the assembly text for the kernel under the config and
+// assembles it, returning both.
+func Generate(k GenKernel, cfg GenConfig) (string, *Program, error) {
+	if cfg.SEW != 32 && cfg.SEW != 64 {
+		return "", nil, fmt.Errorf("rvv: unsupported SEW %d", cfg.SEW)
+	}
+	var src string
+	var err error
+	switch cfg.Mode {
+	case ModeScalar:
+		src, err = genScalar(k, cfg)
+	case ModeVLA:
+		src, err = genVLA(k, cfg)
+	case ModeVLS:
+		src, err = genVLS(k, cfg)
+	default:
+		err = fmt.Errorf("rvv: unknown mode %d", int(cfg.Mode))
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	p, err := Assemble(src, cfg.Dialect)
+	if err != nil {
+		return src, nil, fmt.Errorf("rvv: generated code failed to assemble: %w", err)
+	}
+	return src, p, nil
+}
+
+func esz(cfg GenConfig) int { return cfg.SEW / 8 }
+
+func shiftFor(cfg GenConfig) int {
+	if cfg.SEW == 32 {
+		return 2
+	}
+	return 3
+}
+
+// scalar load/store mnemonics by SEW.
+func sld(cfg GenConfig) string {
+	if cfg.SEW == 32 {
+		return "flw"
+	}
+	return "fld"
+}
+
+func sst(cfg GenConfig) string {
+	if cfg.SEW == 32 {
+		return "fsw"
+	}
+	return "fsd"
+}
+
+// vector load/store mnemonics by dialect and SEW.
+func vld(cfg GenConfig) string {
+	if cfg.Dialect == V10 {
+		return fmt.Sprintf("vle%d.v", cfg.SEW)
+	}
+	if cfg.SEW == 32 {
+		return "vlw.v"
+	}
+	return "vle.v" // v0.7.1 SEW-sized load
+}
+
+func vst(cfg GenConfig) string {
+	if cfg.Dialect == V10 {
+		return fmt.Sprintf("vse%d.v", cfg.SEW)
+	}
+	if cfg.SEW == 32 {
+		return "vsw.v"
+	}
+	return "vse.v"
+}
+
+// vsetvli policy suffix: v1.0 carries explicit tail/mask policy.
+func vsetPolicy(cfg GenConfig, accumulator bool) string {
+	if cfg.Dialect != V10 {
+		return ""
+	}
+	if accumulator {
+		return ", tu, ma" // keep accumulator tails undisturbed
+	}
+	return ", ta, ma"
+}
+
+func genScalar(k GenKernel, cfg GenConfig) (string, error) {
+	var b strings.Builder
+	w := func(f string, a ...any) { fmt.Fprintf(&b, f+"\n", a...) }
+	ld, st, sz := sld(cfg), sst(cfg), esz(cfg)
+	if k == KDot {
+		w("\tfli f3, 0")
+	}
+	w("\tbeqz %s, done", RegN)
+	w("loop:")
+	switch k {
+	case KCopy:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f1, 0(%s)", st, RegDst)
+	case KScale:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\tfmul f2, f1, fa0")
+		w("\t%s f2, 0(%s)", st, RegDst)
+	case KAdd:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegSrc2)
+		w("\tfadd f3, f1, f2")
+		w("\t%s f3, 0(%s)", st, RegDst)
+	case KTriad:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegSrc2)
+		w("\tfmul f2, f2, fa0")
+		w("\tfadd f3, f1, f2")
+		w("\t%s f3, 0(%s)", st, RegDst)
+	case KDaxpy:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegDst)
+		w("\tfmul f1, f1, fa0")
+		w("\tfadd f2, f2, f1")
+		w("\t%s f2, 0(%s)", st, RegDst)
+	case KDot:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegSrc2)
+		w("\tfmul f1, f1, f2")
+		w("\tfadd f3, f3, f1")
+	default:
+		return "", fmt.Errorf("rvv: unknown kernel %d", int(k))
+	}
+	w("\taddi %s, %s, %d", RegDst, RegDst, sz)
+	w("\taddi %s, %s, %d", RegSrc1, RegSrc1, sz)
+	if usesSrc2(k) {
+		w("\taddi %s, %s, %d", RegSrc2, RegSrc2, sz)
+	}
+	w("\taddi %s, %s, -1", RegN, RegN)
+	w("\tbnez %s, loop", RegN)
+	w("done:")
+	if k == KDot {
+		w("\t%s f3, 0(%s)", sst(cfg), RegOut)
+	}
+	w("\thalt")
+	return b.String(), nil
+}
+
+func usesSrc2(k GenKernel) bool {
+	return k == KAdd || k == KTriad || k == KDot
+}
+
+// vectorBody emits the vector compute for one strip. Inputs are loaded
+// into v1 (src1) and v2 (src2); the result lands in v3 (or accumulates
+// into v4 for KDot).
+func vectorBody(w func(string, ...any), k GenKernel, cfg GenConfig) error {
+	ld, st := vld(cfg), vst(cfg)
+	switch k {
+	case KCopy:
+		w("\t%s v1, (%s)", ld, RegSrc1)
+		w("\t%s v1, (%s)", st, RegDst)
+	case KScale:
+		w("\t%s v1, (%s)", ld, RegSrc1)
+		w("\tvfmul.vf v3, v1, fa0")
+		w("\t%s v3, (%s)", st, RegDst)
+	case KAdd:
+		w("\t%s v1, (%s)", ld, RegSrc1)
+		w("\t%s v2, (%s)", ld, RegSrc2)
+		w("\tvfadd.vv v3, v1, v2")
+		w("\t%s v3, (%s)", st, RegDst)
+	case KTriad:
+		w("\t%s v1, (%s)", ld, RegSrc1)
+		w("\t%s v2, (%s)", ld, RegSrc2)
+		w("\tvfmul.vf v3, v2, fa0")
+		w("\tvfadd.vv v3, v1, v3")
+		w("\t%s v3, (%s)", st, RegDst)
+	case KDaxpy:
+		w("\t%s v1, (%s)", ld, RegSrc1)
+		w("\t%s v3, (%s)", ld, RegDst)
+		w("\tvfmacc.vf v3, fa0, v1")
+		w("\t%s v3, (%s)", st, RegDst)
+	case KDot:
+		w("\t%s v1, (%s)", ld, RegSrc1)
+		w("\t%s v2, (%s)", ld, RegSrc2)
+		w("\tvfmacc.vv v4, v1, v2")
+	default:
+		return fmt.Errorf("rvv: unknown kernel %d", int(k))
+	}
+	return nil
+}
+
+// dotPrologue zeroes the v4 accumulator at full VL.
+func dotPrologue(w func(string, ...any), cfg GenConfig) {
+	w("\tli t3, 1000000")
+	w("\tvsetvli t4, t3, e%d, m1%s", cfg.SEW, vsetPolicy(cfg, true))
+	w("\tfli f1, 0")
+	w("\tvfmv.v.f v4, f1")
+}
+
+// dotEpilogue reduces v4 into memory at RegOut, folding the scalar tail
+// accumulator f3 in.
+func dotEpilogue(w func(string, ...any), cfg GenConfig) {
+	w("\tli t3, 1000000")
+	w("\tvsetvli t4, t3, e%d, m1%s", cfg.SEW, vsetPolicy(cfg, true))
+	w("\tfli f1, 0")
+	w("\tvfmv.v.f v5, f1")
+	w("\tvfredsum.vs v6, v4, v5")
+	// Store lane 0 of v6: write the whole register to scratch is
+	// avoided by a vl=1 store.
+	w("\tli t3, 1")
+	w("\tvsetvli t4, t3, e%d, m1%s", cfg.SEW, vsetPolicy(cfg, true))
+	w("\t%s v6, (%s)", vst(cfg), RegOut)
+	// Fold scalar tail sum (f3) in: load, add, store.
+	w("\t%s f2, 0(%s)", sld(cfg), RegOut)
+	w("\tfadd f2, f2, f3")
+	w("\t%s f2, 0(%s)", sst(cfg), RegOut)
+}
+
+func genVLA(k GenKernel, cfg GenConfig) (string, error) {
+	var b strings.Builder
+	w := func(f string, a ...any) { fmt.Fprintf(&b, f+"\n", a...) }
+	if k == KDot {
+		w("\tfli f3, 0") // scalar tail accumulator (unused in VLA, folded anyway)
+		dotPrologue(w, cfg)
+	}
+	w("\tbeqz %s, done", RegN)
+	w("loop:")
+	w("\tvsetvli t0, %s, e%d, m1%s", RegN, cfg.SEW, vsetPolicy(cfg, k == KDot))
+	if err := vectorBody(w, k, cfg); err != nil {
+		return "", err
+	}
+	w("\tslli t1, t0, %d", shiftFor(cfg))
+	w("\tadd %s, %s, t1", RegDst, RegDst)
+	w("\tadd %s, %s, t1", RegSrc1, RegSrc1)
+	if usesSrc2(k) {
+		w("\tadd %s, %s, t1", RegSrc2, RegSrc2)
+	}
+	w("\tsub %s, %s, t0", RegN, RegN)
+	w("\tbnez %s, loop", RegN)
+	w("done:")
+	if k == KDot {
+		dotEpilogue(w, cfg)
+	}
+	w("\thalt")
+	return b.String(), nil
+}
+
+func genVLS(k GenKernel, cfg GenConfig) (string, error) {
+	if cfg.VLEN <= 0 {
+		return "", fmt.Errorf("rvv: VLS generation requires VLEN")
+	}
+	vl := cfg.VLEN / cfg.SEW
+	var b strings.Builder
+	w := func(f string, a ...any) { fmt.Fprintf(&b, f+"\n", a...) }
+	if k == KDot {
+		w("\tfli f3, 0") // scalar tail accumulator
+		dotPrologue(w, cfg)
+	}
+	w("\tli t2, %d", vl)
+	// VLS hallmark: the vector configuration is loop-invariant (the
+	// code targets one specific width), so vsetvli hoists out of the
+	// strip loop — exactly what XuanTie GCC emits and the reason VLS
+	// retires fewer instructions per strip than VLA.
+	w("\tvsetvli t0, t2, e%d, m1%s", cfg.SEW, vsetPolicy(cfg, k == KDot))
+	w("main:")
+	w("\tblt %s, t2, tail", RegN)
+	if err := vectorBody(w, k, cfg); err != nil {
+		return "", err
+	}
+	w("\tslli t1, t0, %d", shiftFor(cfg))
+	w("\tadd %s, %s, t1", RegDst, RegDst)
+	w("\tadd %s, %s, t1", RegSrc1, RegSrc1)
+	if usesSrc2(k) {
+		w("\tadd %s, %s, t1", RegSrc2, RegSrc2)
+	}
+	w("\tsub %s, %s, t0", RegN, RegN)
+	w("\tj main")
+	w("tail:")
+	w("\tbeqz %s, done", RegN)
+	w("tailloop:")
+	ld, st, sz := sld(cfg), sst(cfg), esz(cfg)
+	switch k {
+	case KCopy:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f1, 0(%s)", st, RegDst)
+	case KScale:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\tfmul f2, f1, fa0")
+		w("\t%s f2, 0(%s)", st, RegDst)
+	case KAdd:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegSrc2)
+		w("\tfadd f4, f1, f2")
+		w("\t%s f4, 0(%s)", st, RegDst)
+	case KTriad:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegSrc2)
+		w("\tfmul f2, f2, fa0")
+		w("\tfadd f4, f1, f2")
+		w("\t%s f4, 0(%s)", st, RegDst)
+	case KDaxpy:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegDst)
+		w("\tfmul f1, f1, fa0")
+		w("\tfadd f2, f2, f1")
+		w("\t%s f2, 0(%s)", st, RegDst)
+	case KDot:
+		w("\t%s f1, 0(%s)", ld, RegSrc1)
+		w("\t%s f2, 0(%s)", ld, RegSrc2)
+		w("\tfmul f1, f1, f2")
+		w("\tfadd f3, f3, f1")
+	}
+	w("\taddi %s, %s, %d", RegDst, RegDst, sz)
+	w("\taddi %s, %s, %d", RegSrc1, RegSrc1, sz)
+	if usesSrc2(k) {
+		w("\taddi %s, %s, %d", RegSrc2, RegSrc2, sz)
+	}
+	w("\taddi %s, %s, -1", RegN, RegN)
+	w("\tbnez %s, tailloop", RegN)
+	w("done:")
+	if k == KDot {
+		dotEpilogue(w, cfg)
+	}
+	w("\thalt")
+	return b.String(), nil
+}

@@ -1,0 +1,138 @@
+package rvv
+
+import "testing"
+
+func TestVLSOutperformsVLAOnCycles(t *testing.T) {
+	// The executable grounding of the paper's "VLS tends to outperform
+	// VLA" and of the perfmodel's VLAFactor: for sizes divisible by the
+	// vector length, VLA pays the per-strip vsetvli without gaining
+	// anything, so its costed cycles exceed VLS's.
+	cost := DefaultC920Cost()
+	for _, n := range []int{64, 256, 1024} {
+		vls, _, err := MeasureKernelCycles(KTriad,
+			GenConfig{Dialect: V10, SEW: 32, Mode: ModeVLS, VLEN: 128}, n, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vla, _, err := MeasureKernelCycles(KTriad,
+			GenConfig{Dialect: V10, SEW: 32, Mode: ModeVLA, VLEN: 128}, n, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vla <= vls {
+			t.Errorf("n=%d: VLA cycles %v should exceed VLS %v", n, vla, vls)
+		}
+		ratio := vla / vls
+		if ratio > 1.35 {
+			t.Errorf("n=%d: VLA/VLS cycle ratio %.2f implausibly large", n, ratio)
+		}
+		// The perfmodel's VLAFactor (0.88 => ratio ~1.14) must sit
+		// inside the measured band.
+		if ratio < 1.01 {
+			t.Errorf("n=%d: ratio %.3f too small to justify a VLA penalty", n, ratio)
+		}
+	}
+}
+
+func TestVectorBeatsScalarOnCycles(t *testing.T) {
+	cost := DefaultC920Cost()
+	scalar, _, err := MeasureKernelCycles(KTriad,
+		GenConfig{Dialect: V071, SEW: 32, Mode: ModeScalar, VLEN: 128}, 1024, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vls, _, err := MeasureKernelCycles(KTriad,
+		GenConfig{Dialect: V071, SEW: 32, Mode: ModeVLS, VLEN: 128}, 1024, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := scalar / vls; speedup < 2 {
+		t.Errorf("FP32 vector cycle speedup %.2f should be >= 2", speedup)
+	}
+	// FP64 gains less (2 lanes instead of 4).
+	scalar64, _, err := MeasureKernelCycles(KTriad,
+		GenConfig{Dialect: V071, SEW: 64, Mode: ModeScalar, VLEN: 128}, 1024, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vls64, _, err := MeasureKernelCycles(KTriad,
+		GenConfig{Dialect: V071, SEW: 64, Mode: ModeVLS, VLEN: 128}, 1024, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (scalar / vls) <= (scalar64 / vls64) {
+		t.Error("FP32 vector speedup should exceed FP64 (half the lanes)")
+	}
+}
+
+func TestVLAWinsOnAwkwardTails(t *testing.T) {
+	// For n slightly above a multiple of VL, VLS runs a scalar tail
+	// while VLA absorbs the remainder in one short strip; the VLA/VLS
+	// gap must shrink (or flip) relative to the exact-multiple case.
+	cost := DefaultC920Cost()
+	ratioAt := func(n int) float64 {
+		vls, _, err := MeasureKernelCycles(KTriad,
+			GenConfig{Dialect: V10, SEW: 32, Mode: ModeVLS, VLEN: 128}, n, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vla, _, err := MeasureKernelCycles(KTriad,
+			GenConfig{Dialect: V10, SEW: 32, Mode: ModeVLA, VLEN: 128}, n, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vla / vls
+	}
+	exact := ratioAt(256)
+	awkward := ratioAt(259) // 3-element scalar tail for VLS
+	if awkward >= exact {
+		t.Errorf("VLA/VLS ratio should improve with a tail: exact %.3f, awkward %.3f",
+			exact, awkward)
+	}
+}
+
+func TestOpCountsPopulated(t *testing.T) {
+	_, vm, err := MeasureKernelCycles(KAdd,
+		GenConfig{Dialect: V10, SEW: 32, Mode: ModeVLA, VLEN: 128}, 32, DefaultC920Cost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.OpCounts[OpVSETVLI] == 0 {
+		t.Error("vsetvli count missing")
+	}
+	if vm.OpCounts[OpVLE32] == 0 || vm.OpCounts[OpVSE32] == 0 {
+		t.Error("vector memory op counts missing")
+	}
+	var total uint64
+	for _, n := range vm.OpCounts {
+		total += n
+	}
+	if total != vm.Stats.Steps {
+		t.Errorf("opcode counts sum to %d, steps %d", total, vm.Stats.Steps)
+	}
+}
+
+func TestCyclesPositiveAndAdditive(t *testing.T) {
+	cost := DefaultC920Cost()
+	c1, vm1, err := MeasureKernelCycles(KScale,
+		GenConfig{Dialect: V071, SEW: 32, Mode: ModeVLS, VLEN: 128}, 128, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 <= 0 {
+		t.Fatal("non-positive cycle count")
+	}
+	// Running the same program again on the same VM doubles the counts.
+	_, prog, err := Generate(KScale, GenConfig{Dialect: V071, SEW: 32, Mode: ModeVLS, VLEN: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm1.X[10], vm1.X[11], vm1.X[12] = 128, 0x1000, 0x40000
+	if err := vm1.Run(prog, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	c2 := cost.Cycles(vm1)
+	if c2 <= c1*1.5 {
+		t.Errorf("second run should accumulate cycles: %v -> %v", c1, c2)
+	}
+}

@@ -1,0 +1,97 @@
+// Package suite aggregates the 64 RAJAPerf kernels from the six class
+// packages into one registry, in the paper's class order, and provides
+// lookup helpers the harness, compiler model and performance model use.
+package suite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernels"
+	"repro/internal/kernels/algorithm"
+	"repro/internal/kernels/apps"
+	"repro/internal/kernels/basic"
+	"repro/internal/kernels/lcals"
+	"repro/internal/kernels/polybench"
+	"repro/internal/kernels/stream"
+)
+
+// All returns all 64 kernels, grouped by class in the paper's order
+// (Algorithm, Apps, Basic, Lcals, Polybench, Stream) and alphabetical
+// within a class.
+func All() []kernels.Spec {
+	var out []kernels.Spec
+	out = append(out, algorithm.Specs()...)
+	out = append(out, apps.Specs()...)
+	out = append(out, basic.Specs()...)
+	out = append(out, lcals.Specs()...)
+	out = append(out, polybench.Specs()...)
+	out = append(out, stream.Specs()...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByClass returns the kernels of one class.
+func ByClass(c kernels.Class) []kernels.Spec {
+	var out []kernels.Spec
+	for _, s := range All() {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (kernels.Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return kernels.Spec{}, fmt.Errorf("suite: unknown kernel %q", name)
+}
+
+// Names returns all kernel names in registry order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Validate checks the registry matches the paper's structure: 64
+// kernels, six classes with the documented counts, no duplicate names,
+// and every Spec internally consistent.
+func Validate() error {
+	specs := All()
+	if len(specs) != 64 {
+		return fmt.Errorf("suite: %d kernels, want 64", len(specs))
+	}
+	seen := make(map[string]bool)
+	counts := make(map[kernels.Class]int)
+	for i := range specs {
+		s := &specs[i]
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("suite: duplicate kernel %q", s.Name)
+		}
+		seen[s.Name] = true
+		counts[s.Class]++
+	}
+	for c, want := range kernels.ExpectedCount {
+		if counts[c] != want {
+			return fmt.Errorf("suite: class %v has %d kernels, want %d", c, counts[c], want)
+		}
+	}
+	return nil
+}

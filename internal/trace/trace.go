@@ -1,0 +1,197 @@
+// Package trace generates synthetic memory-address streams for the
+// access patterns the kernel IR declares (internal/ir). The streams
+// drive the cache simulator (internal/cachesim) so the analytic
+// working-set model in internal/perfmodel can be validated against an
+// executable model, and so the cache-geometry ablation benchmark has
+// realistic inputs.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Ref is one memory reference in a trace.
+type Ref struct {
+	Addr  uint64
+	Write bool
+}
+
+// Emit is the callback traces are streamed through (avoids materialising
+// multi-million-entry slices).
+type Emit func(Ref)
+
+// Array reserves a disjoint address range for one logical array.
+type Array struct {
+	Base     uint64
+	ElemSize int
+}
+
+// Addr returns the address of element i.
+func (a Array) Addr(i int) uint64 { return a.Base + uint64(i*a.ElemSize) }
+
+// Layout allocates disjoint arrays, separated and aligned to 4KB pages.
+type Layout struct {
+	next uint64
+}
+
+// NewLayout starts allocating at a non-zero base (so address 0 is never
+// valid, which catches uninitialised refs in tests).
+func NewLayout() *Layout { return &Layout{next: 1 << 20} }
+
+// Alloc reserves elems*elemSize bytes and returns the Array.
+func (l *Layout) Alloc(elems, elemSize int) Array {
+	const page = 4096
+	a := Array{Base: l.next, ElemSize: elemSize}
+	size := uint64(elems * elemSize)
+	l.next += (size + page - 1) / page * page
+	l.next += page // guard page between arrays
+	return a
+}
+
+// Stream emits a unit-stride walk over n elements of each array in
+// turn-by-iteration order: for i { for each array: touch a[i] }, the
+// pattern of TRIAD-like kernels. writes marks which arrays are stored.
+func Stream(n int, arrays []Array, writes []bool, emit Emit) error {
+	if len(writes) != len(arrays) {
+		return fmt.Errorf("trace: %d arrays but %d write flags", len(arrays), len(writes))
+	}
+	for i := 0; i < n; i++ {
+		for k, a := range arrays {
+			emit(Ref{Addr: a.Addr(i), Write: writes[k]})
+		}
+	}
+	return nil
+}
+
+// Strided emits a[i*stride] for i in [0,n).
+func Strided(n, stride int, a Array, write bool, emit Emit) {
+	for i := 0; i < n; i++ {
+		emit(Ref{Addr: a.Addr(i * stride), Write: write})
+	}
+}
+
+// Stencil1D emits the 3-point Jacobi pattern: read a[i-1],a[i],a[i+1],
+// write b[i], for i in [1,n-1).
+func Stencil1D(n int, a, b Array, emit Emit) {
+	for i := 1; i < n-1; i++ {
+		emit(Ref{Addr: a.Addr(i - 1)})
+		emit(Ref{Addr: a.Addr(i)})
+		emit(Ref{Addr: a.Addr(i + 1)})
+		emit(Ref{Addr: b.Addr(i), Write: true})
+	}
+}
+
+// Stencil2D emits the 5-point Jacobi pattern over an n×n grid stored
+// row-major in a, writing b.
+func Stencil2D(n int, a, b Array, emit Emit) {
+	idx := func(i, j int) int { return i*n + j }
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			emit(Ref{Addr: a.Addr(idx(i-1, j))})
+			emit(Ref{Addr: a.Addr(idx(i+1, j))})
+			emit(Ref{Addr: a.Addr(idx(i, j-1))})
+			emit(Ref{Addr: a.Addr(idx(i, j+1))})
+			emit(Ref{Addr: a.Addr(idx(i, j))})
+			emit(Ref{Addr: b.Addr(idx(i, j)), Write: true})
+		}
+	}
+}
+
+// Transpose emits the column-major walk over an n×n row-major matrix:
+// the worst-case strided pattern (MVT, matrix transposition).
+func Transpose(n int, a Array, write bool, emit Emit) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			emit(Ref{Addr: a.Addr(i*n + j), Write: write})
+		}
+	}
+}
+
+// Gather emits x[idx[i]] loads with a seeded random index array
+// (INDEXLIST-style indirection). The idx array itself is also read.
+func Gather(n int, seed int64, idx, x Array, emit Emit) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		emit(Ref{Addr: idx.Addr(i)})
+		emit(Ref{Addr: x.Addr(rng.Intn(n))})
+	}
+}
+
+// RandomAccess emits n references uniformly over an array of elems
+// elements (sorting-like behaviour).
+func RandomAccess(n, elems int, seed int64, a Array, writeFrac float64, emit Emit) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		emit(Ref{Addr: a.Addr(rng.Intn(elems)), Write: rng.Float64() < writeFrac})
+	}
+}
+
+// MatMul emits the classic triple-loop ijk GEMM access pattern over
+// n×n row-major matrices C += A*B (reads A row-wise, B column-wise,
+// updates C).
+func MatMul(n int, a, b, c Array, emit Emit) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			emit(Ref{Addr: c.Addr(i*n + j)})
+			for k := 0; k < n; k++ {
+				emit(Ref{Addr: a.Addr(i*n + k)})
+				emit(Ref{Addr: b.Addr(k*n + j)})
+			}
+			emit(Ref{Addr: c.Addr(i*n + j), Write: true})
+		}
+	}
+}
+
+// FromPattern renders a generic trace for an ir.Pattern: the bridge the
+// validation tests use to drive the cache simulator from a kernel's IR.
+// n is the element count per array, elemSize the element width.
+func FromPattern(p ir.Pattern, n, elemSize, stride int, seed int64, emit Emit) error {
+	l := NewLayout()
+	switch p {
+	case ir.Unit:
+		a, b := l.Alloc(n, elemSize), l.Alloc(n, elemSize)
+		return Stream(n, []Array{a, b}, []bool{false, true}, emit)
+	case ir.Strided:
+		if stride < 1 {
+			return fmt.Errorf("trace: strided pattern needs stride >= 1")
+		}
+		a := l.Alloc(n*stride, elemSize)
+		Strided(n, stride, a, false, emit)
+		return nil
+	case ir.Stencil:
+		a, b := l.Alloc(n, elemSize), l.Alloc(n, elemSize)
+		Stencil1D(n, a, b, emit)
+		return nil
+	case ir.Transpose:
+		side := isqrt(n)
+		a := l.Alloc(side*side, elemSize)
+		Transpose(side, a, false, emit)
+		return nil
+	case ir.Indirect:
+		idx, x := l.Alloc(n, 8), l.Alloc(n, elemSize)
+		Gather(n, seed, idx, x, emit)
+		return nil
+	case ir.Random:
+		a := l.Alloc(n, elemSize)
+		RandomAccess(n, n, seed, a, 0.25, emit)
+		return nil
+	case ir.Broadcast:
+		a := l.Alloc(8, elemSize)
+		for i := 0; i < n; i++ {
+			emit(Ref{Addr: a.Addr(i % 8)})
+		}
+		return nil
+	}
+	return fmt.Errorf("trace: unsupported pattern %v", p)
+}
+
+func isqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

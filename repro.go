@@ -1,0 +1,177 @@
+// Package repro is the public API of the SG2042 benchmarking study — a
+// Go reproduction of "Is RISC-V ready for HPC prime-time: Evaluating
+// the 64-core Sophon SG2042 RISC-V CPU" (Brown, Jamieson, Lee, Wang;
+// SC-W 2023, arXiv:2309.00381).
+//
+// The library contains:
+//
+//   - the complete 64-kernel RAJAPerf suite re-implemented in Go, runnable
+//     on the host over a fork-join goroutine team (RunOnHost);
+//   - parametric descriptions of the seven CPUs the paper evaluates and
+//     an analytic performance model over them;
+//   - models of the paper's three compilers (XuanTie GCC 8.4, Clang,
+//     x86 GCC) and of the RVV v0.7.1/v1.0 split, including an executing
+//     software vector ISA and the v1.0->v0.7.1 rollback translator;
+//   - the study engine that regenerates every table and figure of the
+//     paper's evaluation (RunExperiment / the Figure*/Table* helpers).
+//
+// Start with examples/quickstart, or run:
+//
+//	go run ./cmd/sg2042sim -exp all
+package repro
+
+import (
+	"repro/internal/autovec"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/rollback"
+	"repro/internal/rvv"
+	"repro/internal/suite"
+)
+
+// Re-exported core types. The aliases keep the public surface small
+// while the implementation lives in internal packages.
+type (
+	// Machine describes one CPU under test.
+	Machine = machine.Machine
+	// Study evaluates the paper's experiments.
+	Study = core.Study
+	// Figure is a class-level bar+whisker result.
+	Figure = core.Figure
+	// ScalingTable is a Tables-1-3-shaped result.
+	ScalingTable = core.ScalingTableResult
+	// KernelBars is a per-kernel figure (Figure 3).
+	KernelBars = core.KernelBars
+	// Config selects machine/threads/placement/precision/compiler.
+	Config = perfmodel.Config
+	// Precision is FP32 or FP64.
+	Precision = prec.Precision
+	// Policy is a thread placement policy.
+	Policy = placement.Policy
+	// Compiler identifies a modelled compiler.
+	Compiler = autovec.Compiler
+	// KernelSpec describes one RAJAPerf kernel.
+	KernelSpec = kernels.Spec
+	// Class is a RAJAPerf benchmark class.
+	Class = kernels.Class
+)
+
+// Precisions.
+const (
+	F32 = prec.F32
+	F64 = prec.F64
+)
+
+// Placement policies (Section 3.2).
+const (
+	Block         = placement.Block
+	CyclicNUMA    = placement.CyclicNUMA
+	ClusterCyclic = placement.ClusterCyclic
+)
+
+// Compilers.
+const (
+	GCCXuanTie = autovec.GCCXuanTie
+	Clang16    = autovec.Clang16
+	GCCx86     = autovec.GCCx86
+)
+
+// Benchmark classes.
+const (
+	Algorithm = kernels.Algorithm
+	Apps      = kernels.Apps
+	Basic     = kernels.Basic
+	Lcals     = kernels.Lcals
+	Polybench = kernels.Polybench
+	Stream    = kernels.Stream
+)
+
+// Machine presets (Section 2.1 and Table 4).
+var (
+	SG2042       = machine.SG2042
+	VisionFiveV1 = machine.VisionFiveV1
+	VisionFiveV2 = machine.VisionFiveV2
+	EPYC7742     = machine.EPYC7742
+	XeonE52695   = machine.XeonE52695
+	Xeon6330     = machine.Xeon6330
+	XeonE52609   = machine.XeonE52609
+)
+
+// Machines returns every modelled CPU.
+func Machines() []*Machine { return machine.All() }
+
+// X86Machines returns the four x86 comparators of Table 4.
+func X86Machines() []*Machine { return machine.X86() }
+
+// MachineByLabel finds a preset by its short label ("SG2042", "Rome",
+// ...), or nil.
+func MachineByLabel(label string) *Machine { return machine.ByLabel(label) }
+
+// NewStudy returns a Study with the paper's defaults (five averaged
+// runs with small seeded measurement noise).
+func NewStudy() *Study { return core.NewStudy() }
+
+// Kernels returns the 64 RAJAPerf kernel specs in class order.
+func Kernels() []KernelSpec { return suite.All() }
+
+// KernelsByClass returns the kernels of one class.
+func KernelsByClass(c Class) []KernelSpec { return suite.ByClass(c) }
+
+// KernelByName looks a kernel up by its RAJAPerf name ("TRIAD", "2MM").
+func KernelByName(name string) (KernelSpec, error) { return suite.ByName(name) }
+
+// KernelNames lists all 64 kernel names.
+func KernelNames() []string { return suite.Names() }
+
+// DefaultCompilerFor returns the compiler the paper uses on a machine.
+func DefaultCompilerFor(m *Machine) Compiler { return perfmodel.DefaultCompilerFor(m) }
+
+// RollbackRVV translates RVV v1.0 assembly to v0.7.1 (the RVV-Rollback
+// pipeline that makes Clang output executable on the C920). Input and
+// output use the textual assembly of the internal software vector ISA.
+func RollbackRVV(src string) (string, error) { return rollback.TranslateText(src) }
+
+// RVVKernelAssembly generates VLS or VLA RVV assembly for one of the
+// stream-style kernel templates ("copy", "scale", "add", "triad",
+// "daxpy", "dot") in the given dialect ("rvv0.7.1" or "rvv1.0") at
+// element width sew (32 or 64). vla selects vector-length-agnostic
+// code; otherwise VLS targeting a 128-bit implementation is emitted.
+func RVVKernelAssembly(kernel string, dialect string, sew int, vla bool) (string, error) {
+	var k rvv.GenKernel
+	switch kernel {
+	case "copy":
+		k = rvv.KCopy
+	case "scale":
+		k = rvv.KScale
+	case "add":
+		k = rvv.KAdd
+	case "triad":
+		k = rvv.KTriad
+	case "daxpy":
+		k = rvv.KDaxpy
+	case "dot":
+		k = rvv.KDot
+	default:
+		return "", errUnknownKernel(kernel)
+	}
+	d := rvv.V071
+	if dialect == "rvv1.0" {
+		d = rvv.V10
+	}
+	mode := rvv.ModeVLS
+	if vla {
+		mode = rvv.ModeVLA
+	}
+	src, _, err := rvv.Generate(k, rvv.GenConfig{Dialect: d, SEW: sew, Mode: mode, VLEN: 128})
+	return src, err
+}
+
+type errUnknownKernel string
+
+func (e errUnknownKernel) Error() string {
+	return "repro: unknown RVV kernel template " + string(e)
+}
