@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build vet test bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The study-engine benchmarks (uncached serial vs cold vs serving
+# engine) plus everything else; -benchtime keeps the full sweep quick.
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 10x ./...
+
+verify: build vet test

@@ -139,6 +139,52 @@ func benchXCompare(b *testing.B, p prec.Precision, mt bool) {
 	}
 }
 
+// --- the concurrent study engine ------------------------------------------
+
+// BenchmarkAllExperimentsUncachedSerial is the seed behaviour: every
+// suite configuration of every experiment re-evaluated from scratch,
+// one at a time. The two benchmarks below divide against this one.
+func BenchmarkAllExperimentsUncachedSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := core.NewStudy()
+		st.NoCache = true
+		if _, err := runExperimentWith(st, "all"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsEngineCold runs the full experiment set through
+// the concurrent memoized engine, one cold engine per iteration: shared
+// configurations are evaluated once and the 11 experiments fan out over
+// GOMAXPROCS workers.
+func BenchmarkAllExperimentsEngineCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiments([]string{"all"}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsEngineServing measures the serving scenario the
+// engine exists for: a long-lived engine answering repeated full-set
+// requests, where after the first request the memoized suite cache
+// carries the load.
+func BenchmarkAllExperimentsEngineServing(b *testing.B) {
+	eng := NewEngine(Options{})
+	if _, err := eng.Run("all"); err != nil { // first request warms the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run("all"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hits, misses := eng.CacheStats()
+	b.ReportMetric(float64(hits)/float64(hits+misses), "cache_hit_rate")
+}
+
 // --- real host execution of representative kernels -----------------------
 
 func benchHostKernel(b *testing.B, name string, n int, p prec.Precision) {

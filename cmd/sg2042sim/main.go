@@ -6,6 +6,7 @@
 //	sg2042sim -exp table2            # one experiment as text
 //	sg2042sim -exp figure3 -csv      # CSV output
 //	sg2042sim -exp all               # every table and figure
+//	sg2042sim -exp all -parallel 8   # ... on 8 workers (same bytes)
 //	sg2042sim -headline              # the conclusions' headline factors
 //	sg2042sim -list                  # list experiment names
 package main
@@ -14,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro"
 )
@@ -22,6 +22,7 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment to regenerate (figure1..figure7, table1..table4, all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text")
+	parallel := flag.Int("parallel", 0, "worker pool size for the study engine (0 = GOMAXPROCS, 1 = serial); output is identical for every setting")
 	headline := flag.Bool("headline", false, "print the headline comparison factors")
 	list := flag.Bool("list", false, "list available experiments")
 	roofline := flag.String("roofline", "", "print the roofline of a machine (label, e.g. SG2042)")
@@ -64,16 +65,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	var out string
-	var err error
-	if *csv {
-		if strings.EqualFold(*exp, "all") {
-			fatal(fmt.Errorf("-csv does not support -exp all; pick one experiment"))
-		}
-		out, err = repro.RunExperimentCSV(*exp)
-	} else {
-		out, err = repro.RunExperiment(*exp)
-	}
+	eng := repro.NewEngine(repro.Options{Parallel: *parallel, CSV: *csv})
+	out, err := eng.Run(*exp)
 	if err != nil {
 		fatal(err)
 	}

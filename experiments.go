@@ -2,10 +2,12 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/prec"
 	"repro/internal/report"
@@ -18,44 +20,192 @@ var ExperimentNames = []string{
 	"figure4", "figure5", "figure6", "figure7",
 }
 
+// Options configures RunExperiments and NewEngine.
+type Options struct {
+	// Parallel is the global concurrency bound for the engine: when a
+	// batch fans out, the experiment-level pool and the per-experiment
+	// configuration fan-out together never exceed it. 0 picks
+	// GOMAXPROCS; 1 runs everything serially on the calling goroutine.
+	// Output is identical for every setting.
+	Parallel int
+	// CSV renders each experiment's CSV form instead of text (Table 4
+	// has no CSV form and always renders as text).
+	CSV bool
+}
+
+func (o Options) workers() int {
+	if o.Parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// Engine is a long-lived experiment service: one memoized Study shared
+// across requests, safe for concurrent use from many goroutines. The
+// first request for a configuration evaluates it; every later
+// experiment that needs the same configuration — in the same request or
+// a concurrent one — is served from the cache, bit-identical.
+type Engine struct {
+	st   *Study
+	opts Options
+}
+
+// NewEngine returns an Engine with the paper's study defaults.
+func NewEngine(opts Options) *Engine {
+	st := NewStudy()
+	st.Workers = opts.workers()
+	return &Engine{st: st, opts: opts}
+}
+
+// Run regenerates one experiment by name; "all" runs every experiment
+// concatenated in the paper's order.
+func (e *Engine) Run(name string) (string, error) {
+	name = canonExperiment(name)
+	if name == "all" {
+		return e.RunMany(ExperimentNames)
+	}
+	return renderExperiment(e.st, name, e.opts.CSV)
+}
+
+// RunMany regenerates the named experiments ("all" expands in place)
+// over a bounded worker pool with first-error cancellation, and
+// concatenates the outputs in the order the names were given — output
+// ordering never depends on scheduling. Each experiment is followed by
+// a blank separator line.
+func (e *Engine) RunMany(names []string) (string, error) {
+	return runMany(e.st, expandExperiments(names), e.opts.CSV, e.opts.workers())
+}
+
+// CacheStats reports the engine's memoized suite lookups (hits served
+// from the cache, misses evaluated).
+func (e *Engine) CacheStats() (hits, misses uint64) { return e.st.CacheStats() }
+
 // RunExperiment regenerates one of the paper's tables or figures and
 // returns it rendered as text. Accepted names are listed in
-// ExperimentNames; "all" concatenates every experiment.
+// ExperimentNames; "all" concatenates every experiment. Evaluation is
+// serial; use RunExperiments for the concurrent engine.
 func RunExperiment(name string) (string, error) {
 	st := NewStudy()
-	return runExperimentWith(st, strings.ToLower(strings.TrimSpace(name)))
+	return runExperimentWith(st, canonExperiment(name))
+}
+
+// RunExperiments regenerates the named experiments ("all" expands to
+// every one) on a bounded worker pool shared with a memoized study, and
+// returns their outputs concatenated in the order given. The result is
+// byte-identical to running the same names serially.
+func RunExperiments(names []string, opts Options) (string, error) {
+	return NewEngine(opts).RunMany(names)
 }
 
 // RunExperimentCSV is RunExperiment with CSV output (Table 4 has no CSV
-// form and renders as text).
+// form and renders as text); "all" concatenates every experiment's CSV.
 func RunExperimentCSV(name string) (string, error) {
 	st := NewStudy()
-	name = strings.ToLower(strings.TrimSpace(name))
+	name = canonExperiment(name)
+	if name == "all" {
+		return runMany(st, ExperimentNames, true, st.Workers)
+	}
+	return renderExperiment(st, name, true)
+}
+
+func canonExperiment(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// expandExperiments canonicalizes names and expands "all" in place.
+func expandExperiments(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		n = canonExperiment(n)
+		if n == "all" {
+			out = append(out, ExperimentNames...)
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// runMany fans the named experiments out against one shared study;
+// outs[i] keeps the caller's ordering stable regardless of completion
+// order. workers is a global bound: it is split between the
+// experiment-level pool and the per-experiment fan-out (outer *
+// inner <= workers), so -parallel 8 never runs 8x8 goroutines.
+func runMany(st *Study, names []string, csv bool, workers int) (string, error) {
+	outer := workers
+	if outer > len(names) {
+		outer = len(names)
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	view := st.WithWorkers(inner)
+	outs := make([]string, len(names))
+	err := par.ForEach(len(names), outer, func(i int) error {
+		out, err := renderExperiment(view, names[i], csv)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, out := range outs {
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func runExperimentWith(st *Study, name string) (string, error) {
+	if name == "all" {
+		return runMany(st, ExperimentNames, false, st.Workers)
+	}
+	return renderExperiment(st, name, false)
+}
+
+// renderExperiment evaluates one experiment against st and renders it
+// as text or CSV — the single switch both RunExperiment flavours and
+// the engine share.
+func renderExperiment(st *Study, name string, csv bool) (string, error) {
 	switch name {
 	case "figure1":
 		fig, err := st.Figure1()
 		if err != nil {
 			return "", err
 		}
-		return report.FigureCSV(fig), nil
+		return figureOut(fig, csv), nil
 	case "table1", "table2", "table3":
 		tab, err := st.ScalingTable(tablePolicy(name))
 		if err != nil {
 			return "", err
 		}
-		return report.ScalingTableCSV(tab), nil
+		if csv {
+			return report.ScalingTableCSV(tab), nil
+		}
+		return report.ScalingTableText(tab), nil
 	case "figure2":
 		fig, err := st.Figure2()
 		if err != nil {
 			return "", err
 		}
-		return report.FigureCSV(fig), nil
+		return figureOut(fig, csv), nil
 	case "figure3":
 		kb, err := st.Figure3()
 		if err != nil {
 			return "", err
 		}
-		return report.KernelBarsCSV(kb), nil
+		if csv {
+			return report.KernelBarsCSV(kb), nil
+		}
+		return report.KernelBarsText(kb), nil
 	case "table4":
 		return report.Table4Text(core.Table4()), nil
 	case "figure4", "figure5", "figure6", "figure7":
@@ -63,10 +213,17 @@ func RunExperimentCSV(name string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return report.FigureCSV(fig), nil
+		return figureOut(fig, csv), nil
 	}
-	return "", fmt.Errorf("repro: unknown experiment %q (want one of %s)",
+	return "", fmt.Errorf("repro: unknown experiment %q (want one of %s, or all)",
 		name, strings.Join(ExperimentNames, ", "))
+}
+
+func figureOut(fig Figure, csv bool) string {
+	if csv {
+		return report.FigureCSV(fig)
+	}
+	return report.FigureText(fig)
 }
 
 func tablePolicy(name string) placement.Policy {
@@ -91,56 +248,6 @@ func xFigure(st *Study, name string) (Figure, error) {
 	default:
 		return st.XCompare(prec.F32, true)
 	}
-}
-
-func runExperimentWith(st *Study, name string) (string, error) {
-	switch name {
-	case "all":
-		var b strings.Builder
-		for _, n := range ExperimentNames {
-			out, err := runExperimentWith(st, n)
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(out)
-			b.WriteString("\n")
-		}
-		return b.String(), nil
-	case "figure1":
-		fig, err := st.Figure1()
-		if err != nil {
-			return "", err
-		}
-		return report.FigureText(fig), nil
-	case "table1", "table2", "table3":
-		tab, err := st.ScalingTable(tablePolicy(name))
-		if err != nil {
-			return "", err
-		}
-		return report.ScalingTableText(tab), nil
-	case "figure2":
-		fig, err := st.Figure2()
-		if err != nil {
-			return "", err
-		}
-		return report.FigureText(fig), nil
-	case "figure3":
-		kb, err := st.Figure3()
-		if err != nil {
-			return "", err
-		}
-		return report.KernelBarsText(kb), nil
-	case "table4":
-		return report.Table4Text(core.Table4()), nil
-	case "figure4", "figure5", "figure6", "figure7":
-		fig, err := xFigure(st, name)
-		if err != nil {
-			return "", err
-		}
-		return report.FigureText(fig), nil
-	}
-	return "", fmt.Errorf("repro: unknown experiment %q (want one of %s, or all)",
-		name, strings.Join(ExperimentNames, ", "))
 }
 
 // HeadlineSummary computes the headline comparisons from the paper's

@@ -1,0 +1,179 @@
+package repro
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRunExperimentCSVAllNames covers the CSV happy path for every
+// experiment name: every CSV-capable experiment must emit a header row
+// and commas; table4 falls back to its text form.
+func TestRunExperimentCSVAllNames(t *testing.T) {
+	for _, name := range ExperimentNames {
+		out, err := RunExperimentCSV(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s: suspiciously short CSV output (%d bytes)", name, len(out))
+		}
+		if name == "table4" {
+			if !strings.Contains(out, "Table 4") {
+				t.Errorf("table4 CSV fallback should render the text table")
+			}
+			continue
+		}
+		if !strings.Contains(out, ",") {
+			t.Errorf("%s: no CSV content", name)
+		}
+		header := out[:strings.IndexByte(out, '\n')]
+		if !strings.Contains(header, "class") && !strings.Contains(header, "kernel") && !strings.Contains(header, "threads") {
+			t.Errorf("%s: unexpected CSV header %q", name, header)
+		}
+	}
+}
+
+func TestRunExperimentCSVAll(t *testing.T) {
+	out, err := RunExperimentCSV("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every per-experiment CSV is present, concatenated in order.
+	if n := strings.Count(out, "series,class,mean_ratio"); n != 6 {
+		t.Errorf("CSV all: %d figure headers, want 6 (figures 1, 2, 4-7)", n)
+	}
+	if n := strings.Count(out, "kernel,Clang_VLA_ratio"); n != 1 {
+		t.Errorf("CSV all: %d kernel-bars headers, want 1 (figure 3)", n)
+	}
+	if n := strings.Count(out, "threads,class,speedup,parallel_efficiency"); n != 3 {
+		t.Errorf("CSV all: %d scaling-table headers, want 3", n)
+	}
+}
+
+func TestUnknownExperimentErrors(t *testing.T) {
+	for _, run := range []struct {
+		name string
+		fn   func(string) (string, error)
+	}{
+		{"RunExperiment", RunExperiment},
+		{"RunExperimentCSV", RunExperimentCSV},
+	} {
+		_, err := run.fn("figure99")
+		if err == nil {
+			t.Fatalf("%s: unknown experiment accepted", run.name)
+		}
+		if !strings.Contains(err.Error(), "figure99") || !strings.Contains(err.Error(), "figure1") {
+			t.Errorf("%s: error should name the bad input and the valid names: %v", run.name, err)
+		}
+	}
+	if _, err := RunExperiments([]string{"figure1", "nope"}, Options{Parallel: 4}); err == nil {
+		t.Error("RunExperiments accepted an unknown name")
+	}
+}
+
+// TestSerialParallelByteIdentical is the engine's acceptance property:
+// the serial path and an 8-worker pool must produce identical bytes.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	serial, err := RunExperiment("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 2, 8} {
+		par, err := RunExperiments([]string{"all"}, Options{Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if par != serial {
+			t.Fatalf("parallel=%d output differs from serial RunExperiment(all)", parallel)
+		}
+	}
+	// CSV path too.
+	csvSerial, err := RunExperimentCSV("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPar, err := RunExperiments([]string{"all"}, Options{Parallel: 8, CSV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvPar != csvSerial {
+		t.Error("CSV output differs between serial and parallel")
+	}
+}
+
+// TestRunExperimentsOrderStable: outputs follow the caller's name
+// order, not completion order.
+func TestRunExperimentsOrderStable(t *testing.T) {
+	out, err := RunExperiments([]string{"table4", "figure1", "table2"}, Options{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iT4 := strings.Index(out, "Table 4")
+	iF1 := strings.Index(out, "Figure 1")
+	iT2 := strings.Index(out, "Table 2")
+	if iT4 < 0 || iF1 < 0 || iT2 < 0 || !(iT4 < iF1 && iF1 < iT2) {
+		t.Errorf("outputs out of caller order: table4@%d figure1@%d table2@%d", iT4, iF1, iT2)
+	}
+}
+
+func TestEngineServesConcurrentRequests(t *testing.T) {
+	eng := NewEngine(Options{Parallel: 4})
+	want, err := RunExperiment("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	outs := make([]string, 6)
+	errs := make([]error, 6)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = eng.Run("figure1")
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if outs[i] != want {
+			t.Errorf("request %d: output differs from the serial reference", i)
+		}
+	}
+	hits, misses := eng.CacheStats()
+	if hits == 0 {
+		t.Error("engine served 6 identical requests without a single cache hit")
+	}
+	// Figure 1 needs six configurations; concurrent identical requests
+	// must singleflight instead of evaluating 36 times.
+	if misses > 6 {
+		t.Errorf("misses = %d, want <= 6 (singleflight across requests)", misses)
+	}
+}
+
+func TestEngineRunAllMatchesRunExperiment(t *testing.T) {
+	eng := NewEngine(Options{Parallel: 2})
+	got, err := eng.Run("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunExperiment("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("engine Run(all) differs from RunExperiment(all)")
+	}
+	// A second identical request is served almost entirely from cache.
+	_, missesBefore := eng.CacheStats()
+	if _, err := eng.Run("all"); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := eng.CacheStats()
+	if missesAfter != missesBefore {
+		t.Errorf("second Run(all) evaluated %d new configurations, want 0",
+			missesAfter-missesBefore)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/autovec"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
 	"repro/internal/prec"
@@ -27,7 +28,12 @@ import (
 	"repro/internal/suite"
 )
 
-// Study evaluates experiments against the performance model.
+// Study evaluates experiments against the performance model. A Study
+// is safe for concurrent use: suite evaluations are memoized behind a
+// config-keyed cache (see cache.go) and the experiment constructors
+// fan their per-configuration work out over Workers goroutines.
+// Because all noise seeding is derived from the configuration, results
+// are bit-identical whatever the Workers and NoCache settings.
 type Study struct {
 	Model *perfmodel.Model
 	// Runs is the number of repeated measurements averaged per
@@ -38,12 +44,34 @@ type Study struct {
 	Noise float64
 	// Seed makes noisy runs reproducible.
 	Seed int64
+	// Workers bounds how many suite configurations an experiment
+	// constructor evaluates concurrently; <= 1 evaluates serially on
+	// the calling goroutine.
+	Workers int
+	// NoCache bypasses the suite memoization (benchmarks use it to
+	// measure the uncached baseline).
+	NoCache bool
+
+	// cache is shared between a Study and its WithWorkers views; a
+	// zero-literal Study has none and evaluates uncached.
+	cache *suiteCache
 }
 
 // NewStudy returns a Study with the paper's defaults: five runs with a
-// small seeded measurement noise.
+// small seeded measurement noise, serial evaluation.
 func NewStudy() *Study {
-	return &Study{Model: perfmodel.New(), Runs: 5, Noise: 0.01, Seed: 42}
+	return &Study{Model: perfmodel.New(), Runs: 5, Noise: 0.01, Seed: 42,
+		cache: &suiteCache{}}
+}
+
+// WithWorkers returns a view of st evaluating under a different worker
+// bound while sharing st's memoization cache and knobs. A batch runner
+// that fans out across experiments uses it to keep the product of
+// outer and inner concurrency within one global bound.
+func (st *Study) WithWorkers(workers int) *Study {
+	v := *st
+	v.Workers = workers
+	return &v
 }
 
 // Measurement is one kernel's averaged time under one configuration.
@@ -54,8 +82,24 @@ type Measurement struct {
 }
 
 // RunSuite measures every kernel under cfg, averaging Runs noisy
-// evaluations.
+// evaluations. Results are memoized per canonicalized configuration
+// (unless NoCache is set); noise is seeded from the configuration, so
+// cached and freshly evaluated results are bit-identical.
 func (st *Study) RunSuite(cfg perfmodel.Config) ([]Measurement, error) {
+	if st.NoCache || st.cache == nil {
+		return st.runSuiteUncached(cfg)
+	}
+	e := st.cache.entry(st.suiteKeyFor(cfg))
+	e.once.Do(func() { e.ms, e.err = st.runSuiteUncached(cfg) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]Measurement, len(e.ms))
+	copy(out, e.ms)
+	return out, nil
+}
+
+func (st *Study) runSuiteUncached(cfg perfmodel.Config) ([]Measurement, error) {
 	specs := suite.All()
 	out := make([]Measurement, 0, len(specs))
 	rng := rand.New(rand.NewSource(st.Seed ^ configSeed(cfg)))
@@ -187,17 +231,23 @@ func (st *Study) Figure1() (Figure, error) {
 		{"SG2042 FP64", sgConfig(1, placement.Block, prec.F64)},
 		{"SG2042 FP32", sgConfig(1, placement.Block, prec.F32)},
 	}
-	for _, c := range cases {
-		test, err := st.RunSuite(c.cfg)
+	series := make([]Series, len(cases))
+	err = par.ForEach(len(cases), st.Workers, func(i int) error {
+		test, err := st.RunSuite(cases[i].cfg)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		ratios, err := Ratios(base, test)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
-		fig.Series = append(fig.Series, Series{Label: c.label, ByClass: ClassSummaries(ratios)})
+		series[i] = Series{Label: cases[i].label, ByClass: ClassSummaries(ratios)}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -240,10 +290,12 @@ func (st *Study) ScalingTable(pol placement.Policy) (ScalingTableResult, error) 
 	for _, m := range base {
 		baseBy[m.Kernel] = m
 	}
-	for _, threads := range TableThreads {
+	rows := make([]map[kernels.Class]ScalingCell, len(TableThreads))
+	err = par.ForEach(len(TableThreads), st.Workers, func(i int) error {
+		threads := TableThreads[i]
 		test, err := st.RunSuite(sgConfig(threads, pol, prec.F32))
 		if err != nil {
-			return res, err
+			return err
 		}
 		perClass := make(map[kernels.Class][]float64)
 		for _, m := range test {
@@ -255,7 +307,14 @@ func (st *Study) ScalingTable(pol placement.Policy) (ScalingTableResult, error) 
 			sp := stats.Mean(sps)
 			row[c] = ScalingCell{Speedup: sp, PE: stats.ParallelEfficiency(sp, threads)}
 		}
-		res.Cells[threads] = row
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, threads := range TableThreads {
+		res.Cells[threads] = rows[i]
 	}
 	return res, nil
 }
@@ -267,26 +326,34 @@ func (st *Study) Figure2() (Figure, error) {
 		Title:    "Figure 2: maximum single core speedup per class when enabling vectorisation on the C920",
 		Baseline: "scalar build (per precision)",
 	}
-	for _, p := range []prec.Precision{prec.F32, prec.F64} {
+	precs := []prec.Precision{prec.F32, prec.F64}
+	series := make([]Series, len(precs))
+	err := par.ForEach(len(precs), st.Workers, func(i int) error {
+		p := precs[i]
 		scalarCfg := sgConfig(1, placement.Block, p)
 		scalarCfg.ScalarOnly = true
 		base, err := st.RunSuite(scalarCfg)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		test, err := st.RunSuite(sgConfig(1, placement.Block, p))
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		ratios, err := Ratios(base, test)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
-		fig.Series = append(fig.Series, Series{
+		series[i] = Series{
 			Label:   fmt.Sprintf("RVV vs scalar, %v", p),
 			ByClass: ClassSummaries(ratios),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -316,31 +383,54 @@ func (st *Study) Figure3() (KernelBars, error) {
 		Baseline: "XuanTie GCC (VLS)",
 		Kernels:  names,
 	}
+	specs := make([]kernels.Spec, len(names))
+	for i, name := range names {
+		spec, err := suite.ByName(name)
+		if err != nil {
+			return kb, err
+		}
+		specs[i] = spec
+	}
 	gccCfg := sgConfig(1, placement.Block, prec.F32)
-	for _, mode := range []autovec.Mode{autovec.VLA, autovec.VLS} {
+	// The GCC baseline is mode-independent: one evaluation per kernel,
+	// shared by both Clang modes.
+	gccSecs := make([]float64, len(names))
+	err := par.ForEach(len(names), st.Workers, func(i int) error {
+		bg, err := st.Model.KernelTime(specs[i], gccCfg)
+		if err != nil {
+			return err
+		}
+		gccSecs[i] = bg.Seconds
+		return nil
+	})
+	if err != nil {
+		return kb, err
+	}
+	modes := []autovec.Mode{autovec.VLA, autovec.VLS}
+	ratios := make([][]float64, len(modes))
+	for m := range modes {
+		ratios[m] = make([]float64, len(names))
+	}
+	err = par.ForEach(len(modes)*len(names), st.Workers, func(j int) error {
+		m, i := j/len(names), j%len(names)
 		clangCfg := gccCfg
 		clangCfg.Compiler = autovec.Clang16
-		clangCfg.Mode = mode
-		ratios := make([]float64, len(names))
-		for i, name := range names {
-			spec, err := suite.ByName(name)
-			if err != nil {
-				return kb, err
-			}
-			bg, err := st.Model.KernelTime(spec, gccCfg)
-			if err != nil {
-				return kb, err
-			}
-			bc, err := st.Model.KernelTime(spec, clangCfg)
-			if err != nil {
-				return kb, err
-			}
-			ratios[i] = bg.Seconds / bc.Seconds
+		clangCfg.Mode = modes[m]
+		bc, err := st.Model.KernelTime(specs[i], clangCfg)
+		if err != nil {
+			return err
 		}
+		ratios[m][i] = gccSecs[i] / bc.Seconds
+		return nil
+	})
+	if err != nil {
+		return kb, err
+	}
+	for m, mode := range modes {
 		kb.Series = append(kb.Series, struct {
 			Label  string
 			Ratios []float64
-		}{Label: "Clang " + mode.String(), Ratios: ratios})
+		}{Label: "Clang " + mode.String(), Ratios: ratios[m]})
 	}
 	return kb, nil
 }
@@ -396,16 +486,25 @@ func (st *Study) XCompare(p prec.Precision, multithreaded bool) (Figure, error) 
 		base = b
 	} else {
 		// Best thread count/placement per kernel, as Section 3.3 does.
-		for _, spec := range suite.All() {
-			_, _, secs, err := st.BestSGThreads(spec, p)
+		specs := suite.All()
+		base = make([]Measurement, len(specs))
+		err := par.ForEach(len(specs), st.Workers, func(i int) error {
+			_, _, secs, err := st.BestSGThreads(specs[i], p)
 			if err != nil {
-				return Figure{}, err
+				return err
 			}
-			base = append(base, Measurement{Kernel: spec.Name, Class: spec.Class, Seconds: secs})
+			base[i] = Measurement{Kernel: specs[i].Name, Class: specs[i].Class, Seconds: secs}
+			return nil
+		})
+		if err != nil {
+			return Figure{}, err
 		}
 	}
 
-	for _, m := range machine.X86() {
+	x86 := machine.X86()
+	series := make([]Series, len(x86))
+	err := par.ForEach(len(x86), st.Workers, func(i int) error {
+		m := x86[i]
 		threads := 1
 		if multithreaded {
 			threads = m.Cores // "on all the x86 systems this was found to
@@ -413,14 +512,19 @@ func (st *Study) XCompare(p prec.Precision, multithreaded bool) (Figure, error) 
 		}
 		test, err := st.RunSuite(mustMachineCfg(m, threads, p))
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		ratios, err := Ratios(base, test)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
-		fig.Series = append(fig.Series, Series{Label: m.Label, ByClass: ClassSummaries(ratios)})
+		series[i] = Series{Label: m.Label, ByClass: ClassSummaries(ratios)}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 

@@ -145,9 +145,14 @@ func newSort[F prec.Float](n int) kernels.Instance {
 func (k *sortInst[F]) Run(r team.Runner) {
 	copy(k.x, k.orig) // each rep sorts fresh data, as RAJAPerf does
 	nt := r.NThreads()
+	// Precompute the static partition boundaries instead of having
+	// workers record them: adjacent workers would both write the shared
+	// boundary slot, a (same-value) data race.
 	starts := make([]int, nt+1)
+	for t := 0; t < nt; t++ {
+		_, starts[t+1] = team.Bounds(len(k.x), nt, t)
+	}
 	team.For(r, len(k.x), func(tid, lo, hi int) {
-		starts[tid], starts[tid+1] = lo, hi
 		qsort(k.x[lo:hi])
 	})
 	if nt > 1 {
@@ -218,8 +223,10 @@ func (s *sortPairsInst[F]) Run(r team.Runner) {
 	copy(s.v, s.origV)
 	nt := r.NThreads()
 	starts := make([]int, nt+1)
+	for t := 0; t < nt; t++ {
+		_, starts[t+1] = team.Bounds(len(s.k), nt, t)
+	}
 	team.For(r, len(s.k), func(tid, lo, hi int) {
-		starts[tid], starts[tid+1] = lo, hi
 		qsortPairs(s.k[lo:hi], s.v[lo:hi])
 	})
 	if nt > 1 {

@@ -1,0 +1,154 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachSerialMatchesParallel(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 2, 4, 16, 200} {
+		out := make([]int, n)
+		err := ForEach(n, workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, out[i])
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(50, 4, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	var calls int
+	err := ForEach(50, 1, func(i int) error {
+		calls++
+		if i == 3 {
+			return fmt.Errorf("stop at %d", i)
+		}
+		return nil
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want error after 4 calls", err, calls)
+	}
+}
+
+func TestForEachCancellationSkipsRemaining(t *testing.T) {
+	// With 1000 items on 2 workers, an early failure must prevent most
+	// of the tail from running.
+	var calls atomic.Int64
+	err := ForEach(1000, 2, func(i int) error {
+		calls.Add(1)
+		if i < 2 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if c := calls.Load(); c > 100 {
+		t.Errorf("%d calls ran after early cancellation", c)
+	}
+}
+
+func TestForEachEveryIndexExactlyOnce(t *testing.T) {
+	const n = 500
+	counts := make([]atomic.Int32, n)
+	if err := ForEach(n, 8, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	g := NewGroup(workers)
+	var cur, peak atomic.Int32
+	for i := 0; i < 30; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds limit %d", p, workers)
+	}
+}
+
+func TestGroupDropsAfterFailure(t *testing.T) {
+	g := NewGroup(1)
+	g.Go(func() error { return errors.New("first") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("expected error")
+	}
+	ran := false
+	g.Go(func() error { ran = true; return nil })
+	if err := g.Wait(); err == nil || err.Error() != "first" {
+		t.Fatalf("Wait = %v, want first error", err)
+	}
+	if ran {
+		t.Error("task ran after group failure")
+	}
+}
+
+func TestGroupUnbounded(t *testing.T) {
+	g := NewGroup(0)
+	var sum atomic.Int64
+	for i := 1; i <= 10; i++ {
+		g.Go(func() error { sum.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 10 {
+		t.Errorf("ran %d tasks, want 10", sum.Load())
+	}
+}

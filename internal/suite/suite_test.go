@@ -14,22 +14,26 @@ import (
 // still exercising multi-chunk parallel partitions. DefaultN means
 // different things per kernel (elements for 1D kernels, matrix order or
 // grid side for 2D/3D ones), so the cap is chosen from its magnitude:
-// O(n^3) matrix kernels get an order ~48, everything else ~6000
-// elements.
+// O(n^3) matrix kernels get an order ~48, everything else ~1600
+// elements — enough for every 4-thread partition to span several
+// chunks, small enough that the O(n^2) polybench kernels (FDTD_2D,
+// ATAX, MVT, ...) stay in the milliseconds.
 func testSize(s kernels.Spec) int {
 	if s.DefaultN <= 1024 {
 		return 48
 	}
-	return 6000
+	return 1600
 }
 
 func TestRegistryStructure(t *testing.T) {
+	t.Parallel()
 	if err := Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPaperKernelInventory(t *testing.T) {
+	t.Parallel()
 	// Spot-check the kernels the paper names explicitly.
 	mustHave := []string{
 		"MEMSET", "MEMCPY", "SORT", // "memory copies, the sorting of data"
@@ -47,6 +51,7 @@ func TestPaperKernelInventory(t *testing.T) {
 }
 
 func TestByClassCounts(t *testing.T) {
+	t.Parallel()
 	for c, want := range kernels.ExpectedCount {
 		if got := len(ByClass(c)); got != want {
 			t.Errorf("class %v: %d kernels, want %d", c, got, want)
@@ -58,6 +63,7 @@ func TestByClassCounts(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := ByName("NOPE"); err == nil {
 		t.Error("unknown kernel accepted")
 	}
@@ -68,11 +74,13 @@ func TestByNameUnknown(t *testing.T) {
 // checksum as running it sequentially (modulo FP reassociation, which
 // the deterministic partials keep small).
 func TestSequentialParallelEquivalence(t *testing.T) {
-	tm := team.New(4)
-	defer tm.Close()
+	t.Parallel()
 	for _, s := range All() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			tm := team.New(4)
+			defer tm.Close()
 			for _, p := range prec.Both {
 				seq := s.Build(p, testSize(s))
 				seq.Run(team.Sequential{})
@@ -103,15 +111,20 @@ func relTol(p prec.Precision) float64 {
 // runner must give a stable checksum for idempotent kernels, and a
 // deterministic one for iterating kernels (build two instances).
 func TestRepeatability(t *testing.T) {
+	t.Parallel()
 	for _, s := range All() {
-		a := s.Build(prec.F64, testSize(s))
-		b := s.Build(prec.F64, testSize(s))
-		a.Run(team.Sequential{})
-		b.Run(team.Sequential{})
-		if a.Checksum() != b.Checksum() {
-			t.Errorf("%s: two fresh instances disagree: %g vs %g",
-				s.Name, a.Checksum(), b.Checksum())
-		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			a := s.Build(prec.F64, testSize(s))
+			b := s.Build(prec.F64, testSize(s))
+			a.Run(team.Sequential{})
+			b.Run(team.Sequential{})
+			if a.Checksum() != b.Checksum() {
+				t.Errorf("%s: two fresh instances disagree: %g vs %g",
+					s.Name, a.Checksum(), b.Checksum())
+			}
+		})
 	}
 }
 
@@ -119,36 +132,47 @@ func TestRepeatability(t *testing.T) {
 // checksums must agree to single-precision accuracy. This catches
 // builders that wire up different code paths per precision.
 func TestPrecisionsAgreeLoosely(t *testing.T) {
+	t.Parallel()
 	for _, s := range All() {
-		f32 := s.Build(prec.F32, testSize(s))
-		f64 := s.Build(prec.F64, testSize(s))
-		f32.Run(team.Sequential{})
-		f64.Run(team.Sequential{})
-		a, b := f32.Checksum(), f64.Checksum()
-		denom := 1 + math.Abs(b)
-		if math.Abs(a-b)/denom > 2e-2 {
-			t.Errorf("%s: FP32 checksum %g far from FP64 %g", s.Name, a, b)
-		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			f32 := s.Build(prec.F32, testSize(s))
+			f64 := s.Build(prec.F64, testSize(s))
+			f32.Run(team.Sequential{})
+			f64.Run(team.Sequential{})
+			a, b := f32.Checksum(), f64.Checksum()
+			denom := 1 + math.Abs(b)
+			if math.Abs(a-b)/denom > 2e-2 {
+				t.Errorf("%s: FP32 checksum %g far from FP64 %g", s.Name, a, b)
+			}
+		})
 	}
 }
 
 func TestChecksumsNonTrivial(t *testing.T) {
+	t.Parallel()
 	// A zero or NaN checksum usually means the kernel never ran or
 	// wrote nothing.
 	for _, s := range All() {
-		inst := s.Build(prec.F64, testSize(s))
-		inst.Run(team.Sequential{})
-		cs := inst.Checksum()
-		if math.IsNaN(cs) || math.IsInf(cs, 0) {
-			t.Errorf("%s: checksum %v", s.Name, cs)
-		}
-		if cs == 0 {
-			t.Errorf("%s: checksum is exactly zero — did the kernel run?", s.Name)
-		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			inst := s.Build(prec.F64, testSize(s))
+			inst.Run(team.Sequential{})
+			cs := inst.Checksum()
+			if math.IsNaN(cs) || math.IsInf(cs, 0) {
+				t.Errorf("%s: checksum %v", s.Name, cs)
+			}
+			if cs == 0 {
+				t.Errorf("%s: checksum is exactly zero — did the kernel run?", s.Name)
+			}
+		})
 	}
 }
 
 func TestSpecDerivedQuantities(t *testing.T) {
+	t.Parallel()
 	for _, s := range All() {
 		if s.Flops(s.DefaultN) < 0 {
 			t.Errorf("%s: negative flops", s.Name)
@@ -170,6 +194,7 @@ func TestSpecDerivedQuantities(t *testing.T) {
 }
 
 func TestStreamClassSignatures(t *testing.T) {
+	t.Parallel()
 	// STREAM TRIAD: 2 flops, 2 loads + 1 store per iteration.
 	s, err := ByName("TRIAD")
 	if err != nil {
@@ -188,6 +213,7 @@ func TestStreamClassSignatures(t *testing.T) {
 }
 
 func TestVectorisationRelevantFeatures(t *testing.T) {
+	t.Parallel()
 	// The kernels the paper discusses by name must carry the features
 	// that drive the Figure 2/3 compiler behaviour.
 	cases := map[string]ir.Feature{
@@ -222,6 +248,7 @@ func TestVectorisationRelevantFeatures(t *testing.T) {
 }
 
 func TestSeqOnlyKernels(t *testing.T) {
+	t.Parallel()
 	s, err := ByName("GEN_LIN_RECUR")
 	if err != nil {
 		t.Fatal(err)
@@ -242,6 +269,7 @@ func TestSeqOnlyKernels(t *testing.T) {
 }
 
 func TestKernelAlgorithms(t *testing.T) {
+	t.Parallel()
 	// Verify a few kernels against closed-form or known results.
 	tm := team.New(3)
 	defer tm.Close()
@@ -273,20 +301,21 @@ func TestKernelAlgorithms(t *testing.T) {
 }
 
 func TestSortKernelsActuallySort(t *testing.T) {
+	t.Parallel()
 	// SORT's checksum weights by position, so a sorted array has a
 	// different (deterministic) checksum than the unsorted input; more
 	// directly, sorting twice is idempotent.
 	s, _ := ByName("SORT")
 	tm := team.New(4)
 	defer tm.Close()
-	a := s.Build(prec.F64, 5000)
+	a := s.Build(prec.F64, 2000)
 	a.Run(tm)
 	first := a.Checksum()
 	a.Run(tm) // sorts the same source data again
 	if a.Checksum() != first {
 		t.Error("SORT is not deterministic across reps")
 	}
-	b := s.Build(prec.F64, 5000)
+	b := s.Build(prec.F64, 2000)
 	b.Run(team.Sequential{})
 	if b.Checksum() != first {
 		t.Error("parallel merge sort disagrees with sequential sort")

@@ -15,9 +15,20 @@
 //   - the study engine that regenerates every table and figure of the
 //     paper's evaluation (RunExperiment / the Figure*/Table* helpers).
 //
+// The study engine is concurrent and memoized. RunExperiments fans a
+// batch of experiments out over a bounded worker pool with first-error
+// cancellation, and every suite evaluation is cached under its
+// canonicalized configuration; because measurement noise is seeded from
+// the configuration, serial, parallel and cached runs are all
+// bit-identical. For a long-lived service, NewEngine shares one cache
+// across concurrent requests:
+//
+//	eng := repro.NewEngine(repro.Options{Parallel: 8})
+//	out, err := eng.Run("all") // later identical requests hit the cache
+//
 // Start with examples/quickstart, or run:
 //
-//	go run ./cmd/sg2042sim -exp all
+//	go run ./cmd/sg2042sim -exp all -parallel 8
 package repro
 
 import (
