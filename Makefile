@@ -1,6 +1,7 @@
 GO ?= go
+SERVE_ADDR ?= 127.0.0.1:18042
 
-.PHONY: build vet test bench verify
+.PHONY: build vet test bench verify serve
 
 build:
 	$(GO) build ./...
@@ -17,3 +18,20 @@ bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 10x ./...
 
 verify: build vet test
+
+# Build sg2042d and smoke-test it: start the daemon, hit one experiment
+# endpoint through the example client, then shut the daemon down.
+serve:
+	$(GO) build -o bin/sg2042d ./cmd/sg2042d
+	@set -e; \
+	./bin/sg2042d -addr $(SERVE_ADDR) -parallel 4 > bin/sg2042d.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do \
+	  $(GO) run ./examples/serveclient -addr $(SERVE_ADDR) -exp table4 > bin/smoke.log 2>&1 && break; \
+	  sleep 0.5; \
+	  if [ $$i = 10 ]; then \
+	    echo "sg2042d smoke test FAILED; client output:"; cat bin/smoke.log; \
+	    echo "daemon log:"; cat bin/sg2042d.log; exit 1; \
+	  fi; \
+	done; \
+	echo "sg2042d smoke test OK on $(SERVE_ADDR)"

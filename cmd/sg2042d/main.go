@@ -1,0 +1,109 @@
+// Command sg2042d serves the study engine over HTTP: the paper's
+// tables and figures as cacheable network resources, plus the roofline
+// and cluster models, backed by one shared memoized engine so repeated
+// and concurrent requests never recompute a configuration.
+//
+// Usage:
+//
+//	sg2042d                         # serve on :8042, GOMAXPROCS workers
+//	sg2042d -addr 127.0.0.1:9000    # bind elsewhere
+//	sg2042d -parallel 8             # engine worker bound (same bytes)
+//
+// Endpoints:
+//
+//	GET  /v1/experiments            experiment metadata (JSON)
+//	GET  /v1/experiments/{name}     text; ?format=csv|json or Accept
+//	POST /v1/experiments:batch      {"names": ["figure1", ...], "format": "csv"}
+//	GET  /v1/roofline/{machine}     ?prec=f32|f64
+//	GET  /v1/cluster/{machine}      ?net=ib|eth&grid=512&nodes=1,2,4
+//	GET  /metrics                   Prometheus text metrics
+//	GET  /healthz                   liveness probe
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to five seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the daemon body, extracted from main so tests can drive it
+// with a cancellable context and captured streams. It returns the
+// process exit code. ready, when non-nil, receives the bound address
+// once the listener is up (tests use it to learn an ephemeral port).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("sg2042d", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8042", "address to listen on")
+	parallel := fs.Int("parallel", 0, "worker pool size for the study engine (0 = GOMAXPROCS, 1 = serial); responses are identical for every setting")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "sg2042d: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "sg2042d:", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler: serve.New(serve.Options{Parallel: *parallel}).Handler(),
+		// A network-facing daemon must not let slow or stalled clients
+		// hold connections open indefinitely (and with them, graceful
+		// shutdown). Handlers themselves answer in milliseconds.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	fmt.Fprintf(stdout, "sg2042d: serving on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "sg2042d:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "sg2042d: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(stderr, "sg2042d: shutdown:", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, a cancel function, and a channel carrying the exit code.
+func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, <-chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var out, errOut strings.Builder
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, &errOut, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, done
+	case code := <-done:
+		cancel()
+		t.Fatalf("daemon exited immediately with code %d; stderr: %s", code, errOut.String())
+		return "", cancel, done
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon did not come up")
+		return "", cancel, done
+	}
+}
+
+// TestServeAndGracefulShutdown is the daemon's end-to-end smoke test:
+// come up on an ephemeral port, answer an experiment request with the
+// same bytes the library renders, then drain cleanly on cancellation.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	url, cancel, done := startDaemon(t, "-parallel", "2")
+	defer cancel()
+
+	resp, err := http.Get(url + "/v1/experiments/table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "Table 4") {
+		t.Fatalf("status %d, body %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("shutdown exit code %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-h"}, &out, &errOut, nil); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+
+	errOut.Reset()
+	if code := run(context.Background(), []string{"-nope"}, &out, &errOut, nil); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("unknown flag: no usage on stderr: %q", errOut.String())
+	}
+
+	errOut.Reset()
+	if code := run(context.Background(), []string{"positional"}, &out, &errOut, nil); code != 2 {
+		t.Errorf("positional argument: exit %d, want 2", code)
+	}
+
+	errOut.Reset()
+	if code := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out, &errOut, nil); code != 1 {
+		t.Errorf("unlistenable address: exit %d, want 1", code)
+	}
+}

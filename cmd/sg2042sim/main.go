@@ -12,68 +12,86 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment to regenerate (figure1..figure7, table1..table4, all)")
-	csv := flag.Bool("csv", false, "emit CSV instead of text")
-	parallel := flag.Int("parallel", 0, "worker pool size for the study engine (0 = GOMAXPROCS, 1 = serial); output is identical for every setting")
-	headline := flag.Bool("headline", false, "print the headline comparison factors")
-	list := flag.Bool("list", false, "list available experiments")
-	roofline := flag.String("roofline", "", "print the roofline of a machine (label, e.g. SG2042)")
-	clusterNode := flag.String("cluster", "", "model MPI scaling of a machine (label, e.g. SG2042) — the paper's further work")
-	network := flag.String("net", "ib", "interconnect for -cluster: ib or eth")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the command body, extracted from main so flag handling is
+// testable without os.Exit: it parses args, writes to the given
+// streams, and returns the process exit code (0 ok, 1 runtime error,
+// 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sg2042sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment to regenerate (figure1..figure7, table1..table4, all)")
+	csv := fs.Bool("csv", false, "emit CSV instead of text")
+	parallel := fs.Int("parallel", 0, "worker pool size for the study engine (0 = GOMAXPROCS, 1 = serial); output is identical for every setting")
+	headline := fs.Bool("headline", false, "print the headline comparison factors")
+	list := fs.Bool("list", false, "list available experiments")
+	roofline := fs.String("roofline", "", "print the roofline of a machine (label, e.g. SG2042)")
+	clusterNode := fs.String("cluster", "", "model MPI scaling of a machine (label, e.g. SG2042) — the paper's further work")
+	network := fs.String("net", "ib", "interconnect for -cluster: ib or eth")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sg2042sim:", err)
+		return 1
+	}
 
 	switch {
 	case *roofline != "":
 		out, err := repro.RooflineReport(*roofline, repro.F64)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(out)
-		return
+		fmt.Fprint(stdout, out)
+		return 0
 	case *clusterNode != "":
 		out, err := repro.ClusterScalingReport(*clusterNode, *network, 512, repro.F64, nil)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(out)
-		return
+		fmt.Fprint(stdout, out)
+		return 0
 	case *list:
-		fmt.Println("Available experiments:")
-		for _, n := range repro.ExperimentNames {
-			fmt.Printf("  %s\n", n)
+		fmt.Fprintln(stdout, "Available experiments:")
+		for _, info := range repro.Experiments() {
+			fmt.Fprintf(stdout, "  %-9s %s\n", info.Name, info.Desc)
 		}
-		fmt.Println("  all")
-		return
+		fmt.Fprintln(stdout, "  all")
+		return 0
 	case *headline:
 		out, err := repro.HeadlineSummary()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(out)
-		return
+		fmt.Fprint(stdout, out)
+		return 0
 	case *exp == "":
-		fmt.Fprintln(os.Stderr, "sg2042sim: pass -exp <name>, -headline or -list")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sg2042sim: pass -exp <name>, -headline or -list")
+		fs.Usage()
+		return 2
 	}
 
 	eng := repro.NewEngine(repro.Options{Parallel: *parallel, CSV: *csv})
 	out, err := eng.Run(*exp)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Print(out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sg2042sim:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, out)
+	return 0
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// exec runs the command body and captures exit code, stdout and stderr.
+func exec(args ...string) (int, string, string) {
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, errOut := exec("-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, name := range repro.ExperimentNames {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+	if !strings.Contains(out, "all") {
+		t.Error("-list output missing the all pseudo-experiment")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, out, errOut := exec("-exp", "figure99")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if out != "" {
+		t.Errorf("unknown experiment wrote to stdout: %q", out)
+	}
+	if !strings.Contains(errOut, "figure99") || !strings.Contains(errOut, "figure1") {
+		t.Errorf("stderr should name the bad input and the valid names: %q", errOut)
+	}
+}
+
+// TestCSVTable4 covers the documented fallback: table4 has no CSV form
+// and renders as text even under -csv.
+func TestCSVTable4(t *testing.T) {
+	code, out, errOut := exec("-exp", "table4", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Table 4: Summary of x86 CPUs") {
+		t.Errorf("-csv table4 should fall back to the text table, got %q", out)
+	}
+	want, err := repro.RunExperimentCSV("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != want {
+		t.Error("-csv table4 differs from RunExperimentCSV(table4)")
+	}
+}
+
+func TestCSVFlagMatchesLibrary(t *testing.T) {
+	code, out, errOut := exec("-exp", "figure3", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	want, err := repro.RunExperimentCSV("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != want {
+		t.Error("-exp figure3 -csv differs from RunExperimentCSV(figure3)")
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	code, _, errOut := exec()
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-exp") {
+		t.Errorf("usage message should mention -exp: %q", errOut)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	code, _, _ := exec("-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and succeeds, like flag's default
+// ExitOnError behaviour.
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errOut := exec("-h")
+	if code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if !strings.Contains(errOut, "-exp") {
+		t.Errorf("-h: usage should list the flags: %q", errOut)
+	}
+}
+
+func TestParallelFlagSameBytes(t *testing.T) {
+	code, serial, _ := exec("-exp", "figure1", "-parallel", "1")
+	if code != 0 {
+		t.Fatal("serial run failed")
+	}
+	code, par, _ := exec("-exp", "figure1", "-parallel", "8")
+	if code != 0 {
+		t.Fatal("parallel run failed")
+	}
+	if serial != par {
+		t.Error("-parallel changed the output bytes")
+	}
+}
+
+func TestRooflineAndClusterFlags(t *testing.T) {
+	code, out, _ := exec("-roofline", "SG2042")
+	if code != 0 || !strings.Contains(out, "SG2042") {
+		t.Errorf("-roofline SG2042: exit %d, out %.60q", code, out)
+	}
+	code, _, errOut := exec("-roofline", "NotAMachine")
+	if code != 1 || !strings.Contains(errOut, "NotAMachine") {
+		t.Errorf("-roofline with unknown machine: exit %d, stderr %q", code, errOut)
+	}
+	code, _, errOut = exec("-cluster", "SG2042", "-net", "carrier-pigeon")
+	if code != 1 || !strings.Contains(errOut, "carrier-pigeon") {
+		t.Errorf("-cluster with unknown net: exit %d, stderr %q", code, errOut)
+	}
+}

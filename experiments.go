@@ -20,6 +20,66 @@ var ExperimentNames = []string{
 	"figure4", "figure5", "figure6", "figure7",
 }
 
+// ExperimentInfo describes one of the paper's experiments for discovery
+// surfaces (the -list flag, the HTTP list endpoint, godoc).
+type ExperimentInfo struct {
+	// Name is the identifier RunExperiment and the HTTP API accept.
+	Name string `json:"name"`
+	// Title is the rendered output's heading ("Figure 1: ...").
+	Title string `json:"title"`
+	// Desc says what the experiment reproduces from the paper.
+	Desc string `json:"desc"`
+	// CSV reports whether the experiment has a CSV form; Table 4 is the
+	// one that renders as text even when CSV is requested.
+	CSV bool `json:"csv"`
+}
+
+// experimentInfos is keyed in the order of ExperimentNames.
+var experimentInfos = []ExperimentInfo{
+	{"figure1", "Figure 1: single core comparison baselined against VisionFive V2 FP64",
+		"single-core RISC-V comparison vs VisionFive V2 FP64", true},
+	{"table1", "Table 1: speed up and parallel efficiency, block allocation",
+		"SG2042 thread scaling under block placement", true},
+	{"table2", "Table 2: speed up and parallel efficiency, cyclic allocation",
+		"SG2042 thread scaling under cyclic-NUMA placement", true},
+	{"table3", "Table 3: speed up and parallel efficiency, cluster-aware cyclic allocation",
+		"SG2042 thread scaling under cluster-aware cyclic placement", true},
+	{"figure2", "Figure 2: maximum single core speedup per class when enabling vectorisation on the C920",
+		"C920 vectorisation speedup, vector vs scalar builds", true},
+	{"figure3", "Figure 3: Clang VLA and VLS vs GCC, Polybench kernels, FP32, single core",
+		"Clang VLA/VLS vs XuanTie GCC on the Polybench kernels", true},
+	{"table4", "Table 4: Summary of x86 CPUs used to compare against the SG2042",
+		"x86 comparator summary", false},
+	{"figure4", "Figure 4: FP64 single core comparison against x86, baselined on the SG2042",
+		"single-core x86 vs SG2042, FP64", true},
+	{"figure5", "Figure 5: FP32 single core comparison against x86, baselined on the SG2042",
+		"single-core x86 vs SG2042, FP32", true},
+	{"figure6", "Figure 6: FP64 multithreaded comparison against x86, baselined on the SG2042",
+		"multithreaded x86 vs SG2042, FP64", true},
+	{"figure7", "Figure 7: FP32 multithreaded comparison against x86, baselined on the SG2042",
+		"multithreaded x86 vs SG2042, FP32", true},
+}
+
+// Experiments returns metadata for every experiment, in the paper's
+// order (the same order as ExperimentNames).
+func Experiments() []ExperimentInfo {
+	out := make([]ExperimentInfo, len(experimentInfos))
+	copy(out, experimentInfos)
+	return out
+}
+
+// ExperimentByName returns the metadata of one experiment ("all" is not
+// an experiment; it is a batch of all of them).
+func ExperimentByName(name string) (ExperimentInfo, bool) {
+	name = canonExperiment(name)
+	for _, info := range experimentInfos {
+		if info.Name == name {
+			return info, true
+		}
+	}
+	return ExperimentInfo{}, false
+}
+
 // Options configures RunExperiments and NewEngine.
 type Options struct {
 	// Parallel is the global concurrency bound for the engine: when a
@@ -60,11 +120,19 @@ func NewEngine(opts Options) *Engine {
 // Run regenerates one experiment by name; "all" runs every experiment
 // concatenated in the paper's order.
 func (e *Engine) Run(name string) (string, error) {
+	return e.RunFormat(name, e.opts.CSV)
+}
+
+// RunFormat is Run with an explicit output form, overriding the
+// engine's Options.CSV for this request. A server negotiating the
+// format per request uses it to keep one engine — and therefore one
+// suite cache — across text and CSV clients.
+func (e *Engine) RunFormat(name string, csv bool) (string, error) {
 	name = canonExperiment(name)
 	if name == "all" {
-		return e.RunMany(ExperimentNames)
+		return e.RunManyFormat(ExperimentNames, csv)
 	}
-	return renderExperiment(e.st, name, e.opts.CSV)
+	return renderExperiment(e.st, name, csv)
 }
 
 // RunMany regenerates the named experiments ("all" expands in place)
@@ -73,7 +141,24 @@ func (e *Engine) Run(name string) (string, error) {
 // ordering never depends on scheduling. Each experiment is followed by
 // a blank separator line.
 func (e *Engine) RunMany(names []string) (string, error) {
-	return runMany(e.st, expandExperiments(names), e.opts.CSV, e.opts.workers())
+	return e.RunManyFormat(names, e.opts.CSV)
+}
+
+// RunManyFormat is RunMany with an explicit output form.
+func (e *Engine) RunManyFormat(names []string, csv bool) (string, error) {
+	return runMany(e.st, expandExperiments(names), csv, e.opts.workers())
+}
+
+// RunEach regenerates each named experiment ("all" expands in place)
+// over the same bounded pool RunMany uses, but returns the outputs
+// individually, aligned with the expanded name order. Batch endpoints
+// use it to fan a request out while keeping per-experiment results
+// addressable. The returned names are the canonicalized, expanded
+// inputs.
+func (e *Engine) RunEach(names []string, csv bool) (expanded []string, outs []string, err error) {
+	expanded = expandExperiments(names)
+	outs, err = runEach(e.st, expanded, csv, e.opts.workers())
+	return expanded, outs, err
 }
 
 // CacheStats reports the engine's memoized suite lookups (hits served
@@ -126,12 +211,12 @@ func expandExperiments(names []string) []string {
 	return out
 }
 
-// runMany fans the named experiments out against one shared study;
+// runEach fans the named experiments out against one shared study;
 // outs[i] keeps the caller's ordering stable regardless of completion
 // order. workers is a global bound: it is split between the
 // experiment-level pool and the per-experiment fan-out (outer *
 // inner <= workers), so -parallel 8 never runs 8x8 goroutines.
-func runMany(st *Study, names []string, csv bool, workers int) (string, error) {
+func runEach(st *Study, names []string, csv bool, workers int) ([]string, error) {
 	outer := workers
 	if outer > len(names) {
 		outer = len(names)
@@ -153,6 +238,16 @@ func runMany(st *Study, names []string, csv bool, workers int) (string, error) {
 		outs[i] = out
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// runMany is runEach concatenated: each experiment followed by a blank
+// separator line, in the order the names were given.
+func runMany(st *Study, names []string, csv bool, workers int) (string, error) {
+	outs, err := runEach(st, names, csv, workers)
 	if err != nil {
 		return "", err
 	}

@@ -1,10 +1,87 @@
 package repro
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
 )
+
+// ExampleNewEngine shows the long-lived service pattern: one engine,
+// one suite cache, repeated requests served bit-identically from
+// memory.
+func ExampleNewEngine() {
+	eng := NewEngine(Options{Parallel: 4})
+	out, err := eng.Run("figure2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.SplitN(out, "\n", 2)[0])
+
+	// A repeated request hits the warm cache and returns the same bytes.
+	again, err := eng.Run("figure2")
+	if err != nil {
+		panic(err)
+	}
+	hits, _ := eng.CacheStats()
+	fmt.Println(again == out, hits > 0)
+	// Output:
+	// Figure 2: maximum single core speedup per class when enabling vectorisation on the C920
+	// true true
+}
+
+// ExampleRunExperiments shows the one-shot batch: named experiments
+// fanned out over a bounded pool, outputs concatenated in request
+// order regardless of completion order.
+func ExampleRunExperiments() {
+	out, err := RunExperiments([]string{"table1", "table4"}, Options{Parallel: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Table") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// Table 1: speed up and parallel efficiency, block allocation
+	// Table 4: Summary of x86 CPUs used to compare against the SG2042
+}
+
+// TestExperimentMetadata pins the metadata the list surfaces (the -list
+// flag, GET /v1/experiments) to the real outputs: same names, same
+// order, and each Title is the heading of the rendered experiment.
+func TestExperimentMetadata(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != len(ExperimentNames) {
+		t.Fatalf("%d infos, want %d", len(infos), len(ExperimentNames))
+	}
+	for i, info := range infos {
+		if info.Name != ExperimentNames[i] {
+			t.Errorf("info %d: name %q, want %q", i, info.Name, ExperimentNames[i])
+		}
+		out, err := RunExperiment(info.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		if !strings.HasPrefix(out, info.Title+"\n") {
+			t.Errorf("%s: title %q is not the output heading %q",
+				info.Name, info.Title, strings.SplitN(out, "\n", 2)[0])
+		}
+		if info.CSV == (info.Name == "table4") {
+			t.Errorf("%s: CSV flag %v is wrong", info.Name, info.CSV)
+		}
+	}
+	if _, ok := ExperimentByName("FIGURE1 "); !ok {
+		t.Error("ExperimentByName should canonicalize case and whitespace")
+	}
+	if _, ok := ExperimentByName("all"); ok {
+		t.Error(`"all" is a batch, not an experiment`)
+	}
+	if _, ok := ExperimentByName("figure99"); ok {
+		t.Error("unknown name accepted")
+	}
+}
 
 // TestRunExperimentCSVAllNames covers the CSV happy path for every
 // experiment name: every CSV-capable experiment must emit a header row

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics is the server's hand-rolled metrics registry: per-endpoint
+// request, error and cumulative-latency counters, rendered in the
+// Prometheus text exposition format. The engine's cache counters are
+// read live at render time rather than stored, so /metrics never lags
+// the cache.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+type endpointStats struct {
+	requests uint64
+	errors   uint64 // responses with status >= 400
+	seconds  float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// instrument wraps h, timing each request and counting error responses
+// under the endpoint label.
+func (m *metrics) instrument(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		m.observe(endpoint, time.Since(start), sw.status)
+	})
+}
+
+func (m *metrics) observe(endpoint string, d time.Duration, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{}
+		m.endpoints[endpoint] = st
+	}
+	st.requests++
+	if status >= 400 {
+		st.errors++
+	}
+	st.seconds += d.Seconds()
+}
+
+// render emits the registry in the Prometheus text format, folding in
+// the engine cache counters passed by the caller. Endpoints are sorted
+// so the output is stable.
+func (m *metrics) render(cacheHits, cacheMisses uint64) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	b.WriteString("# HELP sg2042d_requests_total HTTP requests served, by endpoint.\n")
+	b.WriteString("# TYPE sg2042d_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "sg2042d_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests)
+	}
+	b.WriteString("# HELP sg2042d_request_errors_total HTTP responses with status >= 400, by endpoint.\n")
+	b.WriteString("# TYPE sg2042d_request_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "sg2042d_request_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors)
+	}
+	b.WriteString("# HELP sg2042d_request_seconds_total Cumulative request latency in seconds, by endpoint.\n")
+	b.WriteString("# TYPE sg2042d_request_seconds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "sg2042d_request_seconds_total{endpoint=%q} %.6f\n", name, m.endpoints[name].seconds)
+	}
+
+	b.WriteString("# HELP sg2042d_engine_cache_hits_total Suite evaluations served from the engine cache.\n")
+	b.WriteString("# TYPE sg2042d_engine_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_engine_cache_hits_total %d\n", cacheHits)
+	b.WriteString("# HELP sg2042d_engine_cache_misses_total Suite evaluations computed on a cache miss.\n")
+	b.WriteString("# TYPE sg2042d_engine_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_engine_cache_misses_total %d\n", cacheMisses)
+	b.WriteString("# HELP sg2042d_engine_cache_hit_rate Fraction of suite lookups served from the cache.\n")
+	b.WriteString("# TYPE sg2042d_engine_cache_hit_rate gauge\n")
+	rate := 0.0
+	if total := cacheHits + cacheMisses; total > 0 {
+		rate = float64(cacheHits) / float64(total)
+	}
+	fmt.Fprintf(&b, "sg2042d_engine_cache_hit_rate %.6f\n", rate)
+	return b.String()
+}
+
+// statusWriter records the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

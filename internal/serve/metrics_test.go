@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsRender(t *testing.T) {
+	m := newMetrics()
+	m.observe("experiment", 10*time.Millisecond, http.StatusOK)
+	m.observe("experiment", 5*time.Millisecond, http.StatusNotFound)
+	m.observe("batch", 20*time.Millisecond, http.StatusOK)
+
+	out := m.render(30, 10)
+	for _, want := range []string{
+		`sg2042d_requests_total{endpoint="batch"} 1`,
+		`sg2042d_requests_total{endpoint="experiment"} 2`,
+		`sg2042d_request_errors_total{endpoint="experiment"} 1`,
+		`sg2042d_request_errors_total{endpoint="batch"} 0`,
+		"sg2042d_engine_cache_hits_total 30",
+		"sg2042d_engine_cache_misses_total 10",
+		"sg2042d_engine_cache_hit_rate 0.750000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q\n%s", want, out)
+		}
+	}
+	// Endpoint order is sorted, so repeated renders are stable.
+	if out2 := m.render(30, 10); out2 != out {
+		t.Error("render is not deterministic")
+	}
+	// batch sorts before experiment.
+	if strings.Index(out, `{endpoint="batch"}`) > strings.Index(out, `{endpoint="experiment"}`) {
+		t.Error("endpoints not sorted")
+	}
+}
+
+func TestMetricsZeroTraffic(t *testing.T) {
+	m := newMetrics()
+	out := m.render(0, 0)
+	if !strings.Contains(out, "sg2042d_engine_cache_hit_rate 0.000000") {
+		t.Errorf("zero-traffic hit rate should render 0, got\n%s", out)
+	}
+}
+
+func TestStatusWriterDefaultsToOK(t *testing.T) {
+	m := newMetrics()
+	h := m.instrument("probe", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hi")) // implicit 200, no WriteHeader call
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/probe", nil))
+	out := m.render(0, 0)
+	if !strings.Contains(out, `sg2042d_request_errors_total{endpoint="probe"} 0`) {
+		t.Errorf("implicit 200 counted as error:\n%s", out)
+	}
+}

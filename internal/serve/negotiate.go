@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// format is a negotiated response rendering.
+type format int
+
+const (
+	formatText format = iota
+	formatCSV
+	formatJSON
+)
+
+// negotiate picks the response format for an experiment request. The
+// explicit ?format=text|csv|json query parameter wins; otherwise the
+// Accept header's listed types are honoured in order (text/csv,
+// application/json, text/plain); otherwise text — the same bytes
+// cmd/sg2042sim prints.
+func negotiate(r *http.Request) (format, error) {
+	switch q := strings.ToLower(r.URL.Query().Get("format")); q {
+	case "text", "txt":
+		return formatText, nil
+	case "csv":
+		return formatCSV, nil
+	case "json":
+		return formatJSON, nil
+	case "":
+	default:
+		return formatText, fmt.Errorf("unknown format %q (want text, csv or json)", q)
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch strings.ToLower(mediaType) {
+		case "text/csv":
+			return formatCSV, nil
+		case "application/json":
+			return formatJSON, nil
+		case "text/plain":
+			return formatText, nil
+		}
+	}
+	return formatText, nil
+}

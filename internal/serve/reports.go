@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// reportJSON is the JSON envelope for the roofline and cluster reports.
+type reportJSON struct {
+	Machine string `json:"machine"`
+	Report  string `json:"report"`
+	Output  string `json:"output"`
+}
+
+// handleRoofline serves GET /v1/roofline/{machine}: the machine's
+// roofline with all 64 kernels placed on it, as cmd/sg2042sim
+// -roofline prints it. ?prec=f32|f64 selects the precision (default
+// f64, matching the CLI); ?format=json wraps the text in a JSON
+// envelope.
+func (s *Server) handleRoofline(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("machine")
+	f, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := parsePrec(r.URL.Query().Get("prec"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := repro.RooflineReport(label, p)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeReport(w, f, reportJSON{Machine: label, Report: "roofline", Output: out})
+}
+
+// handleCluster serves GET /v1/cluster/{machine}: the MPI scaling model
+// of the paper's further-work section. Query parameters mirror the
+// CLI: ?net=ib|eth (default ib), ?grid=N (default 512), plus
+// ?nodes=1,2,4 to override the swept node counts and ?prec=f32|f64.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("machine")
+	f, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	network, err := parseNetwork(q.Get("net"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := parsePrec(q.Get("prec"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grid, err := atoiDefault(q.Get("grid"), 512)
+	if err != nil || grid <= 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad grid %q (want a positive integer)", q.Get("grid")))
+		return
+	}
+	nodes, err := parseNodes(q.Get("nodes"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := repro.ClusterScalingReport(label, network, grid, p, nodes)
+	if err != nil {
+		// The network and grid were validated above, so what remains is
+		// an unknown machine label.
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeReport(w, f, reportJSON{Machine: label, Report: "cluster", Output: out})
+}
+
+// writeReport emits a report as text, or as its JSON envelope when the
+// request negotiated JSON (CSV is not a report format and falls back to
+// text).
+func writeReport(w http.ResponseWriter, f format, rep reportJSON) {
+	if f == formatJSON {
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, rep.Output)
+}
+
+// parseNetwork validates the ?net parameter against the interconnects
+// ClusterScalingReport accepts; empty means the CLI's default ib.
+// Validating here keeps the 400-vs-404 decision independent of the
+// library's error wording.
+func parseNetwork(s string) (string, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return "ib", nil
+	case "ib", "infiniband", "eth", "ethernet":
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown network %q (want ib or eth)", s)
+}
+
+// parsePrec maps a query value onto a precision; empty means the CLI's
+// default FP64.
+func parsePrec(s string) (repro.Precision, error) {
+	switch strings.ToLower(s) {
+	case "", "f64", "fp64":
+		return repro.F64, nil
+	case "f32", "fp32":
+		return repro.F32, nil
+	}
+	return repro.F64, fmt.Errorf("unknown precision %q (want f32 or f64)", s)
+}
+
+// parseNodes parses a comma-separated node-count list; empty keeps the
+// report's default sweep.
+func parseNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	nodes := make([]int, 0, len(parts))
+	for _, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q (want positive integers, e.g. nodes=1,2,4)", part)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// atoiDefault parses s, or returns def when s is empty.
+func atoiDefault(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

@@ -1,0 +1,262 @@
+// Package serve exposes the memoized study engine over HTTP/JSON — the
+// first network-facing layer of the system. One Server wraps one
+// repro.Engine, so every client shares a single suite cache: the first
+// request for a configuration evaluates it, concurrent requests for the
+// same experiment coalesce onto the engine's singleflight entries, and
+// later requests are served from memory, bit-identical.
+//
+// Routes (see docs/ARCHITECTURE.md and the README for examples):
+//
+//	GET  /v1/experiments            list experiment metadata (JSON)
+//	GET  /v1/experiments/{name}     one experiment; text, CSV or JSON
+//	POST /v1/experiments:batch      many experiments in one request
+//	GET  /v1/roofline/{machine}     roofline report for a machine
+//	GET  /v1/cluster/{machine}      MPI scaling model for a machine
+//	GET  /metrics                   Prometheus-style text metrics
+//	GET  /healthz                   liveness probe
+//
+// The text and CSV bodies are byte-identical to cmd/sg2042sim's stdout
+// for the same experiment and options — the HTTP layer is purely
+// transport, never rendering.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Parallel is the engine's global concurrency bound, exactly as in
+	// repro.Options: 0 picks GOMAXPROCS, 1 evaluates serially. Output
+	// is identical for every setting.
+	Parallel int
+}
+
+// Server is the HTTP front end of the study engine. It is safe for
+// concurrent use; create it once and share it across connections.
+type Server struct {
+	eng *repro.Engine
+	met *metrics
+	mux *http.ServeMux
+}
+
+// New returns a Server around a fresh engine with the paper's study
+// defaults.
+func New(opts Options) *Server {
+	s := &Server{
+		eng: repro.NewEngine(repro.Options{Parallel: opts.Parallel}),
+		met: newMetrics(),
+		mux: http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// Engine returns the server's underlying engine (tests use it to
+// observe cache statistics).
+func (s *Server) Engine() *repro.Engine { return s.eng }
+
+func (s *Server) routes() {
+	s.handle("GET /v1/experiments", "list", s.handleList)
+	s.handle("GET /v1/experiments/{name}", "experiment", s.handleExperiment)
+	s.handle("POST /v1/experiments:batch", "batch", s.handleBatch)
+	s.handle("GET /v1/roofline/{machine}", "roofline", s.handleRoofline)
+	s.handle("GET /v1/cluster/{machine}", "cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// handle registers h under pattern with per-endpoint metrics.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.met.instrument(endpoint, h))
+}
+
+// Handler returns the root handler; cmd/sg2042d mounts it on an
+// http.Server and tests mount it on httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler so a *Server can be mounted
+// directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// experimentJSON is the JSON envelope for one rendered experiment. The
+// Output field carries the text (or CSV) rendering verbatim, so JSON
+// clients see the same bytes text clients do.
+type experimentJSON struct {
+	Name   string `json:"name"`
+	Title  string `json:"title,omitempty"`
+	Format string `json:"format"`
+	Output string `json:"output"`
+}
+
+// handleList serves GET /v1/experiments: the experiment metadata, in
+// the paper's order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []repro.ExperimentInfo `json:"experiments"`
+	}{repro.Experiments()})
+}
+
+// handleExperiment serves GET /v1/experiments/{name} with content
+// negotiation: ?format=text|csv|json wins, else the Accept header
+// decides, else text. "all" is accepted and concatenates every
+// experiment, exactly like cmd/sg2042sim -exp all.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := strings.ToLower(strings.TrimSpace(r.PathValue("name")))
+	format, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validExperiment(name); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	out, err := s.eng.RunFormat(name, format == formatCSV)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	switch format {
+	case formatJSON:
+		title := ""
+		if info, ok := repro.ExperimentByName(name); ok {
+			title = info.Title
+		}
+		writeJSON(w, http.StatusOK, experimentJSON{
+			Name: name, Title: title,
+			Format: "text", Output: out,
+		})
+	case formatCSV:
+		// Table 4 has no CSV form and renders as text; label the body
+		// by what it actually is ("all" concatenations stay text/csv).
+		ctype := "text/csv; charset=utf-8"
+		if info, ok := repro.ExperimentByName(name); ok && !info.CSV {
+			ctype = "text/plain; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ctype)
+		fmt.Fprint(w, out)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, out)
+	}
+}
+
+// batchRequest is the body of POST /v1/experiments:batch.
+type batchRequest struct {
+	// Names lists the experiments to run; "all" expands in place.
+	Names []string `json:"names"`
+	// Format is "text" (default) or "csv" — the rendering embedded in
+	// each result.
+	Format string `json:"format,omitempty"`
+}
+
+type batchResponse struct {
+	Results []experimentJSON `json:"results"`
+}
+
+// handleBatch serves POST /v1/experiments:batch: the named experiments
+// fanned out over the engine's internal/par worker pool, results
+// aligned with the (expanded) request order. Identical names in
+// concurrent batches coalesce on the engine cache like any other
+// request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	// A legitimate batch is a few hundred bytes of names; bound the
+	// body so a client cannot stream an unbounded request into memory.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if len(req.Names) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`empty batch: pass {"names": ["figure1", ...]}`))
+		return
+	}
+	var csv bool
+	switch req.Format {
+	case "", "text":
+	case "csv":
+		csv = true
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown batch format %q (want text or csv)", req.Format))
+		return
+	}
+	for _, name := range req.Names {
+		if err := validExperiment(strings.ToLower(strings.TrimSpace(name))); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+	}
+	names, outs, err := s.eng.RunEach(req.Names, csv)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := batchResponse{Results: make([]experimentJSON, len(names))}
+	for i, name := range names {
+		// The format field reports what the output actually is: an
+		// experiment without a CSV form (Table 4) renders as text even
+		// in a CSV batch.
+		title, format := "", "text"
+		if info, ok := repro.ExperimentByName(name); ok {
+			title = info.Title
+			if csv && info.CSV {
+				format = "csv"
+			}
+		}
+		resp.Results[i] = experimentJSON{Name: name, Title: title, Format: format, Output: outs[i]}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: per-endpoint request/error/latency counters plus the live
+// engine cache counters (hits, misses, and the derived hit rate).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.eng.CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.met.render(hits, misses))
+}
+
+// validExperiment reports whether a canonicalized name is servable —
+// one of the paper's experiments, or the "all" batch. Validating up
+// front keeps the 404-vs-500 decision independent of the engine's
+// error wording.
+func validExperiment(name string) error {
+	if name == "all" {
+		return nil
+	}
+	if _, ok := repro.ExperimentByName(name); !ok {
+		return fmt.Errorf("unknown experiment %q (want one of %s, or all)",
+			name, strings.Join(repro.ExperimentNames, ", "))
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+

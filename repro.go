@@ -26,9 +26,17 @@
 //	eng := repro.NewEngine(repro.Options{Parallel: 8})
 //	out, err := eng.Run("all") // later identical requests hit the cache
 //
+// The engine is also reachable over the network: cmd/sg2042d serves it
+// via HTTP/JSON (internal/serve), so many clients share one warm cache.
+// Experiments() lists the available experiments with their metadata.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/sg2042sim -exp all -parallel 8
+//	go run ./cmd/sg2042d -addr :8042
+//
+// See docs/ARCHITECTURE.md for the full map of the system and the
+// determinism contract.
 package repro
 
 import (
