@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:18042
 
-.PHONY: build vet test bench verify serve
+.PHONY: build vet test bench verify serve doccheck
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 10x ./...
 
 verify: build vet test
+
+# Fail on dangling doc references: Go files or markdown citing a
+# docs/*.md that does not exist, and broken relative markdown links.
+doccheck:
+	$(GO) run ./cmd/doccheck
 
 # Build sg2042d and smoke-test it: start the daemon, hit one experiment
 # endpoint through the example client, then shut the daemon down.

@@ -1,0 +1,206 @@
+// Command doccheck fails the build when documentation references
+// dangle. It walks the repository and reports:
+//
+//   - Go sources citing a docs/<name>.md that does not exist (the
+//     debt this tool was written to prevent: internal/machine and
+//     internal/perfmodel cited docs/EXPERIMENTS.md long before it was
+//     written);
+//   - markdown files whose relative links point at files or
+//     directories that do not exist (external URLs, mailto: and
+//     pure-fragment links are skipped).
+//
+// Usage:
+//
+//	doccheck [root]   # root defaults to .
+//
+// Exit status 0 when every reference resolves, 1 with one line per
+// dangling reference otherwise. CI runs it as `make doccheck`.
+package main
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	os.Exit(run(root, os.Stdout, os.Stderr))
+}
+
+// docRef matches a repository-rooted doc citation inside any file
+// (docs/<NAME>.md, including nested paths under docs/).
+var docRef = regexp.MustCompile(`docs/[A-Za-z0-9][A-Za-z0-9_./-]*\.md`)
+
+// mdLink matches the target of an inline markdown link or image:
+// [text](target) — by the time it is applied, code spans are stripped.
+var mdLink = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+// skipDirs are never walked into.
+var skipDirs = map[string]bool{
+	".git": true, "bin": true, "node_modules": true, "vendor": true,
+}
+
+// run checks every reference under root and prints one line per
+// dangling one; it returns the process exit code.
+func run(root string, stdout, stderr io.Writer) int {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		isGo := strings.HasSuffix(path, ".go")
+		isMd := strings.HasSuffix(path, ".md")
+		if !isGo && !isMd {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			return nil
+		}
+		problems = append(problems, checkDocRefs(root, rel, string(data))...)
+		if isMd {
+			problems = append(problems, checkMarkdownLinks(root, rel, string(data))...)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "doccheck:", err)
+		return 1
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(stdout, p)
+		}
+		fmt.Fprintf(stdout, "doccheck: %d dangling reference(s)\n", len(problems))
+		return 1
+	}
+	fmt.Fprintln(stdout, "doccheck: ok")
+	return 0
+}
+
+// checkDocRefs reports docs/*.md citations in the file's contents that
+// do not resolve against the repository root. A match embedded in a longer
+// path or URL (".../other/proj/docs/guide.md") is someone else's doc,
+// not a repository-rooted citation, and is skipped.
+func checkDocRefs(root, rel, text string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, loc := range docRef.FindAllStringIndex(text, -1) {
+		if start := loc[0]; start > 0 && isPathChar(text[start-1]) {
+			continue
+		}
+		ref := text[loc[0]:loc[1]]
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(ref))); err != nil {
+			out = append(out, fmt.Sprintf("%s: cites missing %s", rel, ref))
+		}
+	}
+	return out
+}
+
+// isPathChar reports whether c would extend a path leftwards — if the
+// byte before a docs/ match is one of these, the match is inside a
+// longer path or URL rather than rooted at the repository.
+func isPathChar(c byte) bool {
+	return c == '/' || c == '.' || c == '-' || c == '_' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// checkMarkdownLinks reports relative links in a markdown file whose
+// targets do not exist (resolved against the file's own directory;
+// #fragments are stripped first).
+func checkMarkdownLinks(root, rel, raw string) []string {
+	text := stripCode(raw)
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		if seen[target] {
+			continue
+		}
+		seen[target] = true
+		if isExternal(target) {
+			continue
+		}
+		path, _, _ := strings.Cut(target, "#")
+		if path == "" {
+			continue // pure fragment: links within the same file
+		}
+		resolved := filepath.Join(root, filepath.Dir(filepath.FromSlash(rel)), filepath.FromSlash(path))
+		if _, err := os.Stat(resolved); err != nil {
+			out = append(out, fmt.Sprintf("%s: broken link %s", rel, target))
+		}
+	}
+	return out
+}
+
+func isExternal(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripCode removes fenced and inline code spans so example snippets
+// (`[i](j)` array indexing, shell one-liners) are not mistaken for
+// links.
+func stripCode(s string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			b.WriteString("\n")
+			continue
+		}
+		if inFence {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString(stripInlineCode(line))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func stripInlineCode(line string) string {
+	var b strings.Builder
+	inCode := false
+	for _, r := range line {
+		if r == '`' {
+			inCode = !inCode
+			continue
+		}
+		if !inCode {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

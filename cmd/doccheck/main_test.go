@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir, making parent directories as needed.
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func check(t *testing.T, dir string) (int, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(dir, &out, &errOut)
+	if errOut.Len() > 0 {
+		t.Fatalf("doccheck errored: %s", errOut.String())
+	}
+	return code, out.String()
+}
+
+func TestCleanTreePasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/"+"GUIDE.md", "# Guide\nSee [readme](../README.md).")
+	write(t, dir, "README.md", "See [the guide](docs/"+"GUIDE.md) and [web](https://example.com).")
+	write(t, dir, "pkg/a.go", "// See docs/"+"GUIDE.md for details.\npackage a\n")
+	code, out := check(t, dir)
+	if code != 0 {
+		t.Fatalf("clean tree failed:\n%s", out)
+	}
+}
+
+func TestDanglingGoCitation(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "pkg/a.go", "// See docs/"+"MISSING.md for details.\npackage a\n")
+	code, out := check(t, dir)
+	if code != 1 {
+		t.Fatalf("dangling citation passed:\n%s", out)
+	}
+	if !strings.Contains(out, "pkg/a.go") || !strings.Contains(out, "docs/"+"MISSING.md") {
+		t.Errorf("output should name the file and the missing doc:\n%s", out)
+	}
+}
+
+func TestBrokenMarkdownLink(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/"+"GUIDE.md", "[gone](missing.md) and [ok](#section)")
+	code, out := check(t, dir)
+	if code != 1 || !strings.Contains(out, "missing.md") {
+		t.Fatalf("broken relative link not reported (code %d):\n%s", code, out)
+	}
+}
+
+// TestLinksResolveRelativeToFile: a markdown link resolves against its
+// own file's directory, not the repository root.
+func TestLinksResolveRelativeToFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/"+"GUIDE.md", "[up](../README.md)")
+	write(t, dir, "README.md", "hello")
+	if code, out := check(t, dir); code != 0 {
+		t.Fatalf("relative link failed:\n%s", out)
+	}
+}
+
+// TestCodeSpansIgnored: fenced blocks and inline code are not scanned
+// for markdown links (shell snippets love "](...)"-shaped text), but
+// docs/*.md citations inside them still count — a README quoting
+// `see docs/<X>.md` is still a promise.
+func TestCodeSpansIgnored(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md",
+		"```sh\necho [not a link](not-a-file.xyz)\n```\nAnd `[inline](nope.xyz)` too.")
+	if code, out := check(t, dir); code != 0 {
+		t.Fatalf("code spans were scanned for links:\n%s", out)
+	}
+	write(t, dir, "OTHER.md", "```\nsee docs/"+"ABSENT.md\n```\n")
+	if code, out := check(t, dir); code != 1 || !strings.Contains(out, "docs/"+"ABSENT.md") {
+		t.Fatalf("doc citation in code span not reported (code %d):\n%s", code, out)
+	}
+}
+
+func TestFragmentAndExternalLinksSkipped(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md",
+		"[a](#anchor) [b](https://x.test/y.md) [c](mailto:x@y.z)")
+	if code, out := check(t, dir); code != 0 {
+		t.Fatalf("external/fragment links reported:\n%s", out)
+	}
+}
+
+func TestSkipsGitAndBin(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, ".git/notes.md", "[gone](missing.md)")
+	write(t, dir, "bin/readme.md", "see docs/"+"NOPE.md")
+	if code, out := check(t, dir); code != 0 {
+		t.Fatalf("skipped directories were scanned:\n%s", out)
+	}
+}
+
+// TestRealRepoIsClean is the acceptance criterion: no Go file or
+// markdown in this repository references a missing doc.
+func TestRealRepoIsClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repository root not found")
+	}
+	code, out := check(t, root)
+	if code != 0 {
+		t.Errorf("repository has dangling doc references:\n%s", out)
+	}
+}
+
+// TestExternalDocPathsSkipped: a docs/*.md substring inside a longer
+// URL or foreign path is someone else's doc, not a local citation.
+func TestExternalDocPathsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "pkg/a.go",
+		"// See https://github.com/other/proj/blob/main/docs/"+"guide.md\npackage a\n")
+	write(t, dir, "NOTES.md",
+		"[upstream](https://example.com/proj/docs/"+"guide.md) and vendor/proj/docs/"+"x.md")
+	if code, out := check(t, dir); code != 0 {
+		t.Fatalf("external doc paths reported:\n%s", out)
+	}
+}

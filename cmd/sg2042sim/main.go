@@ -1,5 +1,5 @@
 // Command sg2042sim regenerates the paper's tables and figures from the
-// performance model.
+// performance model, and runs what-if hardware sweeps over it.
 //
 // Usage:
 //
@@ -9,6 +9,11 @@
 //	sg2042sim -exp all -parallel 8   # ... on 8 workers (same bytes)
 //	sg2042sim -headline              # the conclusions' headline factors
 //	sg2042sim -list                  # list experiment names
+//	sg2042sim -machines              # list the machine registry
+//	sg2042sim -machine SG2042        # print a machine's JSON spec
+//	sg2042sim -machine SG2042 -sweep vector=128,256,512 -threads 1
+//	sg2042sim -sweep cores=8,16,32,64          # what-if sweeps (base
+//	sg2042sim -sweep numa=1,2,4 -csv           # defaults to SG2042)
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro"
 )
@@ -40,6 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	roofline := fs.String("roofline", "", "print the roofline of a machine (label, e.g. SG2042)")
 	clusterNode := fs.String("cluster", "", "model MPI scaling of a machine (label, e.g. SG2042) — the paper's further work")
 	network := fs.String("net", "ib", "interconnect for -cluster: ib or eth")
+	machines := fs.Bool("machines", false, "list the machine registry (presets + SG2044)")
+	machineLabel := fs.String("machine", "", "registry machine label: alone prints its JSON spec; with -sweep selects the sweep base (default SG2042)")
+	sweep := fs.String("sweep", "", "what-if hardware sweep, axis=v1,v2,... with axis one of cores, clock (GHz), vector (bits), numa")
+	threads := fs.Int("threads", 0, "thread count for -sweep (0 = full occupancy of each variant)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -53,6 +64,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *machines:
+		reg := repro.DefaultMachineRegistry()
+		fmt.Fprintln(stdout, "Registered machines:")
+		for _, m := range reg.Machines() {
+			fmt.Fprintf(stdout, "  %-12s %s\n", m.Label, m)
+		}
+		return 0
+	case *sweep != "":
+		axis, values, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(stderr, "sg2042sim:", err)
+			fs.Usage()
+			return 2
+		}
+		label := *machineLabel
+		if label == "" {
+			label = "SG2042"
+		}
+		base, ok := repro.DefaultMachineRegistry().Get(label)
+		if !ok {
+			return fail(fmt.Errorf("unknown machine %q (try -machines)", label))
+		}
+		eng := repro.NewEngine(repro.Options{Parallel: *parallel})
+		out, err := eng.SweepFormat(repro.SweepSpec{
+			Base: base, Axis: axis, Values: values,
+			Threads: *threads, Prec: repro.F64,
+		}, *csv)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, out)
+		return 0
+	case *machineLabel != "":
+		m, ok := repro.DefaultMachineRegistry().Get(*machineLabel)
+		if !ok {
+			return fail(fmt.Errorf("unknown machine %q (try -machines)", *machineLabel))
+		}
+		spec, err := repro.MachineJSON(m)
+		if err != nil {
+			return fail(err)
+		}
+		stdout.Write(spec)
+		return 0
 	case *roofline != "":
 		out, err := repro.RooflineReport(*roofline, repro.F64)
 		if err != nil {
@@ -82,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, out)
 		return 0
 	case *exp == "":
-		fmt.Fprintln(stderr, "sg2042sim: pass -exp <name>, -headline or -list")
+		fmt.Fprintln(stderr, "sg2042sim: pass -exp <name>, -sweep <axis=v1,v2,...>, -headline, -list or -machines")
 		fs.Usage()
 		return 2
 	}
@@ -94,4 +148,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, out)
 	return 0
+}
+
+// parseSweep splits a -sweep flag value "axis=v1,v2,..." into its axis
+// and values. Axis names and value semantics are validated by the
+// engine; this only parses the syntax.
+func parseSweep(s string) (repro.SweepAxis, []float64, error) {
+	axis, list, ok := strings.Cut(s, "=")
+	if !ok || axis == "" || list == "" {
+		return "", nil, fmt.Errorf("bad -sweep %q (want axis=v1,v2,... e.g. vector=128,256,512)", s)
+	}
+	parts := strings.Split(list, ",")
+	values := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad -sweep value %q (want numbers, e.g. vector=128,256,512)", part)
+		}
+		values = append(values, v)
+	}
+	return repro.SweepAxis(strings.ToLower(strings.TrimSpace(axis))), values, nil
 }

@@ -132,3 +132,85 @@ func TestRooflineAndClusterFlags(t *testing.T) {
 		t.Errorf("-cluster with unknown net: exit %d, stderr %q", code, errOut)
 	}
 }
+
+func TestMachinesFlag(t *testing.T) {
+	code, out, errOut := exec("-machines")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, label := range []string{"SG2042", "SG2044", "V1", "V2", "Rome", "Broadwell", "Icelake", "Sandybridge"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("-machines output missing %q", label)
+		}
+	}
+}
+
+// TestMachineFlagPrintsSpec: -machine alone prints the JSON spec, the
+// exact form MachineFromJSON accepts.
+func TestMachineFlagPrintsSpec(t *testing.T) {
+	code, out, errOut := exec("-machine", "SG2044")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	m, err := repro.MachineFromJSON([]byte(out))
+	if err != nil {
+		t.Fatalf("printed spec does not decode: %v", err)
+	}
+	if m.Label != "SG2044" {
+		t.Errorf("decoded label %q", m.Label)
+	}
+	code, _, errOut = exec("-machine", "SG9999")
+	if code != 1 || !strings.Contains(errOut, "SG9999") {
+		t.Errorf("unknown -machine: exit %d, stderr %q", code, errOut)
+	}
+}
+
+// TestSweepFlagMatchesLibrary is the CLI half of the acceptance
+// criterion: -sweep output is byte-identical to the library rendering
+// (and therefore to POST /v1/sweep, which the serve tests pin to the
+// same bytes), in text and CSV, at any -parallel.
+func TestSweepFlagMatchesLibrary(t *testing.T) {
+	spec := repro.SweepSpec{Base: repro.SG2042(), Axis: repro.SweepVector,
+		Values: []float64{128, 256, 512}, Threads: 1, Prec: repro.F64}
+	wantText, err := repro.RunSweep(spec, repro.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := repro.RunSweep(spec, repro.Options{Parallel: 1, CSV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := exec("-machine", "SG2042", "-sweep", "vector=128,256,512", "-threads", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if out != wantText {
+		t.Error("-sweep text differs from the library rendering")
+	}
+	code, out, _ = exec("-sweep", "vector=128,256,512", "-threads", "1", "-csv", "-parallel", "8")
+	if code != 0 {
+		t.Fatal("csv sweep failed")
+	}
+	if out != wantCSV {
+		t.Error("-sweep -csv differs from the library rendering (base should default to SG2042)")
+	}
+}
+
+func TestSweepFlagErrors(t *testing.T) {
+	for _, bad := range []string{"vector", "=128", "vector=", "vector=abc"} {
+		code, _, errOut := exec("-sweep", bad)
+		if code != 2 {
+			t.Errorf("-sweep %q: exit %d, want usage error 2 (stderr %q)", bad, code, errOut)
+		}
+	}
+	// Well-formed syntax with a bad axis or unknown base is a runtime
+	// error, not a usage error.
+	code, _, errOut := exec("-sweep", "sockets=2")
+	if code != 1 || !strings.Contains(errOut, "unknown sweep axis") {
+		t.Errorf("-sweep sockets=2: exit %d, stderr %q", code, errOut)
+	}
+	code, _, errOut = exec("-machine", "SG9999", "-sweep", "cores=4")
+	if code != 1 || !strings.Contains(errOut, "SG9999") {
+		t.Errorf("unknown base: exit %d, stderr %q", code, errOut)
+	}
+}

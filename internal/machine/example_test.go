@@ -1,0 +1,73 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ExampleRegistry shows the named-machine surface the HTTP API and the
+// CLI share: the default registry serves the paper's presets plus the
+// SG2044, lookups are case-insensitive, and custom hardware registers
+// alongside them.
+func ExampleRegistry() {
+	reg := machine.DefaultRegistry()
+	fmt.Println(reg.Len(), "machines")
+
+	sg, _ := reg.Get("sg2042")
+	fmt.Println(sg)
+
+	custom, err := sg.WithVectorBits(256)
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.Register(custom); err != nil {
+		panic(err)
+	}
+	wide, _ := reg.Get("SG2042/v256")
+	fmt.Println(wide.Vector.WidthBits, "bits")
+	// Output:
+	// 8 machines
+	// Sophon SG2042 (XuanTie C920): 64 cores @ 2.00 GHz, 4 NUMA regions, RVV v0.7.1 128-bit
+	// 256 bits
+}
+
+// ExampleFromJSON shows the JSON machine spec round trip: encode a
+// preset, tweak it as data, decode it back — validation included.
+func ExampleFromJSON() {
+	spec, err := machine.ToJSON(machine.SG2042())
+	if err != nil {
+		panic(err)
+	}
+	m, err := machine.FromJSON(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Label, m.Cores, m.Vector.ISA)
+
+	// Invalid specs fail at the boundary with a named cause.
+	bad := []byte(`{"name": "broken", "label": "b", "cores": 0}`)
+	if _, err := machine.FromJSON(bad); err != nil {
+		fmt.Println("rejected:", err)
+	}
+	// Output:
+	// SG2042 64 RVV v0.7.1
+	// rejected: machine broken: 0 cores
+}
+
+// ExampleMachine_WithNUMARegions shows a what-if derivation: the
+// SG2042's four single-controller NUMA regions fused into one region
+// with all four controllers — total bandwidth conserved.
+func ExampleMachine_WithNUMARegions() {
+	fused, err := machine.SG2042().WithNUMARegions(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fused.Label)
+	fmt.Println(fused.NUMARegions, "region,", fused.MemCtrlPerNUMA, "controllers")
+	fmt.Printf("%.0f GB/s total (unchanged)\n", fused.TotalMemBandwidth()/1e9)
+	// Output:
+	// SG2042/n1
+	// 1 region, 4 controllers
+	// 48 GB/s total (unchanged)
+}

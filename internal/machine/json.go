@@ -1,0 +1,137 @@
+package machine
+
+// JSON machine specs. A Machine round-trips losslessly through JSON so
+// clients of the study engine — the HTTP API's POST /v1/sweep, config
+// files, the sg2042sim -machine flag — can define custom hardware
+// instead of picking a preset. The enum fields (vector ISA, cache
+// sharing domain) encode as readable tokens rather than integers, and
+// FromJSON rejects unknown fields and structurally invalid machines up
+// front so a bad spec fails at the boundary, not deep inside the model.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// isaTokens maps the canonical JSON token of each vector ISA. The
+// tokens are stable API: ToJSON emits them and ParseISA accepts them
+// (case-insensitively, along with the String() display forms).
+var isaTokens = map[VectorISA]string{
+	NoVector: "none",
+	RVV071:   "rvv0.7.1",
+	RVV10:    "rvv1.0",
+	AVX:      "avx",
+	AVX2:     "avx2",
+	AVX512:   "avx512",
+}
+
+// Token returns the canonical JSON token of the ISA ("rvv1.0", "avx2").
+func (v VectorISA) Token() string {
+	if s, ok := isaTokens[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("isa%d", int(v))
+}
+
+// ParseISA resolves a vector-ISA token. It accepts the canonical JSON
+// tokens ("none", "rvv0.7.1", "rvv1.0", "avx", "avx2", "avx512") and
+// the display names ("RVV v1.0"), case-insensitively.
+func ParseISA(s string) (VectorISA, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	for isa, tok := range isaTokens {
+		if t == tok || t == strings.ToLower(isaNames[isa]) {
+			return isa, nil
+		}
+	}
+	return NoVector, fmt.Errorf("machine: unknown vector ISA %q (want one of none, rvv0.7.1, rvv1.0, avx, avx2, avx512)", s)
+}
+
+// MarshalJSON encodes the ISA as its canonical token.
+func (v VectorISA) MarshalJSON() ([]byte, error) {
+	return json.Marshal(v.Token())
+}
+
+// UnmarshalJSON decodes an ISA token.
+func (v *VectorISA) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("machine: vector ISA must be a string token: %w", err)
+	}
+	isa, err := ParseISA(s)
+	if err != nil {
+		return err
+	}
+	*v = isa
+	return nil
+}
+
+// domainTokens are the JSON tokens of the cache sharing domains — the
+// same strings Domain.String() prints.
+var domainTokens = map[Domain]string{
+	PerCore:    "per-core",
+	PerCluster: "per-cluster",
+	PerSocket:  "per-socket",
+}
+
+// ParseDomain resolves a sharing-domain token ("per-core",
+// "per-cluster", "per-socket"), case-insensitively.
+func ParseDomain(s string) (Domain, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	for d, tok := range domainTokens {
+		if t == tok {
+			return d, nil
+		}
+	}
+	return PerCore, fmt.Errorf("machine: unknown cache sharing domain %q (want per-core, per-cluster or per-socket)", s)
+}
+
+// MarshalJSON encodes the domain as its token.
+func (d Domain) MarshalJSON() ([]byte, error) {
+	return json.Marshal(domainTokens[d])
+}
+
+// UnmarshalJSON decodes a domain token.
+func (d *Domain) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("machine: cache sharing domain must be a string token: %w", err)
+	}
+	dom, err := ParseDomain(s)
+	if err != nil {
+		return err
+	}
+	*d = dom
+	return nil
+}
+
+// FromJSON decodes and validates a machine spec. Unknown fields are
+// rejected (a typoed knob must not silently fall back to zero), and the
+// decoded machine passes the same Validate() the presets do, so a spec
+// with zero cores, a NUMA map that skips a region, or an unknown vector
+// ISA fails here with a message naming the problem.
+func FromJSON(data []byte) (*Machine, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Machine
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("machine: decoding spec: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ToJSON encodes the machine as an indented JSON spec — the exact form
+// FromJSON accepts, so Get-then-modify round trips.
+func ToJSON(m *Machine) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return nil, fmt.Errorf("machine: encoding spec: %w", err)
+	}
+	return b.Bytes(), nil
+}

@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTripAllPresets: encode(decode(m)) is lossless for every
+// preset, including the SG2044 — the property the HTTP machine
+// endpoints and custom-spec sweeps rest on.
+func TestJSONRoundTripAllPresets(t *testing.T) {
+	for _, m := range append(All(), SG2044()) {
+		data, err := ToJSON(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Label, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Label, err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Errorf("%s: JSON round trip is lossy:\n got %+v\nwant %+v", m.Label, back, m)
+		}
+	}
+}
+
+// TestJSONEnumTokens pins the readable enum encodings: specs should say
+// "rvv1.0" and "per-cluster", not opaque integers.
+func TestJSONEnumTokens(t *testing.T) {
+	data, err := ToJSON(SG2042())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := string(data)
+	for _, want := range []string{`"isa": "rvv0.7.1"`, `"shared": "per-cluster"`, `"shared": "per-socket"`} {
+		if !strings.Contains(spec, want) {
+			t.Errorf("SG2042 spec missing %s:\n%s", want, spec)
+		}
+	}
+	if strings.Contains(spec, `"isa": 1`) {
+		t.Error("vector ISA encoded as an integer")
+	}
+}
+
+func TestParseISA(t *testing.T) {
+	cases := map[string]VectorISA{
+		"none": NoVector, "rvv0.7.1": RVV071, "RVV v0.7.1": RVV071,
+		"rvv1.0": RVV10, "RVV V1.0": RVV10, "avx": AVX, "AVX2": AVX2, "avx512": AVX512,
+	}
+	for in, want := range cases {
+		got, err := ParseISA(in)
+		if err != nil || got != want {
+			t.Errorf("ParseISA(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseISA("sve2"); err == nil || !strings.Contains(err.Error(), "sve2") {
+		t.Errorf("ParseISA(sve2) should fail naming the input, got %v", err)
+	}
+}
+
+func TestParseDomain(t *testing.T) {
+	for in, want := range map[string]Domain{
+		"per-core": PerCore, "Per-Cluster": PerCluster, "per-socket": PerSocket,
+	} {
+		got, err := ParseDomain(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDomain(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseDomain("per-rack"); err == nil {
+		t.Error("ParseDomain(per-rack) should fail")
+	}
+}
+
+// TestFromJSONRejectsInvalidSpecs: the validation errors the satellite
+// task names — zero cores, a bad NUMA map, an unknown vector ISA — plus
+// unknown fields, all fail at the decode boundary with a message naming
+// the problem.
+func TestFromJSONRejectsInvalidSpecs(t *testing.T) {
+	valid, err := ToJSON(SG2042())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"zero cores",
+			func(s string) string { return strings.Replace(s, `"cores": 64`, `"cores": 0`, 1) },
+			"cores"},
+		{"bad NUMA map",
+			func(s string) string { return strings.Replace(s, `"numa_regions": 4`, `"numa_regions": 5`, 1) },
+			"NUMA region"},
+		{"unknown vector ISA",
+			func(s string) string { return strings.Replace(s, `"isa": "rvv0.7.1"`, `"isa": "sve2"`, 1) },
+			"unknown vector ISA"},
+		{"unknown field",
+			func(s string) string { return strings.Replace(s, `"cores": 64`, `"coers": 64`, 1) },
+			"coers"},
+		{"non-string ISA",
+			func(s string) string { return strings.Replace(s, `"isa": "rvv0.7.1"`, `"isa": 3`, 1) },
+			"string token"},
+	}
+	for _, tc := range cases {
+		_, err := FromJSON([]byte(tc.mutate(string(valid))))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{", `"SG2042"`, `[1,2,3]`} {
+		if _, err := FromJSON([]byte(bad)); err == nil {
+			t.Errorf("FromJSON(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := SG2042()
+	c := m.Clone()
+	if !reflect.DeepEqual(m, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.NUMARegionOf[0] = 99
+	c.Caches[0].SizeBytes = 1
+	c.Cores = 1
+	if m.NUMARegionOf[0] == 99 || m.Caches[0].SizeBytes == 1 || m.Cores == 1 {
+		t.Error("mutating the clone reached the original")
+	}
+}

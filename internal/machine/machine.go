@@ -48,17 +48,17 @@ func (v VectorISA) String() string {
 
 // Vector describes a core's vector capability.
 type Vector struct {
-	ISA VectorISA
+	ISA VectorISA `json:"isa"`
 	// WidthBits is the vector register width (128 for the C920 and
 	// Sandybridge AVX FP, 256 for AVX2, 512 for AVX-512).
-	WidthBits int
+	WidthBits int `json:"width_bits,omitempty"`
 	// FMA reports whether the vector unit fuses multiply-add (doubles
 	// peak flops/cycle). Sandybridge AVX has separate add and multiply
 	// ports but no FMA.
-	FMA bool
+	FMA bool `json:"fma,omitempty"`
 	// Pipes is the number of vector execution pipes (2 for the x86
 	// server cores, 1 for the C920's single 128-bit unit).
-	Pipes int
+	Pipes int `json:"pipes,omitempty"`
 }
 
 // Lanes returns the SIMD lane count for the precision, or 1 without a
@@ -97,87 +97,100 @@ func (d Domain) String() string {
 
 // CacheLevel describes one level of the hierarchy.
 type CacheLevel struct {
-	Name      string // "L1D", "L2", "L3"
-	SizeBytes int64  // capacity of one instance of this level
-	LineBytes int
-	Assoc     int
-	Shared    Domain
+	Name      string `json:"name"`       // "L1D", "L2", "L3"
+	SizeBytes int64  `json:"size_bytes"` // capacity of one instance of this level
+	LineBytes int    `json:"line_bytes"`
+	Assoc     int    `json:"assoc"`
+	Shared    Domain `json:"shared"`
 	// BWPerCore is sustained bandwidth from this level into one core,
 	// bytes/second.
-	BWPerCore float64
+	BWPerCore float64 `json:"bw_per_core"`
 	// BWAggregate is the total bandwidth one instance of this level can
 	// deliver to all its sharers together, bytes/second. Sharing
 	// contention kicks in when sharers' demands exceed it.
-	BWAggregate float64
+	BWAggregate float64 `json:"bw_aggregate"`
 	// LatencyNs is the load-to-use latency of this level.
-	LatencyNs float64
+	LatencyNs float64 `json:"latency_ns"`
 }
 
-// Machine is a complete CPU description.
+// Machine is a complete CPU description. The struct round-trips
+// through JSON (see FromJSON/ToJSON in json.go), so clients of the
+// study engine can define custom hardware rather than picking a preset.
 type Machine struct {
-	Name  string
-	Label string // short label used in report tables ("SG2042", "Rome")
+	Name  string `json:"name"`
+	Label string `json:"label"` // short label used in report tables ("SG2042", "Rome")
 
-	ClockHz float64
-	Cores   int
+	ClockHz float64 `json:"clock_hz"`
+	Cores   int     `json:"cores"`
 	// ClusterSize is the number of cores per L2/LLC cluster (4 on the
 	// SG2042 and Rome; 1 where there is no intermediate sharing domain).
-	ClusterSize int
+	ClusterSize int `json:"cluster_size"`
 	// NUMARegionOf maps core id -> NUMA region id. Length == Cores.
-	NUMARegionOf []int
-	NUMARegions  int
+	NUMARegionOf []int `json:"numa_region_of"`
+	NUMARegions  int   `json:"numa_regions"`
 
 	// MemCtrlPerNUMA is the number of memory controllers serving each
 	// NUMA region ("there is one DDR memory controller per NUMA region"
 	// on the SG2042; Rome has eight for four regions).
-	MemCtrlPerNUMA int
+	MemCtrlPerNUMA int `json:"mem_ctrl_per_numa"`
 	// CtrlBW is the sustained bandwidth of one memory controller,
 	// bytes/second.
-	CtrlBW float64
+	CtrlBW float64 `json:"ctrl_bw"`
 	// CoreMemBW caps the DRAM bandwidth a single core can extract
 	// (limited by outstanding misses), bytes/second.
-	CoreMemBW float64
+	CoreMemBW float64 `json:"core_mem_bw"`
 	// MemLatencyNs is the idle DRAM access latency.
-	MemLatencyNs float64
+	MemLatencyNs float64 `json:"mem_latency_ns"`
 	// MLP is the effective memory-level parallelism of one core
 	// (outstanding misses an OoO core overlaps; ~1 for a simple
 	// in-order core without an aggressive prefetcher).
-	MLP float64
+	MLP float64 `json:"mlp"`
 
-	Caches []CacheLevel
-	Vector Vector
+	Caches []CacheLevel `json:"caches"`
+	Vector Vector       `json:"vector"`
 
 	// ScalarFlopsPerCycle is peak scalar FP throughput of one core
 	// (FMA counts as 2). The C920 dual-issues FP ops; the U74 has a
 	// single FP pipe.
-	ScalarFlopsPerCycle float64
+	ScalarFlopsPerCycle float64 `json:"scalar_flops_per_cycle"`
 	// VectorFlopsPerCyclePerLane: flops per cycle per lane when
 	// vectorised (2 with FMA, Pipes scales it).
 	// Peak vector flops/cycle = lanes * this.
-	VectorFlopsPerCyclePerLane float64
+	VectorFlopsPerCyclePerLane float64 `json:"vector_flops_per_cycle_per_lane"`
 	// IssueWidth is the instructions/cycle front-end sustain rate; the
 	// model uses it for instruction-overhead-bound loops.
-	IssueWidth float64
+	IssueWidth float64 `json:"issue_width"`
 	// OutOfOrder: out-of-order cores overlap compute and memory time
 	// (roofline max); in-order cores largely serialise them.
-	OutOfOrder bool
+	OutOfOrder bool `json:"out_of_order"`
 
 	// ForkJoinNsBase and ForkJoinNsPerThread model the cost of one
 	// OpenMP parallel region (fork + barrier + join): base + per-thread
 	// linear term.
-	ForkJoinNsBase      float64
-	ForkJoinNsPerThread float64
+	ForkJoinNsBase      float64 `json:"fork_join_ns_base"`
+	ForkJoinNsPerThread float64 `json:"fork_join_ns_per_thread"`
 	// StragglerNs is the additional per-region delay when the machine
 	// approaches full occupancy: barrier contention across the slow
 	// uncore plus OS preemption of the slowest thread. The model scales
 	// it as StragglerNs * (threads/Cores)^3.7, which reproduces the
 	// cliff the paper observes between 32 and 64 threads on the SG2042
 	// (Tables 1-3) while leaving dedicated HPC nodes nearly unaffected.
-	StragglerNs float64
+	StragglerNs float64 `json:"straggler_ns"`
 	// JitterFullOccupancy is the multiplicative slowdown applied when
 	// every physical core is busy (OS daemons and the runtime itself
 	// compete; the paper sees severe degradation at 64 threads).
-	JitterFullOccupancy float64
+	JitterFullOccupancy float64 `json:"jitter_full_occupancy"`
+}
+
+// Clone returns a deep copy of the machine; mutating the copy (or its
+// NUMA map and cache levels) never affects the original. The registry
+// and the derivation helpers hand out clones so a preset can never be
+// corrupted in place.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.NUMARegionOf = append([]int(nil), m.NUMARegionOf...)
+	c.Caches = append([]CacheLevel(nil), m.Caches...)
+	return &c
 }
 
 // ClusterOf returns the cluster id of a core.
@@ -275,7 +288,10 @@ func (m *Machine) Validate() error {
 	if m.Name == "" {
 		return fmt.Errorf("machine: empty name")
 	}
-	if m.Cores < 1 {
+	if m.Label == "" {
+		return fmt.Errorf("machine %s: empty label", m.Name)
+	}
+	if m.Cores < 1 || m.Cores > MaxCores {
 		return fmt.Errorf("machine %s: %d cores", m.Name, m.Cores)
 	}
 	if m.ClockHz <= 0 {

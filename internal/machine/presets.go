@@ -5,8 +5,8 @@ package machine
 // clocks, NUMA layouts and vector ISAs are taken directly from the
 // paper's text; bandwidths, latencies and per-cycle rates are effective
 // (sustained) calibration values chosen so the performance model
-// reproduces the paper's relative results — see EXPERIMENTS.md for the
-// paper-vs-model comparison. Where the paper's stated value differs from
+// reproduces the paper's relative results — see docs/EXPERIMENTS.md for
+// the paper-vs-model comparison. Where the paper's stated value differs from
 // vendor datasheets (e.g. it describes the E5-2609's AVX registers as
 // 128-bit and its L1D as 64 KB) we follow the paper, since the paper is
 // what we reproduce.
@@ -333,6 +333,57 @@ func XeonE52609() *Machine {
 		ForkJoinNsPerThread: 40,
 		StragglerNs:         12000,
 		JitterFullOccupancy: 1.1,
+	}
+}
+
+// SG2044 is an SG2042 successor preset inspired by the follow-up
+// evaluation "Is RISC-V ready for High Performance Computing? An
+// evaluation of the Sophon SG2044" (arXiv:2508.13840): 64 XuanTie
+// C920v2 cores at 2.6 GHz with ratified RVV v1.0 (still 128-bit
+// registers), a DDR5 memory system that removes the SG2042's
+// four-region NUMA split and multiplies its sustained bandwidth, and a
+// markedly better-behaved uncore at full occupancy. It is not part of
+// the source paper's experiments — All() stays the paper's seven — but
+// it anchors the what-if sweep direction: the registry serves it and
+// docs/EXPERIMENTS.md records which values are published topology and
+// which are chosen sustained calibrations.
+func SG2044() *Machine {
+	return &Machine{
+		Name:  "Sophon SG2044 (XuanTie C920v2)",
+		Label: "SG2044",
+
+		ClockHz:      2.6e9,
+		Cores:        64,
+		ClusterSize:  4,
+		NUMARegions:  1,
+		NUMARegionOf: uniformNUMA(64),
+
+		MemCtrlPerNUMA: 4,
+		CtrlBW:         28.0 * gb, // DDR5-5600 per controller, sustained
+		CoreMemBW:      14.0 * gb,
+		MemLatencyNs:   110,
+		MLP:            8,
+
+		Caches: []CacheLevel{
+			{Name: "L1D", SizeBytes: 64 * kb, LineBytes: 64, Assoc: 4, Shared: PerCore,
+				BWPerCore: 40 * gb, BWAggregate: 40 * gb, LatencyNs: 1.2},
+			{Name: "L2", SizeBytes: 2 * mb, LineBytes: 64, Assoc: 16, Shared: PerCluster,
+				BWPerCore: 16 * gb, BWAggregate: 40 * gb, LatencyNs: 5},
+			{Name: "L3", SizeBytes: 64 * mb, LineBytes: 64, Assoc: 16, Shared: PerSocket,
+				BWPerCore: 12 * gb, BWAggregate: 90 * gb, LatencyNs: 30},
+		},
+
+		Vector: Vector{ISA: RVV10, WidthBits: 128, FMA: true, Pipes: 2},
+
+		ScalarFlopsPerCycle:        2.0,
+		VectorFlopsPerCyclePerLane: 2.0,
+		IssueWidth:                 4,
+		OutOfOrder:                 true,
+
+		ForkJoinNsBase:      2200,
+		ForkJoinNsPerThread: 70,
+		StragglerNs:         60000,
+		JitterFullOccupancy: 1.06,
 	}
 }
 

@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of machines: the presets the paper
+// evaluates plus whatever custom hardware a client registers. Lookups
+// are by short label, case-insensitive, and every machine that goes in
+// or comes out is deep-copied, so no caller can mutate a registered
+// description in place. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byLabel map[string]*Machine // key: canonicalized label
+	order   []string            // registration order of canonical keys
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byLabel: make(map[string]*Machine)}
+}
+
+// DefaultRegistry returns a registry pre-registered with every preset:
+// the seven CPUs the paper evaluates (All) plus the SG2044 what-if
+// preset, in that order.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, m := range append(All(), SG2044()) {
+		if err := r.Register(m); err != nil {
+			panic(err) // presets are validated by tests; unreachable
+		}
+	}
+	return r
+}
+
+func canonLabel(label string) string {
+	return strings.ToLower(strings.TrimSpace(label))
+}
+
+// Register validates m and adds a deep copy under its label. Labels
+// are unique (case-insensitively): registering a second "SG2042" is an
+// error, never a silent overwrite.
+func (r *Registry) Register(m *Machine) error {
+	if m == nil {
+		return fmt.Errorf("machine: registering nil machine")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	key := canonLabel(m.Label)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byLabel[key]; ok {
+		return fmt.Errorf("machine: label %q already registered (as %s)", m.Label, prev.Name)
+	}
+	r.byLabel[key] = m.Clone()
+	r.order = append(r.order, key)
+	return nil
+}
+
+// Get returns a deep copy of the machine with the given label
+// (case-insensitive), or false.
+func (r *Registry) Get(label string) (*Machine, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byLabel[canonLabel(label)]
+	if !ok {
+		return nil, false
+	}
+	return m.Clone(), true
+}
+
+// Labels returns the registered labels (in their original casing), in
+// registration order.
+func (r *Registry) Labels() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.order))
+	for _, key := range r.order {
+		out = append(out, r.byLabel[key].Label)
+	}
+	return out
+}
+
+// Machines returns deep copies of every registered machine, in
+// registration order.
+func (r *Registry) Machines() []*Machine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Machine, 0, len(r.order))
+	for _, key := range r.order {
+		out = append(out, r.byLabel[key].Clone())
+	}
+	return out
+}
+
+// Len returns the number of registered machines.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultRegistryContents(t *testing.T) {
+	r := DefaultRegistry()
+	if r.Len() != 8 {
+		t.Fatalf("default registry has %d machines, want 8 (the paper's seven + SG2044)", r.Len())
+	}
+	labels := r.Labels()
+	// Registration order: the paper's order, then the what-if preset.
+	want := []string{"V1", "V2", "SG2042", "Rome", "Broadwell", "Icelake", "Sandybridge", "SG2044"}
+	for i, l := range want {
+		if labels[i] != l {
+			t.Errorf("label %d = %q, want %q", i, labels[i], l)
+		}
+	}
+	for _, l := range want {
+		if _, ok := r.Get(l); !ok {
+			t.Errorf("Get(%q) missing", l)
+		}
+	}
+}
+
+func TestRegistryGetIsCaseInsensitive(t *testing.T) {
+	r := DefaultRegistry()
+	for _, l := range []string{"sg2042", "SG2042", " Sg2042 "} {
+		m, ok := r.Get(l)
+		if !ok || m.Label != "SG2042" {
+			t.Errorf("Get(%q) = %v, %v", l, m, ok)
+		}
+	}
+	if _, ok := r.Get("SG9999"); ok {
+		t.Error("Get(SG9999) found a machine")
+	}
+}
+
+func TestRegistryIsolation(t *testing.T) {
+	r := DefaultRegistry()
+	m, _ := r.Get("SG2042")
+	m.Cores = 1
+	m.NUMARegionOf[0] = 99
+	again, _ := r.Get("SG2042")
+	if again.Cores != 64 || again.NUMARegionOf[0] != 0 {
+		t.Error("mutating a Get result reached the registry")
+	}
+
+	custom := SG2042()
+	custom.Label = "custom"
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	custom.Cores = 1 // after registration
+	got, _ := r.Get("custom")
+	if got.Cores != 64 {
+		t.Error("mutating a machine after Register reached the registry")
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := DefaultRegistry()
+	if err := r.Register(SG2042()); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate label accepted: %v", err)
+	}
+	if err := r.Register(nil); err == nil {
+		t.Error("nil machine accepted")
+	}
+	bad := SG2042()
+	bad.Cores = 0
+	bad.Label = "broken"
+	if err := r.Register(bad); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	unlabeled := SG2042()
+	unlabeled.Label = ""
+	if err := r.Register(unlabeled); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestRegistryMachinesOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, m := range []*Machine{SG2044(), SG2042()} {
+		if err := r.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := r.Machines()
+	if len(ms) != 2 || ms[0].Label != "SG2044" || ms[1].Label != "SG2042" {
+		t.Errorf("Machines() order wrong: %v", ms)
+	}
+	if labels := r.Labels(); labels[0] != "SG2044" || labels[1] != "SG2042" {
+		t.Errorf("Labels() = %v", labels)
+	}
+}
+
+func TestSG2044Preset(t *testing.T) {
+	m := SG2044()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sg := SG2042()
+	if m.Vector.ISA != RVV10 {
+		t.Errorf("SG2044 vector ISA = %v, want ratified RVV v1.0", m.Vector.ISA)
+	}
+	if m.NUMARegions != 1 {
+		t.Errorf("SG2044 NUMA regions = %d, want the single unified region", m.NUMARegions)
+	}
+	if m.ClockHz <= sg.ClockHz {
+		t.Error("SG2044 should clock above the SG2042")
+	}
+	if m.TotalMemBandwidth() <= sg.TotalMemBandwidth() {
+		t.Error("SG2044's DDR5 system should out-bandwidth the SG2042's DDR4")
+	}
+}

@@ -4,9 +4,9 @@ import "repro/internal/ir"
 
 // Calibration collects the model's free constants. The defaults were
 // fitted so the study engine reproduces the qualitative results of the
-// paper's tables and figures (see EXPERIMENTS.md for the cell-by-cell
-// comparison); the ablation benchmarks sweep them to show which results
-// are robust to the choices.
+// paper's tables and figures (see docs/EXPERIMENTS.md for the
+// paper-vs-model comparison); the ablation benchmarks sweep them to
+// show which results are robust to the choices.
 type Calibration struct {
 	// LSUPerCycle scales load/store issue throughput relative to a
 	// 3-wide front end (1.5 ≈ two LSU pipes shared with other work).

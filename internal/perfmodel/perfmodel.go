@@ -17,7 +17,7 @@
 // All results are ratios in the study (speedups, times-faster), so the
 // absolute scale is synthetic; the mechanisms above carry the shapes the
 // paper reports. Calibration constants live in calibrate.go and the
-// paper-vs-model numbers in EXPERIMENTS.md.
+// paper-vs-model rationale in docs/EXPERIMENTS.md.
 package perfmodel
 
 import (

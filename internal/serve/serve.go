@@ -10,6 +10,9 @@
 //	GET  /v1/experiments            list experiment metadata (JSON)
 //	GET  /v1/experiments/{name}     one experiment; text, CSV or JSON
 //	POST /v1/experiments:batch      many experiments in one request
+//	GET  /v1/machines               list the machine registry (JSON)
+//	GET  /v1/machines/{name}        one machine's full JSON spec
+//	POST /v1/sweep                  what-if hardware sweep; text, CSV or JSON
 //	GET  /v1/roofline/{machine}     roofline report for a machine
 //	GET  /v1/cluster/{machine}      MPI scaling model for a machine
 //	GET  /metrics                   Prometheus-style text metrics
@@ -41,15 +44,18 @@ type Options struct {
 // concurrent use; create it once and share it across connections.
 type Server struct {
 	eng *repro.Engine
+	reg *repro.MachineRegistry
 	met *metrics
 	mux *http.ServeMux
 }
 
 // New returns a Server around a fresh engine with the paper's study
-// defaults.
+// defaults and the default machine registry (the paper's presets plus
+// the SG2044).
 func New(opts Options) *Server {
 	s := &Server{
 		eng: repro.NewEngine(repro.Options{Parallel: opts.Parallel}),
+		reg: repro.DefaultMachineRegistry(),
 		met: newMetrics(),
 		mux: http.NewServeMux(),
 	}
@@ -65,6 +71,9 @@ func (s *Server) routes() {
 	s.handle("GET /v1/experiments", "list", s.handleList)
 	s.handle("GET /v1/experiments/{name}", "experiment", s.handleExperiment)
 	s.handle("POST /v1/experiments:batch", "batch", s.handleBatch)
+	s.handle("GET /v1/machines", "machines", s.handleMachines)
+	s.handle("GET /v1/machines/{name}", "machine", s.handleMachine)
+	s.handle("POST /v1/sweep", "sweep", s.handleSweep)
 	s.handle("GET /v1/roofline/{machine}", "roofline", s.handleRoofline)
 	s.handle("GET /v1/cluster/{machine}", "cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -259,4 +268,3 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		Error string `json:"error"`
 	}{err.Error()})
 }
-

@@ -30,6 +30,15 @@
 // via HTTP/JSON (internal/serve), so many clients share one warm cache.
 // Experiments() lists the available experiments with their metadata.
 //
+// Beyond the paper's fixed experiments the study is machine-parametric:
+// DefaultMachineRegistry serves the presets (plus the SG2044 follow-up
+// preset) by name, MachineFromJSON/MachineJSON round-trip custom
+// hardware as JSON specs, and Engine.Sweep runs what-if hardware
+// sweeps — one axis (cores, clock, vector width, NUMA layout) varied
+// across a range, every point's per-class performance reported against
+// the unmodified base. docs/EXPERIMENTS.md records the calibration
+// rationale behind the presets.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/sg2042sim -exp all -parallel 8
@@ -109,7 +118,8 @@ const (
 	Stream    = kernels.Stream
 )
 
-// Machine presets (Section 2.1 and Table 4).
+// Machine presets (Section 2.1 and Table 4), plus the SG2044 what-if
+// preset grounded in the follow-up evaluation (arXiv:2508.13840).
 var (
 	SG2042       = machine.SG2042
 	VisionFiveV1 = machine.VisionFiveV1
@@ -118,17 +128,41 @@ var (
 	XeonE52695   = machine.XeonE52695
 	Xeon6330     = machine.Xeon6330
 	XeonE52609   = machine.XeonE52609
+	SG2044       = machine.SG2044
 )
 
-// Machines returns every modelled CPU.
+// Machines returns the seven CPUs the paper evaluates.
 func Machines() []*Machine { return machine.All() }
 
 // X86Machines returns the four x86 comparators of Table 4.
 func X86Machines() []*Machine { return machine.X86() }
 
-// MachineByLabel finds a preset by its short label ("SG2042", "Rome",
-// ...), or nil.
+// MachineByLabel finds a paper preset by its short label ("SG2042",
+// "Rome", ...), or nil. The registry (DefaultMachineRegistry) is the
+// wider surface that also serves the SG2044 and custom machines.
 func MachineByLabel(label string) *Machine { return machine.ByLabel(label) }
+
+// MachineRegistry is a named, concurrency-safe collection of machines;
+// lookups are case-insensitive and everything in or out is deep-copied.
+type MachineRegistry = machine.Registry
+
+// NewMachineRegistry returns an empty registry.
+func NewMachineRegistry() *MachineRegistry { return machine.NewRegistry() }
+
+// DefaultMachineRegistry returns a registry pre-registered with the
+// paper's seven presets plus the SG2044 — the machine surface the HTTP
+// API (GET /v1/machines) and sg2042sim -machines list.
+func DefaultMachineRegistry() *MachineRegistry { return machine.DefaultRegistry() }
+
+// MachineFromJSON decodes and validates a JSON machine spec — the form
+// POST /v1/sweep accepts for custom hardware. Unknown fields and
+// structurally invalid machines (zero cores, bad NUMA map, unknown
+// vector ISA) are rejected with a message naming the problem.
+func MachineFromJSON(data []byte) (*Machine, error) { return machine.FromJSON(data) }
+
+// MachineJSON encodes a machine as an indented JSON spec, the exact
+// form MachineFromJSON accepts.
+func MachineJSON(m *Machine) ([]byte, error) { return machine.ToJSON(m) }
 
 // NewStudy returns a Study with the paper's defaults (five averaged
 // runs with small seeded measurement noise).
