@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:18042
 
-.PHONY: build vet test bench verify serve doccheck
+.PHONY: build vet test bench bench-json verify serve doccheck
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ test:
 # engine) plus everything else; -benchtime keeps the full sweep quick.
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 10x ./...
+
+# Run the serving-path benchmarks across all four layers and write the
+# results machine-readable (ns/op, B/op, allocs/op per benchmark) to
+# BENCH_engine.json, so CI records the perf trajectory. See
+# docs/PERFORMANCE.md for how to read them.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_engine.json
 
 verify: build vet test
 

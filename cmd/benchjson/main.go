@@ -1,0 +1,141 @@
+// Command benchjson runs the study engine's benchmarks and writes a
+// machine-readable summary — ns/op, B/op, allocs/op and any custom
+// metrics, per benchmark — so CI can record the serving-path perf
+// trajectory instead of letting it evaporate in build logs.
+//
+//	go run ./cmd/benchjson -o BENCH_engine.json
+//
+// The default selection covers the four layers of the request→result
+// pipeline: whole-experiment evaluation (repro), suite evaluation and
+// the memoized hit path (internal/core), the batched model API
+// (internal/perfmodel) and the HTTP hot path (internal/serve). See
+// docs/PERFORMANCE.md for how to read the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Package    string `json:"package"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps a unit to its value: "ns/op", "B/op", "allocs/op",
+	// plus any b.ReportMetric units (e.g. "cache_hit_rate").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type benchReport struct {
+	Bench      string        `json:"bench"`
+	Benchtime  string        `json:"benchtime"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output file")
+	bench := flag.String("bench", "AllExperiments|RunSuite|SuiteTimes|HTTPGet",
+		"benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "10x", "go test -benchtime value")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{".", "./internal/core", "./internal/perfmodel", "./internal/serve"}
+	}
+
+	args := append([]string{"test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		os.Stdout.Write(raw)
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	report := benchReport{Bench: *bench, Benchtime: *benchtime}
+	report.Benchmarks, err = parseBenchOutput(string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q\n", *bench)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseBenchOutput extracts benchmark lines from go test output. The
+// package each benchmark belongs to is taken from the preceding "pkg:"
+// header go test prints per package.
+func parseBenchOutput(out string) ([]benchResult, error) {
+	var results []benchResult
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, err := parseBenchLine(pkg, line)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8  10  123456 ns/op  789 B/op  12 allocs/op  0.85 rate
+//
+// into a benchResult. The -GOMAXPROCS suffix is stripped from the name;
+// everything after the iteration count is (value, unit) pairs.
+func parseBenchLine(pkg, line string) (benchResult, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchResult{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	r := benchResult{Package: pkg, Name: name, Iterations: iters,
+		Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, nil
+}

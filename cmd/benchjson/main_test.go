@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkRunSuiteUncached 	   35959	     34689 ns/op	   19592 B/op	      35 allocs/op
+BenchmarkRunSuiteCachedHit-8 	  534334	      2222 ns/op	    2304 B/op	       1 allocs/op
+PASS
+ok  	repro/internal/core	2.945s
+pkg: repro
+BenchmarkAllExperimentsEngineServing 	       5	   3471886 ns/op	         0.8503 cache_hit_rate	 3345193 B/op	   18380 allocs/op
+ok  	repro	0.5s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rs, err := parseBenchOutput(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rs))
+	}
+	r := rs[0]
+	if r.Package != "repro/internal/core" || r.Name != "RunSuiteUncached" || r.Iterations != 35959 {
+		t.Errorf("first result wrong: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 34689 || r.Metrics["allocs/op"] != 35 {
+		t.Errorf("first result metrics wrong: %+v", r.Metrics)
+	}
+	if rs[1].Name != "RunSuiteCachedHit" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", rs[1].Name)
+	}
+	sv := rs[2]
+	if sv.Package != "repro" || sv.Metrics["cache_hit_rate"] != 0.8503 {
+		t.Errorf("custom metric lost: %+v", sv)
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkHalf 12 34",        // odd value/unit pairing
+		"BenchmarkNoIters x ns/op",   // short line
+		"BenchmarkBadIter y 1 ns/op", // non-numeric iterations
+		"BenchmarkBadVal 5 zz ns/op", // non-numeric value
+	} {
+		if _, err := parseBenchLine("p", line); err == nil {
+			t.Errorf("parseBenchLine(%q) should fail", line)
+		}
+	}
+}

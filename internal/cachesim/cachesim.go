@@ -9,6 +9,7 @@ package cachesim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/machine"
 )
@@ -108,7 +109,7 @@ func newCache(name string, sizeBytes int64, lineBytes, assoc int) (*cache, error
 	}
 	c := &cache{
 		name:     name,
-		lineBits: uint(trailingZeros(uint64(lineBytes))),
+		lineBits: uint(bits.TrailingZeros64(uint64(lineBytes))),
 		nSets:    uint64(nSets),
 		sets:     make([]set, nSets),
 	}
@@ -116,15 +117,6 @@ func newCache(name string, sizeBytes int64, lineBytes, assoc int) (*cache, error
 		c.sets[i].ways = make([]line, assoc)
 	}
 	return c, nil
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 func (c *cache) index(addr uint64) (setIdx uint64, tag uint64) {
@@ -140,7 +132,6 @@ func (c *cache) access(addr uint64, write bool) (hit bool, wroteBack bool) {
 	c.stats.Accesses++
 	if w := s.lookup(tag); w >= 0 {
 		c.stats.Hits++
-		s.touch(0)
 		s.touch(w)
 		if write {
 			s.ways[0].dirty = true
@@ -176,8 +167,12 @@ type LevelConfig struct {
 type Hierarchy struct {
 	m      *machine.Machine
 	levels []LevelConfig
-	// caches[l] maps domain-instance id -> cache for level l.
-	caches []map[int]*cache
+	// caches[l][inst] is the pre-instantiated cache serving domain
+	// instance inst of level l: per-core levels have Cores instances,
+	// per-cluster levels Clusters(), socket levels one. Instantiating
+	// them all at construction keeps Access's inner loop to an index —
+	// no map lookup, no lazy-create error path.
+	caches [][]*cache
 	// MemAccesses counts accesses that missed every level.
 	MemAccesses uint64
 	// MemWrites counts write-backs that reached memory.
@@ -200,16 +195,39 @@ func NewHierarchy(m *machine.Machine) (*Hierarchy, error) {
 }
 
 // NewCustom builds a Hierarchy with explicit level configs (the cache
-// ablation benchmark sweeps these).
+// ablation benchmark sweeps these). Every domain instance of every
+// level is instantiated here, so bad geometry fails at construction
+// and Access never has to create (or fail to create) a cache.
 func NewCustom(m *machine.Machine, levels []LevelConfig) (*Hierarchy, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("cachesim: no levels")
 	}
-	h := &Hierarchy{m: m, levels: levels, caches: make([]map[int]*cache, len(levels))}
-	for i := range levels {
-		h.caches[i] = make(map[int]*cache)
+	h := &Hierarchy{m: m, levels: levels, caches: make([][]*cache, len(levels))}
+	for l, lc := range levels {
+		n := h.instances(lc)
+		h.caches[l] = make([]*cache, n)
+		for inst := 0; inst < n; inst++ {
+			c, err := newCache(fmt.Sprintf("%s[%d]", lc.Name, inst),
+				lc.SizeBytes, lc.LineBytes, lc.Assoc)
+			if err != nil {
+				return nil, err
+			}
+			h.caches[l][inst] = c
+		}
 	}
 	return h, nil
+}
+
+// instances returns how many instances of a level the machine has.
+func (h *Hierarchy) instances(level LevelConfig) int {
+	switch level.Shared {
+	case machine.PerCore:
+		return h.m.Cores
+	case machine.PerCluster:
+		return h.m.Clusters()
+	default:
+		return 1
+	}
 }
 
 // domainInstance returns which instance of a level a core uses.
@@ -224,40 +242,23 @@ func (h *Hierarchy) domainInstance(level LevelConfig, core int) int {
 	}
 }
 
-func (h *Hierarchy) cacheFor(l int, core int) (*cache, error) {
-	inst := h.domainInstance(h.levels[l], core)
-	if c, ok := h.caches[l][inst]; ok {
-		return c, nil
-	}
-	lc := h.levels[l]
-	c, err := newCache(fmt.Sprintf("%s[%d]", lc.Name, inst), lc.SizeBytes, lc.LineBytes, lc.Assoc)
-	if err != nil {
-		return nil, err
-	}
-	h.caches[l][inst] = c
-	return c, nil
-}
-
 // Access simulates one memory access by a core. It probes each level in
 // order; a hit at level k fills all levels above it (non-inclusive fill,
 // matching a straightforward allocate-on-miss hierarchy). Returns the
 // level index that served the access, or len(levels) for memory.
-func (h *Hierarchy) Access(core int, addr uint64, write bool) (servedBy int, err error) {
+func (h *Hierarchy) Access(core int, addr uint64, write bool) (servedBy int) {
 	for l := 0; l < len(h.levels); l++ {
-		c, err := h.cacheFor(l, core)
-		if err != nil {
-			return 0, err
-		}
+		c := h.caches[l][h.domainInstance(h.levels[l], core)]
 		hit, wb := c.access(addr, write && l == 0)
 		if wb && l == len(h.levels)-1 {
 			h.MemWrites++
 		}
 		if hit {
-			return l, nil
+			return l
 		}
 	}
 	h.MemAccesses++
-	return len(h.levels), nil
+	return len(h.levels)
 }
 
 // Stats returns aggregated stats for a level across all its instances.
@@ -284,10 +285,18 @@ func (h *Hierarchy) LevelName(l int) string {
 	return h.levels[l].Name
 }
 
-// Reset clears all stats and contents.
+// Reset clears all stats and contents in place, keeping the
+// pre-instantiated caches.
 func (h *Hierarchy) Reset() {
-	for l := range h.caches {
-		h.caches[l] = make(map[int]*cache)
+	for _, lvl := range h.caches {
+		for _, c := range lvl {
+			c.stats = Stats{}
+			for i := range c.sets {
+				for w := range c.sets[i].ways {
+					c.sets[i].ways[w] = line{}
+				}
+			}
+		}
 	}
 	h.MemAccesses = 0
 	h.MemWrites = 0

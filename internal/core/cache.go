@@ -10,8 +10,6 @@ package core
 // evaluation, so memoization is purely an execution strategy.
 
 import (
-	"fmt"
-	"hash/fnv"
 	"sync"
 
 	"repro/internal/autovec"
@@ -50,14 +48,15 @@ type suiteKey struct {
 // their label: a copied preset with a tweaked core count or cache size
 // must miss, never collide with the stock entry. Pointer identity
 // would be wrong the other way round — the presets return a fresh
-// *Machine per call, so identical machines would never hit.
+// *Machine per call, so identical machines would never hit. The hash
+// itself is machine.Fingerprint's hand-rolled field walk: this sits on
+// the hot path of every cache lookup, and the reflection-based
+// formatting it replaced was ~90 allocations per key.
 func machineFingerprint(m *machine.Machine) uint64 {
 	if m == nil {
 		return 0
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%v", *m)
-	return h.Sum64()
+	return m.Fingerprint()
 }
 
 // suiteKeyFor canonicalizes cfg (Runs clamps at 1 like the evaluation

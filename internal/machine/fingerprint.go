@@ -1,0 +1,99 @@
+package machine
+
+import "math"
+
+// Fingerprint folds every Machine parameter into one 64-bit FNV-1a
+// hash. The study engine keys its suite cache on it so a copied preset
+// with a tweaked core count or cache size misses instead of colliding
+// with the stock entry; serving layers key rendered-response caches on
+// it for the same reason. The hash is hand-rolled over the fields —
+// no reflection, no formatting, no allocation — because it sits on the
+// cache-hit hot path of every engine request.
+//
+// Every field of Machine (and of the CacheLevel and Vector structs it
+// embeds) must be folded in here; fingerprint_test.go pins the field
+// counts with reflection so adding a field without extending the hash
+// fails the build's tests rather than silently weakening the key.
+func (m *Machine) Fingerprint() uint64 {
+	h := newFieldHasher()
+	h.str(m.Name)
+	h.str(m.Label)
+	h.f64(m.ClockHz)
+	h.int(m.Cores)
+	h.int(m.ClusterSize)
+	h.int(len(m.NUMARegionOf))
+	for _, r := range m.NUMARegionOf {
+		h.int(r)
+	}
+	h.int(m.NUMARegions)
+	h.int(m.MemCtrlPerNUMA)
+	h.f64(m.CtrlBW)
+	h.f64(m.CoreMemBW)
+	h.f64(m.MemLatencyNs)
+	h.f64(m.MLP)
+	h.int(len(m.Caches))
+	for i := range m.Caches {
+		c := &m.Caches[i]
+		h.str(c.Name)
+		h.u64(uint64(c.SizeBytes))
+		h.int(c.LineBytes)
+		h.int(c.Assoc)
+		h.int(int(c.Shared))
+		h.f64(c.BWPerCore)
+		h.f64(c.BWAggregate)
+		h.f64(c.LatencyNs)
+	}
+	h.int(int(m.Vector.ISA))
+	h.int(m.Vector.WidthBits)
+	h.bool(m.Vector.FMA)
+	h.int(m.Vector.Pipes)
+	h.f64(m.ScalarFlopsPerCycle)
+	h.f64(m.VectorFlopsPerCyclePerLane)
+	h.f64(m.IssueWidth)
+	h.bool(m.OutOfOrder)
+	h.f64(m.ForkJoinNsBase)
+	h.f64(m.ForkJoinNsPerThread)
+	h.f64(m.StragglerNs)
+	h.f64(m.JitterFullOccupancy)
+	return h.sum()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fieldHasher is a zero-allocation FNV-1a accumulator. Each add method
+// folds a length- or width-delimited encoding of the value in, so
+// adjacent fields cannot alias (e.g. strings "ab","c" vs "a","bc").
+type fieldHasher struct{ h uint64 }
+
+func newFieldHasher() fieldHasher { return fieldHasher{h: fnvOffset64} }
+
+func (f *fieldHasher) sum() uint64 { return f.h }
+
+func (f *fieldHasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h = (f.h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+}
+
+func (f *fieldHasher) int(v int) { f.u64(uint64(v)) }
+
+func (f *fieldHasher) f64(v float64) { f.u64(math.Float64bits(v)) }
+
+func (f *fieldHasher) bool(v bool) {
+	if v {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+}
+
+func (f *fieldHasher) str(s string) {
+	f.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.h = (f.h ^ uint64(s[i])) * fnvPrime64
+	}
+}

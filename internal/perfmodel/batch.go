@@ -1,0 +1,350 @@
+package perfmodel
+
+// Batched suite evaluation. A full suite run evaluates all 64 kernels
+// under one Config, but most of KernelTime's work — the thread-to-core
+// placement, the sharing analysis it induces, the per-level capacity
+// and bandwidth shares of the memory-hierarchy walk, the DRAM slice,
+// and the per-region synchronisation cost — depends only on the
+// configuration, not the kernel. evalCtx hoists all of it out of the
+// per-kernel loop so SuiteTimes pays the placement/sharing analysis
+// once per configuration instead of once per kernel. KernelTime builds
+// a one-shot context and evaluates through the same code path, so a
+// batched evaluation is bit-identical to 64 individual KernelTime
+// calls (batch_test.go proves it field by field).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autovec"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/placement"
+	"repro/internal/prec"
+)
+
+// levelParams is one cache level's pre-derived per-thread capacity and
+// bandwidth share under a fixed (sharing, threads) pair.
+type levelParams struct {
+	name     string
+	capacity float64 // usable per-thread capacity, bytes
+	bw       float64 // per-thread bandwidth from this level, bytes/s
+}
+
+// evalCtx carries every config-dependent, kernel-independent input of
+// one evaluation. It is built once per (Model, Config) and is only
+// used by the goroutine that built it.
+type evalCtx struct {
+	cfg  Config
+	mach *machine.Machine
+
+	sharing placement.Sharing
+
+	// Compute/issue rates.
+	clock      float64
+	lanes      float64 // SIMD lanes at cfg.Prec
+	vecRate    float64 // lanes * per-lane vector flops * clock (pre-efficiency)
+	scalarRate float64
+	intRate    float64
+	lsuRate    float64 // LSU-limited element rate, elements/s
+
+	// Compiler decision shortcut: a scalar build (ScalarOnly or no
+	// vector unit) resolves to the same Decision for every kernel.
+	scalarBuild bool
+
+	// Memory system.
+	dramBW   float64 // per-thread DRAM bandwidth under the placement
+	memLatNs float64 // idle DRAM latency
+	l2LatNs  float64
+	l3LatNs  float64
+	hasL3    bool
+	rmwSec   float64 // one atomic RMW, seconds
+
+	// Parallel-region costs at cfg.Threads.
+	syncSec float64 // per-region fork/join + straggler, seconds
+
+	// Cache-level walk parameters at cfg.Threads, in machine order
+	// (innermost first; the walk iterates them outermost-in). seq is
+	// the threads==1 variant SeqOnly kernels need, built on demand.
+	levels []levelParams
+	seq    []levelParams
+}
+
+// scalarBuildDecision is the decision every kernel gets under a scalar
+// build — identical to what decide() used to construct per kernel.
+var scalarBuildDecision = autovec.Decision{
+	Vectorized: false, Mode: autovec.Scalar, Efficiency: 1, Reason: "scalar build",
+}
+
+// newEvalCtx validates cfg and derives the kernel-independent inputs.
+func (m *Model) newEvalCtx(cfg Config) (*evalCtx, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("perfmodel: nil machine")
+	}
+	if cfg.Threads < 1 {
+		return nil, fmt.Errorf("perfmodel: %d threads", cfg.Threads)
+	}
+	cores, err := placement.Map(cfg.Machine, cfg.Placement, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	mach := cfg.Machine
+	ctx := &evalCtx{
+		cfg:     cfg,
+		mach:    mach,
+		sharing: placement.Analyze(mach, cores),
+		clock:   mach.ClockHz,
+	}
+
+	ctx.lanes = float64(mach.Vector.Lanes(cfg.Prec))
+	ctx.vecRate = ctx.lanes * mach.VectorFlopsPerCyclePerLane * ctx.clock
+	ctx.scalarRate = mach.ScalarFlopsPerCycle * ctx.clock
+	ctx.intRate = mach.IssueWidth * ctx.clock * 0.5 // integer ALU share
+	lsuPerCycle := m.Cal.LSUPerCycle * mach.IssueWidth / 3.0
+	ctx.lsuRate = lsuPerCycle * ctx.clock
+
+	ctx.scalarBuild = cfg.ScalarOnly || mach.Vector.ISA == machine.NoVector
+
+	// Per-thread DRAM bandwidth: the barrier waits for the slowest
+	// thread, so the most crowded NUMA region sets the pace.
+	sharersMem := ctx.sharing.MaxPerNUMA
+	if sharersMem < 1 {
+		sharersMem = 1
+	}
+	ctx.dramBW = math.Min(mach.CoreMemBW, mach.NUMABandwidth()/float64(sharersMem))
+
+	ctx.memLatNs = mach.MemLatencyNs
+	if l2 := mach.Cache("L2"); l2 != nil {
+		ctx.l2LatNs = l2.LatencyNs
+	}
+	if l3 := mach.Cache("L3"); l3 != nil {
+		ctx.l3LatNs = l3.LatencyNs
+		ctx.hasL3 = true
+	}
+	ctx.rmwSec = m.Cal.AtomicRMWCycles / mach.ClockHz
+
+	if cfg.Threads > 1 {
+		ctx.syncSec = m.syncOverhead(mach, cfg.Threads)
+	}
+
+	ctx.levels = m.levelParamsFor(mach, ctx.sharing, cfg.Threads)
+	return ctx, nil
+}
+
+// levelParamsFor derives each cache level's usable per-thread capacity
+// and bandwidth share under the sharing pattern and thread count — the
+// config-invariant half of the bandwidth walk.
+func (m *Model) levelParamsFor(mach *machine.Machine, sh placement.Sharing,
+	threads int) []levelParams {
+	out := make([]levelParams, len(mach.Caches))
+	for i := range mach.Caches {
+		lvl := &mach.Caches[i]
+		var sharers int
+		agg := lvl.BWAggregate
+		switch lvl.Shared {
+		case machine.PerCore:
+			sharers = 1
+		case machine.PerCluster:
+			sharers = sh.MaxPerCluster
+		default:
+			sharers = threads
+			// A socket-level cache on a multi-NUMA die (the SG2042's
+			// 64MB "system cache") is physically sliced across the
+			// mesh: a placement that occupies few NUMA regions reaches
+			// only those regions' slices and their bandwidth. This is
+			// the second mechanism (besides the DRAM controllers)
+			// behind block placement's poor Table 1 scaling.
+			if mach.NUMARegions > 1 && sh.NUMARegionsUsed > 0 {
+				agg *= float64(sh.NUMARegionsUsed) / float64(mach.NUMARegions)
+			}
+		}
+		if sharers < 1 {
+			sharers = 1
+		}
+		out[i] = levelParams{
+			name:     lvl.Name,
+			capacity: float64(lvl.SizeBytes) / float64(sharers) * m.Cal.CacheUsableFraction,
+			bw:       math.Min(lvl.BWPerCore, agg/float64(sharers)),
+		}
+	}
+	return out
+}
+
+// levelsFor returns the walk parameters for a kernel's effective thread
+// count: the shared per-config set, or the lazily built single-thread
+// variant a SeqOnly kernel needs under a multi-threaded config.
+func (m *Model) levelsFor(ctx *evalCtx, threads int) []levelParams {
+	if threads == ctx.cfg.Threads {
+		return ctx.levels
+	}
+	if ctx.seq == nil {
+		ctx.seq = m.levelParamsFor(ctx.mach, ctx.sharing, threads)
+	}
+	return ctx.seq
+}
+
+// SuiteTimes evaluates every spec under cfg through one shared
+// evaluation context, hoisting the placement, sharing and hierarchy
+// analysis out of the per-kernel loop. The returned breakdowns are
+// bit-identical to calling KernelTime per spec, in order.
+func (m *Model) SuiteTimes(specs []kernels.Spec, cfg Config) ([]Breakdown, error) {
+	ctx, err := m.newEvalCtx(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Breakdown, len(specs))
+	for i := range specs {
+		out[i] = m.kernelTime(ctx, specs[i])
+	}
+	return out, nil
+}
+
+// kernelTime is the per-kernel half of the model: everything KernelTime
+// used to compute that actually depends on the kernel.
+func (m *Model) kernelTime(ctx *evalCtx, spec kernels.Spec) Breakdown {
+	cfg := ctx.cfg
+	mach := ctx.mach
+	n := spec.DefaultN
+	if cfg.ProblemN > 0 {
+		n = cfg.ProblemN
+	}
+
+	var dec autovec.Decision
+	if ctx.scalarBuild {
+		dec = scalarBuildDecision
+	} else {
+		dec = autovec.AnalyzeKernel(cfg.Compiler, spec.Loop, cfg.Mode)
+	}
+
+	threads := cfg.Threads
+	if spec.SeqOnly {
+		threads = 1 // the recurrence executes sequentially regardless
+	}
+
+	// Amdahl: a serial fraction of each repetition (SORT's merge,
+	// SCAN's cross-thread prefix) does not divide by the thread count.
+	amdahl := spec.SerialFrac + (1-spec.SerialFrac)/float64(threads)
+	itersPerThread := spec.Iters(n) * amdahl
+	b := Breakdown{Decision: dec}
+
+	vecOn := dec.VectorEffective() && !cfg.ScalarOnly
+
+	// --- compute term ---------------------------------------------------
+	flopsPerIter := spec.Loop.FlopsPerIter
+	intPerIter := spec.Loop.IntOpsPerIter
+	var frate float64 // flops/second
+	if vecOn {
+		frate = ctx.vecRate * dec.Efficiency
+		if dec.Mode == autovec.VLA {
+			// "VLS tends to outperform VLA on the C920": the per-strip
+			// vsetvli and unavailable full unrolling cost a slice.
+			frate *= m.Cal.VLAFactor
+		}
+	} else {
+		frate = ctx.scalarRate
+	}
+	b.CompSec = itersPerThread * (flopsPerIter/frate + intPerIter/ctx.intRate)
+
+	// --- instruction / LSU issue term ------------------------------------
+	accesses := spec.Loop.LoadsPerIter() + spec.Loop.StoresPerIter() +
+		spec.Loop.IntLoadsPerIter() + spec.Loop.IntStoresPerIter()
+	elemsPerInst := 1.0
+	if vecOn {
+		elemsPerInst = ctx.lanes * dec.Efficiency
+		if dec.Mode == autovec.VLA {
+			elemsPerInst *= m.Cal.VLAFactor
+		}
+	}
+	b.IssueSec = itersPerThread * (accesses / elemsPerInst) / ctx.lsuRate
+
+	// --- memory hierarchy term -------------------------------------------
+	served, bw, dramShare := m.servingLevel(ctx, spec, n, threads)
+	b.ServedBy = served
+	b.SharedMemBW = bw
+	// Scalar code on a vector-designed memory pipeline extracts less
+	// bandwidth (narrow accesses, fewer outstanding misses); the gap is
+	// wider at FP32 where each scalar access moves half the bytes. This
+	// is the mechanism behind Figure 2's FP32-vs-FP64 asymmetry.
+	scalarBW := 1.0
+	if mach.Vector.ISA != machine.NoVector && !vecOn {
+		if cfg.Prec == prec.F32 {
+			scalarBW = m.Cal.ScalarMemBW32
+		} else {
+			scalarBW = m.Cal.ScalarMemBW64
+		}
+	} else if vecOn {
+		// Inefficient vector code (masked epilogues, gathers) also
+		// wastes memory throughput, mildly coupled to lane efficiency —
+		// this is what lets GCC's scalar path beat Clang's poor vector
+		// code on JACOBI_2D (the Figure 3 surprise).
+		scalarBW = 0.5 + 0.5*dec.Efficiency
+		if dec.Mode == autovec.VLA {
+			// The per-strip vsetvli renegotiation also costs achieved
+			// bandwidth, so "VLS tends to outperform VLA" holds for
+			// memory-bound kernels too.
+			scalarBW *= m.Cal.VLAFactor
+		}
+	}
+	bytesPerIter := trafficPerIter(spec, cfg.Prec, dramShare)
+	patternEff := m.patternEfficiency(spec.Loop.DominantPattern())
+	b.MemSec = itersPerThread * bytesPerIter / (bw * patternEff * scalarBW)
+
+	// --- latency term (gather/random under limited MLP) --------------------
+	b.LatSec = m.latencyTerm(ctx, spec, served, itersPerThread)
+
+	// --- combine per-thread time -------------------------------------------
+	var perThread float64
+	if mach.OutOfOrder {
+		perThread = math.Max(b.CompSec, math.Max(b.IssueSec, b.MemSec)) + b.LatSec
+	} else {
+		// In-order cores overlap little: costs add.
+		perThread = b.CompSec + b.IssueSec + b.MemSec + b.LatSec
+	}
+
+	// --- atomic contention ---------------------------------------------------
+	b.AtomicSec = m.atomicTerm(ctx, spec, n, threads)
+	perThread = math.Max(perThread, b.AtomicSec)
+
+	// --- parallel-region overhead ---------------------------------------------
+	if threads > 1 {
+		b.SyncSec = float64(spec.Regions) * ctx.syncSec
+	}
+
+	perRep := perThread + b.SyncSec
+	if threads == mach.Cores && threads > 1 {
+		perRep *= mach.JitterFullOccupancy
+	}
+	b.PerRep = perRep
+	b.Seconds = perRep * float64(spec.Reps)
+	return b
+}
+
+// servingLevel walks the pre-derived level parameters for the kernel's
+// working set: each level covers the fraction of the set its per-thread
+// capacity share holds, the rest falls through, and the effective
+// bandwidth is the harmonic blend of the levels weighted by coverage
+// (so capacity cliffs are smooth, as on real hardware). Returns the
+// innermost level fully holding the set (or "MEM"), the blended
+// bandwidth, and the fraction of traffic served by DRAM.
+func (m *Model) servingLevel(ctx *evalCtx, spec kernels.Spec, n, threads int) (string, float64, float64) {
+	wsPerThread := spec.FootprintBytes(n, ctx.cfg.Prec) / float64(threads)
+	levels := m.levelsFor(ctx, threads)
+
+	served := "MEM"
+	eff := ctx.dramBW
+	dramShare := 1.0
+	// Walk from the outermost cache inwards, blending at each step.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lp := &levels[i]
+		cov := 1.0
+		if wsPerThread > 0 {
+			cov = math.Min(1, lp.capacity/wsPerThread)
+		}
+		eff = 1 / (cov/lp.bw + (1-cov)/eff)
+		dramShare *= 1 - cov
+		if cov >= 0.999 {
+			served = lp.name
+		}
+	}
+	return served, eff, dramShare
+}

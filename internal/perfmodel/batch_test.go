@@ -1,0 +1,124 @@
+package perfmodel_test
+
+import (
+	"testing"
+
+	"repro/internal/autovec"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/suite"
+)
+
+// batchConfigs spans the configuration space the experiments exercise:
+// every machine kind (RVV, no-vector, the x86 ISAs), thread counts
+// from one to full occupancy, all placements, both precisions, every
+// compiler/mode pair, scalar builds and problem-size overrides.
+func batchConfigs() []perfmodel.Config {
+	var cfgs []perfmodel.Config
+	add := func(c perfmodel.Config) { cfgs = append(cfgs, c) }
+	for _, threads := range []int{1, 2, 8, 32, 64} {
+		for _, pol := range placement.Policies {
+			for _, p := range prec.Both {
+				add(perfmodel.Config{Machine: machine.SG2042(), Threads: threads,
+					Placement: pol, Prec: p, Compiler: autovec.GCCXuanTie, Mode: autovec.VLS})
+			}
+		}
+	}
+	for _, mode := range []autovec.Mode{autovec.VLA, autovec.VLS} {
+		add(perfmodel.Config{Machine: machine.SG2042(), Threads: 1,
+			Placement: placement.Block, Prec: prec.F32, Compiler: autovec.Clang16, Mode: mode})
+	}
+	scalar := perfmodel.Config{Machine: machine.SG2042(), Threads: 1,
+		Placement: placement.Block, Prec: prec.F64, Compiler: autovec.GCCXuanTie,
+		Mode: autovec.VLS, ScalarOnly: true}
+	add(scalar)
+	sized := scalar
+	sized.ScalarOnly = false
+	sized.ProblemN = 512
+	add(sized)
+	add(perfmodel.Config{Machine: machine.VisionFiveV1(), Threads: 1,
+		Placement: placement.Block, Prec: prec.F64, Compiler: autovec.GCCXuanTie,
+		Mode: autovec.VLS})
+	for _, m := range machine.X86() {
+		add(perfmodel.Config{Machine: m, Threads: m.Cores, Placement: placement.Block,
+			Prec: prec.F32, Compiler: autovec.GCCx86, Mode: autovec.VLS})
+	}
+	return cfgs
+}
+
+// TestSuiteTimesMatchesKernelTime is the batched API's contract: for
+// every kernel and every configuration shape the study uses, the
+// shared-context evaluation must be bit-identical — not just close —
+// to the one-shot KernelTime path, term by term.
+func TestSuiteTimesMatchesKernelTime(t *testing.T) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	for _, cfg := range batchConfigs() {
+		batched, err := mdl.SuiteTimes(specs, cfg)
+		if err != nil {
+			t.Fatalf("%s t=%d %v: SuiteTimes: %v", cfg.Machine.Label, cfg.Threads, cfg.Placement, err)
+		}
+		if len(batched) != len(specs) {
+			t.Fatalf("SuiteTimes returned %d breakdowns for %d specs", len(batched), len(specs))
+		}
+		for i, spec := range specs {
+			single, err := mdl.KernelTime(spec, cfg)
+			if err != nil {
+				t.Fatalf("%s: KernelTime: %v", spec.Name, err)
+			}
+			if batched[i] != single {
+				t.Errorf("%s on %s t=%d %v %v: batched %+v != single %+v",
+					spec.Name, cfg.Machine.Label, cfg.Threads, cfg.Placement, cfg.Prec,
+					batched[i], single)
+			}
+		}
+	}
+}
+
+// TestSuiteTimesErrors mirrors KernelTime's config validation.
+func TestSuiteTimesErrors(t *testing.T) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	if _, err := mdl.SuiteTimes(specs, perfmodel.Config{}); err == nil {
+		t.Error("nil machine: want error")
+	}
+	if _, err := mdl.SuiteTimes(specs, perfmodel.Config{Machine: machine.SG2042()}); err == nil {
+		t.Error("zero threads: want error")
+	}
+	over := perfmodel.Config{Machine: machine.SG2042(), Threads: 1000, Prec: prec.F32}
+	if _, err := mdl.SuiteTimes(specs, over); err == nil {
+		t.Error("oversubscribed threads: want placement error")
+	}
+}
+
+func BenchmarkSuiteTimesBatched(b *testing.B) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	cfg := perfmodel.Config{Machine: machine.SG2042(), Threads: 32,
+		Placement: placement.CyclicNUMA, Prec: prec.F32,
+		Compiler: autovec.GCCXuanTie, Mode: autovec.VLS}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdl.SuiteTimes(specs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteTimesPerKernel(b *testing.B) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	cfg := perfmodel.Config{Machine: machine.SG2042(), Threads: 32,
+		Placement: placement.CyclicNUMA, Prec: prec.F32,
+		Compiler: autovec.GCCXuanTie, Mode: autovec.VLS}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if _, err := mdl.KernelTime(spec, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -21,7 +21,6 @@
 package perfmodel
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/autovec"
@@ -85,140 +84,16 @@ type Model struct {
 // New returns a Model with the default calibration.
 func New() *Model { return &Model{Cal: DefaultCalibration()} }
 
-// KernelTime estimates the execution time of the kernel under cfg.
+// KernelTime estimates the execution time of the kernel under cfg. It
+// builds a one-shot evaluation context; a whole-suite evaluation uses
+// SuiteTimes (batch.go), which shares one context across all kernels
+// and produces bit-identical breakdowns.
 func (m *Model) KernelTime(spec kernels.Spec, cfg Config) (Breakdown, error) {
-	if cfg.Machine == nil {
-		return Breakdown{}, fmt.Errorf("perfmodel: nil machine")
-	}
-	if cfg.Threads < 1 {
-		return Breakdown{}, fmt.Errorf("perfmodel: %d threads", cfg.Threads)
-	}
-	n := spec.DefaultN
-	if cfg.ProblemN > 0 {
-		n = cfg.ProblemN
-	}
-	cores, err := placement.Map(cfg.Machine, cfg.Placement, cfg.Threads)
+	ctx, err := m.newEvalCtx(cfg)
 	if err != nil {
 		return Breakdown{}, err
 	}
-	sharing := placement.Analyze(cfg.Machine, cores)
-
-	dec := m.decide(spec, cfg)
-
-	threads := cfg.Threads
-	if spec.SeqOnly {
-		threads = 1 // the recurrence executes sequentially regardless
-	}
-
-	// Amdahl: a serial fraction of each repetition (SORT's merge,
-	// SCAN's cross-thread prefix) does not divide by the thread count.
-	amdahl := spec.SerialFrac + (1-spec.SerialFrac)/float64(threads)
-	itersPerThread := spec.Iters(n) * amdahl
-	b := Breakdown{Decision: dec}
-
-	mach := cfg.Machine
-	clock := mach.ClockHz
-
-	// --- compute term ---------------------------------------------------
-	flopsPerIter := spec.Loop.FlopsPerIter
-	intPerIter := spec.Loop.IntOpsPerIter
-	var frate float64 // flops/second
-	if dec.VectorEffective() && !cfg.ScalarOnly {
-		lanes := float64(mach.Vector.Lanes(cfg.Prec))
-		frate = lanes * mach.VectorFlopsPerCyclePerLane * clock * dec.Efficiency
-		if dec.Mode == autovec.VLA {
-			// "VLS tends to outperform VLA on the C920": the per-strip
-			// vsetvli and unavailable full unrolling cost a slice.
-			frate *= m.Cal.VLAFactor
-		}
-	} else {
-		frate = mach.ScalarFlopsPerCycle * clock
-	}
-	intRate := mach.IssueWidth * clock * 0.5 // integer ALU share
-	b.CompSec = itersPerThread * (flopsPerIter/frate + intPerIter/intRate)
-
-	// --- instruction / LSU issue term ------------------------------------
-	accesses := spec.Loop.LoadsPerIter() + spec.Loop.StoresPerIter() +
-		spec.Loop.IntLoadsPerIter() + spec.Loop.IntStoresPerIter()
-	elemsPerInst := 1.0
-	if dec.VectorEffective() && !cfg.ScalarOnly {
-		elemsPerInst = float64(mach.Vector.Lanes(cfg.Prec)) * dec.Efficiency
-		if dec.Mode == autovec.VLA {
-			elemsPerInst *= m.Cal.VLAFactor
-		}
-	}
-	lsuPerCycle := m.Cal.LSUPerCycle * mach.IssueWidth / 3.0
-	b.IssueSec = itersPerThread * (accesses / elemsPerInst) / (lsuPerCycle * clock)
-
-	// --- memory hierarchy term -------------------------------------------
-	served, bw, dramShare := m.servingLevel(spec, cfg, sharing, n, threads)
-	b.ServedBy = served
-	b.SharedMemBW = bw
-	// Scalar code on a vector-designed memory pipeline extracts less
-	// bandwidth (narrow accesses, fewer outstanding misses); the gap is
-	// wider at FP32 where each scalar access moves half the bytes. This
-	// is the mechanism behind Figure 2's FP32-vs-FP64 asymmetry.
-	scalarBW := 1.0
-	if mach.Vector.ISA != machine.NoVector && !(dec.VectorEffective() && !cfg.ScalarOnly) {
-		if cfg.Prec == prec.F32 {
-			scalarBW = m.Cal.ScalarMemBW32
-		} else {
-			scalarBW = m.Cal.ScalarMemBW64
-		}
-	} else if dec.VectorEffective() && !cfg.ScalarOnly {
-		// Inefficient vector code (masked epilogues, gathers) also
-		// wastes memory throughput, mildly coupled to lane efficiency —
-		// this is what lets GCC's scalar path beat Clang's poor vector
-		// code on JACOBI_2D (the Figure 3 surprise).
-		scalarBW = 0.5 + 0.5*dec.Efficiency
-		if dec.Mode == autovec.VLA {
-			// The per-strip vsetvli renegotiation also costs achieved
-			// bandwidth, so "VLS tends to outperform VLA" holds for
-			// memory-bound kernels too.
-			scalarBW *= m.Cal.VLAFactor
-		}
-	}
-	bytesPerIter := trafficPerIter(spec, cfg.Prec, dramShare)
-	patternEff := m.patternEfficiency(spec.Loop.DominantPattern())
-	b.MemSec = itersPerThread * bytesPerIter / (bw * patternEff * scalarBW)
-
-	// --- latency term (gather/random under limited MLP) --------------------
-	b.LatSec = m.latencyTerm(spec, cfg, served, itersPerThread)
-
-	// --- combine per-thread time -------------------------------------------
-	var perThread float64
-	if mach.OutOfOrder {
-		perThread = math.Max(b.CompSec, math.Max(b.IssueSec, b.MemSec)) + b.LatSec
-	} else {
-		// In-order cores overlap little: costs add.
-		perThread = b.CompSec + b.IssueSec + b.MemSec + b.LatSec
-	}
-
-	// --- atomic contention ---------------------------------------------------
-	b.AtomicSec = m.atomicTerm(spec, cfg, n, threads)
-	perThread = math.Max(perThread, b.AtomicSec)
-
-	// --- parallel-region overhead ---------------------------------------------
-	if threads > 1 {
-		b.SyncSec = float64(spec.Regions) * m.syncOverhead(mach, threads)
-	}
-
-	perRep := perThread + b.SyncSec
-	if threads == mach.Cores && threads > 1 {
-		perRep *= mach.JitterFullOccupancy
-	}
-	b.PerRep = perRep
-	b.Seconds = perRep * float64(spec.Reps)
-	return b, nil
-}
-
-// decide resolves the compiler decision under the config.
-func (m *Model) decide(spec kernels.Spec, cfg Config) autovec.Decision {
-	if cfg.ScalarOnly || cfg.Machine.Vector.ISA == machine.NoVector {
-		return autovec.Decision{Vectorized: false, Mode: autovec.Scalar,
-			Efficiency: 1, Reason: "scalar build"}
-	}
-	return autovec.AnalyzeKernel(cfg.Compiler, spec.Loop, cfg.Mode)
+	return m.kernelTime(ctx, spec), nil
 }
 
 // trafficPerIter returns bytes moved per innermost iteration. The
@@ -232,70 +107,6 @@ func trafficPerIter(spec kernels.Spec, p prec.Precision, dramShare float64) floa
 	return loads + stores
 }
 
-// servingLevel derives the effective per-thread bandwidth of the memory
-// hierarchy for the kernel's per-thread working set. Each level covers
-// the fraction of the working set its per-thread capacity share holds;
-// the rest falls through to the next level, and the effective bandwidth
-// is the harmonic blend of the levels weighted by coverage (so capacity
-// cliffs are smooth, as on real hardware). Returns the innermost level
-// fully holding the set (or "MEM"), the blended bandwidth, and the
-// fraction of traffic served by DRAM.
-func (m *Model) servingLevel(spec kernels.Spec, cfg Config, sh placement.Sharing,
-	n, threads int) (string, float64, float64) {
-	mach := cfg.Machine
-	wsPerThread := spec.FootprintBytes(n, cfg.Prec) / float64(threads)
-
-	// Per-thread DRAM bandwidth: the barrier waits for the slowest
-	// thread, so the most crowded NUMA region sets the pace.
-	sharersMem := sh.MaxPerNUMA
-	if sharersMem < 1 {
-		sharersMem = 1
-	}
-	dramBW := math.Min(mach.CoreMemBW, mach.NUMABandwidth()/float64(sharersMem))
-
-	served := "MEM"
-	eff := dramBW
-	dramShare := 1.0
-	// Walk from the outermost cache inwards, blending at each step.
-	for i := len(mach.Caches) - 1; i >= 0; i-- {
-		lvl := &mach.Caches[i]
-		var sharers int
-		agg := lvl.BWAggregate
-		switch lvl.Shared {
-		case machine.PerCore:
-			sharers = 1
-		case machine.PerCluster:
-			sharers = sh.MaxPerCluster
-		default:
-			sharers = threads
-			// A socket-level cache on a multi-NUMA die (the SG2042's
-			// 64MB "system cache") is physically sliced across the
-			// mesh: a placement that occupies few NUMA regions reaches
-			// only those regions' slices and their bandwidth. This is
-			// the second mechanism (besides the DRAM controllers)
-			// behind block placement's poor Table 1 scaling.
-			if mach.NUMARegions > 1 && sh.NUMARegionsUsed > 0 {
-				agg *= float64(sh.NUMARegionsUsed) / float64(mach.NUMARegions)
-			}
-		}
-		if sharers < 1 {
-			sharers = 1
-		}
-		capacity := float64(lvl.SizeBytes) / float64(sharers) * m.Cal.CacheUsableFraction
-		cov := 1.0
-		if wsPerThread > 0 {
-			cov = math.Min(1, capacity/wsPerThread)
-		}
-		bw := math.Min(lvl.BWPerCore, agg/float64(sharers))
-		eff = 1 / (cov/bw + (1-cov)/eff)
-		dramShare *= 1 - cov
-		if cov >= 0.999 {
-			served = lvl.Name
-		}
-	}
-	return served, eff, dramShare
-}
-
 // patternEfficiency scales bandwidth by spatial locality.
 func (m *Model) patternEfficiency(p ir.Pattern) float64 {
 	if eff, ok := m.Cal.PatternEff[p]; ok {
@@ -306,38 +117,37 @@ func (m *Model) patternEfficiency(p ir.Pattern) float64 {
 
 // latencyTerm charges latency-bound access streams (indirect/random)
 // that bandwidth numbers do not capture, divided by the core's MLP.
-func (m *Model) latencyTerm(spec kernels.Spec, cfg Config, served string,
+func (m *Model) latencyTerm(ctx *evalCtx, spec kernels.Spec, served string,
 	itersPerThread float64) float64 {
 	dom := spec.Loop.DominantPattern()
 	if dom != ir.Indirect && dom != ir.Random {
 		return 0
 	}
-	mach := cfg.Machine
-	latNs := mach.MemLatencyNs
+	latNs := ctx.memLatNs
 	switch served {
 	case "L1D":
 		return 0
 	case "L2":
-		latNs = mach.Cache("L2").LatencyNs
+		latNs = ctx.l2LatNs
 	case "L3":
-		if l3 := mach.Cache("L3"); l3 != nil {
-			latNs = l3.LatencyNs
+		if ctx.hasL3 {
+			latNs = ctx.l3LatNs
 		}
 	}
 	// One dependent miss per iteration of the gather stream.
 	missesPerIter := 1.0
-	return itersPerThread * missesPerIter * latNs * 1e-9 / mach.MLP
+	return itersPerThread * missesPerIter * latNs * 1e-9 / ctx.mach.MLP
 }
 
 // atomicTerm serialises contended atomic updates: kernels whose atomic
 // target is a single shared location (Broadcast store) degrade with
 // threads; distributed atomics only pay the RMW cost.
-func (m *Model) atomicTerm(spec kernels.Spec, cfg Config, n, threads int) float64 {
+func (m *Model) atomicTerm(ctx *evalCtx, spec kernels.Spec, n, threads int) float64 {
 	if !spec.Loop.Features.Has(ir.Atomic) {
 		return 0
 	}
 	iters := spec.Iters(n)
-	rmw := m.Cal.AtomicRMWCycles / cfg.Machine.ClockHz
+	rmw := ctx.rmwSec
 	contended := false
 	for _, a := range spec.Loop.Accesses {
 		if a.Kind == ir.Store && a.Pattern == ir.Broadcast {

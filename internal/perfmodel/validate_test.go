@@ -46,11 +46,7 @@ func simulateResidency(t *testing.T, m *machine.Machine, wsBytes int64, passes i
 	// Measured pass: count hits per level.
 	counts := make(map[int]uint64)
 	trace.Strided(lines, lineElems, arr, false, func(r trace.Ref) {
-		lvl, err := h.Access(0, r.Addr, r.Write)
-		if err != nil {
-			t.Fatal(err)
-		}
-		counts[lvl]++
+		counts[h.Access(0, r.Addr, r.Write)]++
 	})
 	best, bestN := 0, uint64(0)
 	for lvl, n := range counts {

@@ -168,24 +168,48 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.eng.SweepFormat(spec, format == formatCSV)
+	// Sweeps are deterministic in their canonicalized spec, so the
+	// rendered body is cacheable like any GET: the key folds in the
+	// base machine's full fingerprint (an inline custom spec with one
+	// tweaked field must miss) and the exact bit patterns of the axis
+	// values.
+	ent, err := s.rc.get(sweepRenderKey(spec, format), func() ([]byte, string, error) {
+		out, err := s.eng.SweepFormat(spec, format == formatCSV)
+		if err != nil {
+			return nil, "", err
+		}
+		switch format {
+		case formatJSON:
+			body, err := marshalJSONBody(sweepJSON{
+				Machine: base.Label, Axis: string(spec.Axis), Title: spec.Title(),
+				Format: "text", Output: out,
+			})
+			return body, "application/json", err
+		case formatCSV:
+			return []byte(out), "text/csv; charset=utf-8", nil
+		default:
+			return []byte(out), "text/plain; charset=utf-8", nil
+		}
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	switch format {
-	case formatJSON:
-		writeJSON(w, http.StatusOK, sweepJSON{
-			Machine: base.Label, Axis: string(spec.Axis), Title: spec.Title(),
-			Format: "text", Output: out,
-		})
-	case formatCSV:
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		fmt.Fprint(w, out)
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, out)
+	serveRendered(w, r, ent)
+}
+
+// sweepRenderKey canonicalizes a validated sweep spec into a render
+// cache key. Float axis values are encoded as exact hex bit patterns,
+// so two sweeps hit the same entry only when every evaluated input is
+// identical.
+func sweepRenderKey(spec repro.SweepSpec, f format) renderKey {
+	var v strings.Builder
+	fmt.Fprintf(&v, "fp=%016x axis=%s threads=%d pol=%v prec=%v vals=",
+		spec.Base.Fingerprint(), spec.Axis, spec.Threads, spec.Placement, spec.Prec)
+	for _, x := range spec.Values {
+		fmt.Fprintf(&v, "%x,", x)
 	}
+	return renderKey{kind: "sweep", name: spec.Base.Label, variant: v.String(), format: f}
 }
 
 // parsePlacement maps a placement token onto a policy; empty means the

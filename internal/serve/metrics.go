@@ -56,9 +56,9 @@ func (m *metrics) observe(endpoint string, d time.Duration, status int) {
 }
 
 // render emits the registry in the Prometheus text format, folding in
-// the engine cache counters passed by the caller. Endpoints are sorted
-// so the output is stable.
-func (m *metrics) render(cacheHits, cacheMisses uint64) string {
+// the engine cache and render cache counters passed by the caller.
+// Endpoints are sorted so the output is stable.
+func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -98,6 +98,20 @@ func (m *metrics) render(cacheHits, cacheMisses uint64) string {
 		rate = float64(cacheHits) / float64(total)
 	}
 	fmt.Fprintf(&b, "sg2042d_engine_cache_hit_rate %.6f\n", rate)
+
+	b.WriteString("# HELP sg2042d_render_cache_hits_total Responses served from the rendered-body cache.\n")
+	b.WriteString("# TYPE sg2042d_render_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_render_cache_hits_total %d\n", renderHits)
+	b.WriteString("# HELP sg2042d_render_cache_misses_total Responses rendered on a cache miss.\n")
+	b.WriteString("# TYPE sg2042d_render_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_render_cache_misses_total %d\n", renderMisses)
+	b.WriteString("# HELP sg2042d_render_cache_hit_rate Fraction of cacheable requests served without re-rendering.\n")
+	b.WriteString("# TYPE sg2042d_render_cache_hit_rate gauge\n")
+	rrate := 0.0
+	if total := renderHits + renderMisses; total > 0 {
+		rrate = float64(renderHits) / float64(total)
+	}
+	fmt.Fprintf(&b, "sg2042d_render_cache_hit_rate %.6f\n", rrate)
 	return b.String()
 }
 

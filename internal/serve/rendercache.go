@@ -1,0 +1,246 @@
+package serve
+
+// Rendered-response cache. The engine is deterministic — the
+// determinism contract (docs/ARCHITECTURE.md) guarantees that one
+// (experiment|report|sweep, machine, format) tuple always renders to
+// the same bytes — so the server can cache entire response bodies, not
+// just the suite evaluations behind them. Each entry stores the
+// rendered body, a precomputed strong ETag over it, and (for bodies
+// worth compressing) a gzip form built once with a pooled writer.
+// Repeat GETs cost a map lookup and one write; conditional requests
+// (If-None-Match) cost a 304 with no body at all. Entries are filled
+// under a per-key sync.Once, so concurrent first requests coalesce
+// exactly like the engine's suite cache. docs/PERFORMANCE.md documents
+// the semantics.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// renderKey identifies one cacheable rendering.
+type renderKey struct {
+	// kind is the endpoint family: "experiment", "roofline", "cluster"
+	// or "sweep".
+	kind string
+	// name is the experiment name or machine label, verbatim (it can
+	// appear in the rendered body, so no canonicalization here beyond
+	// what the handler itself does).
+	name string
+	// variant canonicalizes the remaining parameters (precision,
+	// network, grid, node list, sweep axis/values/threads/placement and
+	// the base machine's fingerprint).
+	variant string
+	format  format
+}
+
+// renderEntry is one immutable cached rendering.
+type renderEntry struct {
+	body  []byte
+	ctype string
+	etag  string // strong ETag over body
+	// gzipped/etagGzip are set when compression pays; the gzip
+	// representation gets its own ETag ("...-gzip"), nginx-style, so
+	// each representation revalidates against the exact bytes it serves.
+	gzipped  []byte
+	etagGzip string
+}
+
+type renderSlot struct {
+	once sync.Once
+	ent  *renderEntry
+	err  error
+}
+
+// maxRenderEntries bounds the cache. The fixed key space (experiments
+// x formats, reports per machine and parameter set) is far below it;
+// what it defends against is the client-controlled key spaces (sweep
+// specs, cluster grid/node parameters) — an inline custom machine spec
+// makes every tweaked request a distinct key, and without a bound a
+// long-running daemon would retain every rendered body it ever
+// produced. At the cap an arbitrary entry is evicted for each new one,
+// so caching and request coalescing keep working under churn (an
+// evicted hot entry just re-renders on its next request) while memory
+// stays bounded.
+const maxRenderEntries = 1024
+
+// renderCache memoizes rendered responses for one Server. hits/misses
+// count successful responses only: served from cache vs rendered.
+type renderCache struct {
+	mu      sync.Mutex
+	entries map[renderKey]*renderSlot
+	hits    uint64
+	misses  uint64
+}
+
+func newRenderCache() *renderCache {
+	return &renderCache{entries: make(map[renderKey]*renderSlot)}
+}
+
+// get returns the cached rendering for k, filling it exactly once via
+// fill on first request. Concurrent first requests share one fill. A
+// fill error is returned to every waiter but not cached: the slot is
+// removed so a later request retries (and errors count toward neither
+// hits nor misses).
+func (c *renderCache) get(k renderKey, fill func() (body []byte, ctype string, err error)) (*renderEntry, error) {
+	c.mu.Lock()
+	slot, cached := c.entries[k]
+	if slot == nil {
+		if len(c.entries) >= maxRenderEntries {
+			// Evict an arbitrary entry (map iteration order): a slot
+			// another request still holds completes its fill and
+			// serves normally, it just won't be found again.
+			for victim := range c.entries {
+				delete(c.entries, victim)
+				break
+			}
+		}
+		slot = &renderSlot{}
+		c.entries[k] = slot
+	}
+	c.mu.Unlock()
+
+	slot.once.Do(func() {
+		body, ctype, err := fill()
+		if err != nil {
+			slot.err = err
+			c.mu.Lock()
+			if c.entries[k] == slot {
+				delete(c.entries, k)
+			}
+			c.mu.Unlock()
+			return
+		}
+		slot.ent = newRenderEntry(body, ctype)
+	})
+	if slot.err != nil {
+		return nil, slot.err
+	}
+	c.mu.Lock()
+	if cached {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return slot.ent, nil
+}
+
+// stats reports lookups served from the cache vs renders computed.
+func (c *renderCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// gzipMinSize is the smallest body worth compressing: below this the
+// gzip header/trailer overhead eats the gain and tiny responses are
+// cheap to send anyway.
+const gzipMinSize = 512
+
+// gzipPool recycles gzip writers across cache fills — each Reset
+// reuses the writer's internal deflate state instead of reallocating
+// its ~1.4MB of window buffers.
+var gzipPool = sync.Pool{
+	New: func() any {
+		w, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+		return w
+	},
+}
+
+func newRenderEntry(body []byte, ctype string) *renderEntry {
+	sum := sha256.Sum256(body)
+	tag := hex.EncodeToString(sum[:16])
+	e := &renderEntry{
+		body:  body,
+		ctype: ctype,
+		etag:  `"` + tag + `"`,
+	}
+	if len(body) >= gzipMinSize {
+		var buf bytes.Buffer
+		zw := gzipPool.Get().(*gzip.Writer)
+		zw.Reset(&buf)
+		zw.Write(body)
+		if err := zw.Close(); err == nil && buf.Len() < len(body) {
+			e.gzipped = buf.Bytes()
+			e.etagGzip = `"` + tag + `-gzip"`
+		}
+		gzipPool.Put(zw)
+	}
+	return e
+}
+
+// serveRendered writes a cached entry: a 304 when the client already
+// holds the representation, the stored gzip bytes when the client
+// accepts them, the identity body otherwise.
+func serveRendered(w http.ResponseWriter, r *http.Request, ent *renderEntry) {
+	h := w.Header()
+	// These responses are negotiated from request headers (the body
+	// format from Accept, the encoding from Accept-Encoding), and the
+	// ETag makes them attractive to downstream caches — Vary tells
+	// those caches which headers select the representation.
+	h.Add("Vary", "Accept")
+	h.Add("Vary", "Accept-Encoding")
+	body, etag, enc := ent.body, ent.etag, ""
+	if ent.gzipped != nil && acceptsGzip(r) {
+		body, etag, enc = ent.gzipped, ent.etagGzip, "gzip"
+	}
+	h.Set("ETag", etag)
+	// RFC 9110 defines the 304 answer to If-None-Match for GET/HEAD
+	// only; on other methods (the sweep POST) the header is ignored
+	// and the full body served — the ETag still lets clients detect
+	// an unchanged result.
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	h.Set("Content-Type", ent.ctype)
+	if enc != "" {
+		h.Set("Content-Encoding", enc)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// etagMatches implements If-None-Match for a strong ETag: a list of
+// entity tags (or "*"), compared weakly — a W/ prefix on the client's
+// copy still matches, as RFC 9110 prescribes for If-None-Match.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || c == etag || strings.TrimPrefix(c, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding admits
+// gzip (an explicit q=0 opts out).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(coding), "gzip") {
+			continue
+		}
+		if hasQ {
+			q = strings.TrimPrefix(strings.TrimSpace(q), "q=")
+			if v, err := strconv.ParseFloat(q, 64); err == nil && v == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

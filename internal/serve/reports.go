@@ -20,7 +20,7 @@ type reportJSON struct {
 // roofline with all 64 kernels placed on it, as cmd/sg2042sim
 // -roofline prints it. ?prec=f32|f64 selects the precision (default
 // f64, matching the CLI); ?format=json wraps the text in a JSON
-// envelope.
+// envelope. Renderings are served from the response cache.
 func (s *Server) handleRoofline(w http.ResponseWriter, r *http.Request) {
 	label := r.PathValue("machine")
 	f, err := negotiate(r)
@@ -33,12 +33,22 @@ func (s *Server) handleRoofline(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := repro.RooflineReport(label, p)
+	key := renderKey{kind: "roofline", name: label,
+		variant: fmt.Sprintf("prec=%v", p), format: reportFormat(f)}
+	ent, err := s.rc.get(key, func() ([]byte, string, error) {
+		out, err := repro.RooflineReport(label, p)
+		if err != nil {
+			return nil, "", err
+		}
+		return renderReport(f, reportJSON{Machine: label, Report: "roofline", Output: out})
+	})
 	if err != nil {
+		// The precision was validated above, so what remains is an
+		// unknown machine label.
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeReport(w, f, reportJSON{Machine: label, Report: "roofline", Output: out})
+	serveRendered(w, r, ent)
 }
 
 // handleCluster serves GET /v1/cluster/{machine}: the MPI scaling model
@@ -74,26 +84,43 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := repro.ClusterScalingReport(label, network, grid, p, nodes)
+	key := renderKey{kind: "cluster", name: label,
+		variant: fmt.Sprintf("net=%s grid=%d prec=%v nodes=%v", network, grid, p, nodes),
+		format:  reportFormat(f)}
+	ent, err := s.rc.get(key, func() ([]byte, string, error) {
+		out, err := repro.ClusterScalingReport(label, network, grid, p, nodes)
+		if err != nil {
+			return nil, "", err
+		}
+		return renderReport(f, reportJSON{Machine: label, Report: "cluster", Output: out})
+	})
 	if err != nil {
 		// The network and grid were validated above, so what remains is
 		// an unknown machine label.
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeReport(w, f, reportJSON{Machine: label, Report: "cluster", Output: out})
+	serveRendered(w, r, ent)
 }
 
-// writeReport emits a report as text, or as its JSON envelope when the
-// request negotiated JSON (CSV is not a report format and falls back to
-// text).
-func writeReport(w http.ResponseWriter, f format, rep reportJSON) {
-	if f == formatJSON {
-		writeJSON(w, http.StatusOK, rep)
-		return
+// reportFormat collapses CSV onto text for the report endpoints, which
+// have no CSV form — one cache entry, not two, for the same bytes.
+func reportFormat(f format) format {
+	if f == formatCSV {
+		return formatText
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, rep.Output)
+	return f
+}
+
+// renderReport produces a report body as text, or as its JSON envelope
+// when the request negotiated JSON (CSV is not a report format and
+// falls back to text).
+func renderReport(f format, rep reportJSON) ([]byte, string, error) {
+	if f == formatJSON {
+		body, err := marshalJSONBody(rep)
+		return body, "application/json", err
+	}
+	return []byte(rep.Output), "text/plain; charset=utf-8", nil
 }
 
 // parseNetwork validates the ?net parameter against the interconnects

@@ -24,6 +24,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -47,6 +48,10 @@ type Server struct {
 	reg *repro.MachineRegistry
 	met *metrics
 	mux *http.ServeMux
+	// rc caches fully rendered response bodies (with precomputed ETags
+	// and gzip forms): the engine is deterministic, so a repeat request
+	// for the same rendering never re-renders — see rendercache.go.
+	rc *renderCache
 }
 
 // New returns a Server around a fresh engine with the paper's study
@@ -58,6 +63,7 @@ func New(opts Options) *Server {
 		reg: repro.DefaultMachineRegistry(),
 		met: newMetrics(),
 		mux: http.NewServeMux(),
+		rc:  newRenderCache(),
 	}
 	s.routes()
 	return s
@@ -119,7 +125,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // handleExperiment serves GET /v1/experiments/{name} with content
 // negotiation: ?format=text|csv|json wins, else the Accept header
 // decides, else text. "all" is accepted and concatenates every
-// experiment, exactly like cmd/sg2042sim -exp all.
+// experiment, exactly like cmd/sg2042sim -exp all. Renderings are
+// served from the response cache: the body bytes, ETag and gzip form
+// are computed once per (name, format) and repeat requests — or 304s
+// for revalidations — cost no rendering at all.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := strings.ToLower(strings.TrimSpace(r.PathValue("name")))
 	format, err := negotiate(r)
@@ -131,10 +140,21 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	out, err := s.eng.RunFormat(name, format == formatCSV)
+	ent, err := s.rc.get(renderKey{kind: "experiment", name: name, format: format},
+		func() ([]byte, string, error) { return s.renderExperiment(name, format) })
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	serveRendered(w, r, ent)
+}
+
+// renderExperiment produces the exact bytes handleExperiment used to
+// stream per request — the cache fill path.
+func (s *Server) renderExperiment(name string, format format) ([]byte, string, error) {
+	out, err := s.eng.RunFormat(name, format == formatCSV)
+	if err != nil {
+		return nil, "", err
 	}
 	switch format {
 	case formatJSON:
@@ -142,10 +162,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if info, ok := repro.ExperimentByName(name); ok {
 			title = info.Title
 		}
-		writeJSON(w, http.StatusOK, experimentJSON{
+		body, err := marshalJSONBody(experimentJSON{
 			Name: name, Title: title,
 			Format: "text", Output: out,
 		})
+		return body, "application/json", err
 	case formatCSV:
 		// Table 4 has no CSV form and renders as text; label the body
 		// by what it actually is ("all" concatenations stay text/csv).
@@ -153,11 +174,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if info, ok := repro.ExperimentByName(name); ok && !info.CSV {
 			ctype = "text/plain; charset=utf-8"
 		}
-		w.Header().Set("Content-Type", ctype)
-		fmt.Fprint(w, out)
+		return []byte(out), ctype, nil
 	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, out)
+		return []byte(out), "text/plain; charset=utf-8", nil
 	}
 }
 
@@ -233,11 +252,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
 // format: per-endpoint request/error/latency counters plus the live
-// engine cache counters (hits, misses, and the derived hit rate).
+// engine cache and render cache counters (hits, misses, and the
+// derived hit rates).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.eng.CacheStats()
+	rhits, rmisses := s.rc.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(hits, misses))
+	fmt.Fprint(w, s.met.render(hits, misses, rhits, rmisses))
 }
 
 // validExperiment reports whether a canonicalized name is servable —
@@ -261,6 +282,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// marshalJSONBody renders v exactly as writeJSON streams it (indented,
+// trailing newline), as a byte slice the render cache can keep.
+func marshalJSONBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

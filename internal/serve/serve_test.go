@@ -182,12 +182,18 @@ func TestConcurrentRequestsCoalesce(t *testing.T) {
 			t.Errorf("client %d: body differs from the serial reference", i)
 		}
 	}
-	hits, misses := srv.Engine().CacheStats()
+	_, misses := srv.Engine().CacheStats()
 	if misses > 6 {
 		t.Errorf("%d concurrent requests evaluated %d configurations, want <= 6 (singleflight)", clients, misses)
 	}
-	if hits == 0 {
-		t.Error("no cache hits across concurrent identical requests")
+	// Identical requests coalesce one layer up now: the render cache
+	// fills the body once, every other client shares it.
+	rhits, rmisses := srv.rc.stats()
+	if rmisses != 1 {
+		t.Errorf("render cache misses = %d, want 1 (identical requests must share one render)", rmisses)
+	}
+	if rhits != clients-1 {
+		t.Errorf("render cache hits = %d, want %d", rhits, clients-1)
 	}
 }
 

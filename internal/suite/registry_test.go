@@ -1,0 +1,91 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// The registry is built once at init and handed out by reference; the
+// accessors on the serving hot path must not allocate.
+func TestRegistryAccessorsZeroAlloc(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() { _ = All() }); allocs > 0 {
+		t.Errorf("All allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = Names() }); allocs > 0 {
+		t.Errorf("Names allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _, _ = ByName("TRIAD") }); allocs > 0 {
+		t.Errorf("ByName allocates %.1f times per call, want 0", allocs)
+	}
+	for _, c := range kernels.Classes {
+		if allocs := testing.AllocsPerRun(100, func() { _ = ByClass(c) }); allocs > 0 {
+			t.Errorf("ByClass(%v) allocates %.1f times per call, want 0", c, allocs)
+		}
+	}
+}
+
+// Names must align index-for-index with All, and ByName must agree
+// with a linear scan.
+func TestRegistryIndexConsistent(t *testing.T) {
+	specs := All()
+	ns := Names()
+	if len(ns) != len(specs) {
+		t.Fatalf("Names has %d entries, All has %d", len(ns), len(specs))
+	}
+	for i, s := range specs {
+		if ns[i] != s.Name {
+			t.Errorf("Names[%d] = %q, All[%d].Name = %q", i, ns[i], i, s.Name)
+		}
+		got, err := ByName(s.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", s.Name, err)
+		}
+		if got.Name != s.Name || got.Class != s.Class {
+			t.Errorf("ByName(%q) returned %q/%v", s.Name, got.Name, got.Class)
+		}
+	}
+}
+
+// ByClass subslices must tile All exactly: contiguous, in order,
+// covering every spec once.
+func TestByClassTilesAll(t *testing.T) {
+	specs := All()
+	i := 0
+	for _, c := range kernels.Classes {
+		for _, s := range ByClass(c) {
+			if specs[i].Name != s.Name {
+				t.Fatalf("ByClass tiling broke at %d: %q vs %q", i, specs[i].Name, s.Name)
+			}
+			i++
+		}
+	}
+	if i != len(specs) {
+		t.Errorf("ByClass classes tile %d specs, All has %d", i, len(specs))
+	}
+	if ByClass(kernels.Class(99)) != nil {
+		t.Error("unknown class should return nil")
+	}
+}
+
+// Appending to a ByClass result must never scribble over the adjacent
+// class in the shared backing array (the subslices are capacity-capped).
+func TestByClassAppendDoesNotAlias(t *testing.T) {
+	algo := ByClass(kernels.Algorithm)
+	next := All()[len(algo)].Name
+	_ = append(algo, kernels.Spec{Name: "INTRUDER"})
+	if got := All()[len(algo)].Name; got != next {
+		t.Errorf("append through ByClass overwrote the registry: %q became %q", next, got)
+	}
+}
+
+// All and Names must expose no spare capacity: append on the returned
+// slice has to reallocate, not write into the shared array.
+func TestAllAppendDoesNotAlias(t *testing.T) {
+	if a := All(); cap(a) != len(a) {
+		t.Errorf("All has spare capacity %d beyond len %d", cap(a), len(a))
+	}
+	if n := Names(); cap(n) != len(n) {
+		t.Errorf("Names has spare capacity %d beyond len %d", cap(n), len(n))
+	}
+}

@@ -51,6 +51,7 @@ package repro
 import (
 	"repro/internal/autovec"
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/perfmodel"
@@ -168,17 +169,47 @@ func MachineJSON(m *Machine) ([]byte, error) { return machine.ToJSON(m) }
 // runs with small seeded measurement noise).
 func NewStudy() *Study { return core.NewStudy() }
 
-// Kernels returns the 64 RAJAPerf kernel specs in class order.
-func Kernels() []KernelSpec { return suite.All() }
+// Kernels returns the 64 RAJAPerf kernel specs in class order. The
+// internal registry is immutable and shared; the public API hands out
+// copies — including each spec's loop IR access list — so callers may
+// reorder or edit freely without corrupting the engine's registry.
+func Kernels() []KernelSpec {
+	return copySpecs(suite.All())
+}
 
-// KernelsByClass returns the kernels of one class.
-func KernelsByClass(c Class) []KernelSpec { return suite.ByClass(c) }
+// KernelsByClass returns the kernels of one class (a copy, like
+// Kernels).
+func KernelsByClass(c Class) []KernelSpec {
+	return copySpecs(suite.ByClass(c))
+}
+
+// copySpecs clones specs deeply enough that no mutation of the result
+// can reach the shared registry: the slice itself plus each spec's
+// Loop.Accesses backing array (every other Spec field is a value or an
+// immutable function).
+func copySpecs(specs []KernelSpec) []KernelSpec {
+	out := append([]KernelSpec(nil), specs...)
+	for i := range out {
+		out[i].Loop.Accesses = append([]ir.Access(nil), out[i].Loop.Accesses...)
+	}
+	return out
+}
 
 // KernelByName looks a kernel up by its RAJAPerf name ("TRIAD", "2MM").
-func KernelByName(name string) (KernelSpec, error) { return suite.ByName(name) }
+// Like Kernels, the returned spec is a copy the caller may edit.
+func KernelByName(name string) (KernelSpec, error) {
+	s, err := suite.ByName(name)
+	if err != nil {
+		return s, err
+	}
+	s.Loop.Accesses = append([]ir.Access(nil), s.Loop.Accesses...)
+	return s, nil
+}
 
-// KernelNames lists all 64 kernel names.
-func KernelNames() []string { return suite.Names() }
+// KernelNames lists all 64 kernel names (a copy, like Kernels).
+func KernelNames() []string {
+	return append([]string(nil), suite.Names()...)
+}
 
 // DefaultCompilerFor returns the compiler the paper uses on a machine.
 func DefaultCompilerFor(m *Machine) Compiler { return perfmodel.DefaultCompilerFor(m) }

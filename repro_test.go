@@ -66,6 +66,39 @@ func TestPublicKernelAccess(t *testing.T) {
 	}
 }
 
+// The public API hands out deep-enough copies: mutating a returned
+// spec — including its nested loop IR — must never reach the shared
+// internal registry.
+func TestPublicKernelsAreCopies(t *testing.T) {
+	ks := Kernels()
+	origName := ks[0].Name
+	origPerIter := ks[0].Loop.Accesses[0].PerIter
+	ks[0].Name = "CORRUPTED"
+	ks[0].Loop.Accesses[0].PerIter = origPerIter + 100
+	fresh := Kernels()
+	if fresh[0].Name != origName {
+		t.Error("mutating Kernels()[0].Name reached the registry")
+	}
+	if fresh[0].Loop.Accesses[0].PerIter != origPerIter {
+		t.Error("mutating Kernels()[0].Loop.Accesses reached the registry")
+	}
+	names := KernelNames()
+	names[0] = "CORRUPTED"
+	if KernelNames()[0] != origName {
+		t.Error("mutating KernelNames() reached the registry")
+	}
+	one, err := KernelByName("TRIAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onePerIter := one.Loop.Accesses[0].PerIter
+	one.Loop.Accesses[0].PerIter = onePerIter + 100
+	again, _ := KernelByName("TRIAD")
+	if again.Loop.Accesses[0].PerIter != onePerIter {
+		t.Error("mutating KernelByName result reached the registry")
+	}
+}
+
 func TestPublicMachineAccess(t *testing.T) {
 	if len(Machines()) != 7 {
 		t.Errorf("Machines() = %d, want 7", len(Machines()))
