@@ -1,7 +1,10 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:18042
+# Relative regression tolerance for the benchmark gate; allocs/op and
+# B/op beyond it fail, ns/op only warns (CI timing is noise).
+BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet test bench bench-json verify serve doccheck
+.PHONY: build vet test race cross bench bench-json bench-compare verify serve doccheck determinism ci
 
 build:
 	$(GO) build ./...
@@ -11,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The race job CI runs, reproducible locally.
+race:
+	$(GO) test -race ./...
+
+# Cross-compile for the paper's actual target: the reproduction must
+# keep building for riscv64 even though the model runs anywhere.
+cross:
+	GOOS=linux GOARCH=riscv64 $(GO) build ./...
 
 # The study-engine benchmarks (uncached serial vs cold vs serving
 # engine) plus everything else; -benchtime keeps the full sweep quick.
@@ -24,12 +36,37 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json
 
+# The benchmark regression gate: re-run the serving-path benchmarks and
+# compare them against the committed BENCH_engine.json baseline.
+# allocs/op or B/op regressions beyond BENCH_TOLERANCE fail; ns/op
+# differences only warn. After a deliberate perf change, refresh the
+# baseline with `make bench-json` and commit it.
+bench-compare:
+	@mkdir -p bin
+	$(GO) run ./cmd/benchjson -o bin/BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare -tolerance $(BENCH_TOLERANCE) BENCH_engine.json bin/BENCH_new.json
+
 verify: build vet test
 
 # Fail on dangling doc references: Go files or markdown citing a
 # docs/*.md that does not exist, and broken relative markdown links.
 doccheck:
 	$(GO) run ./cmd/doccheck
+
+# Byte-diff the CLI's serial and parallel outputs for the full
+# experiment set and for a multi-axis campaign — the determinism
+# contract (docs/ARCHITECTURE.md), enforced end to end through the real
+# binary.
+determinism:
+	@mkdir -p bin
+	$(GO) build -o bin/sg2042sim ./cmd/sg2042sim
+	./bin/sg2042sim -exp all -parallel 1 > bin/det-all-serial.txt
+	./bin/sg2042sim -exp all -parallel 8 > bin/det-all-parallel.txt
+	cmp bin/det-all-serial.txt bin/det-all-parallel.txt
+	./bin/sg2042sim -campaign examples/campaign/spec.json -parallel 1 > bin/det-campaign-serial.txt
+	./bin/sg2042sim -campaign examples/campaign/spec.json -parallel 8 > bin/det-campaign-parallel.txt
+	cmp bin/det-campaign-serial.txt bin/det-campaign-parallel.txt
+	@echo "determinism OK: serial == parallel for -exp all and -campaign"
 
 # Build sg2042d and smoke-test it: start the daemon, hit one experiment
 # endpoint through the example client, then shut the daemon down.
@@ -47,3 +84,10 @@ serve:
 	  fi; \
 	done; \
 	echo "sg2042d smoke test OK on $(SERVE_ADDR)"
+
+# Everything the CI workflow runs, reproducible in one local command:
+# tier-1 verify, doc references, the race detector, the riscv64
+# cross-build, the byte-level determinism check, the daemon smoke test
+# and the benchmark regression gate.
+ci: verify doccheck race cross determinism serve bench-compare
+	@echo "ci OK"

@@ -185,6 +185,45 @@ func BenchmarkAllExperimentsEngineServing(b *testing.B) {
 	b.ReportMetric(float64(hits)/float64(hits+misses), "cache_hit_rate")
 }
 
+// benchCampaignSpec is a 16-point multi-axis grid (2 machines x 2
+// vector widths x 2 NUMA layouts x 2 thread counts).
+func benchCampaignSpec() CampaignSpec {
+	return CampaignSpec{
+		Bases: []*Machine{SG2042(), SG2044()},
+		Axes: []CampaignAxis{
+			{Axis: SweepVector, Values: []float64{128, 256}},
+			{Axis: SweepNUMA, Values: []float64{1, 4}},
+		},
+		Threads: []int{0, 16},
+	}
+}
+
+// BenchmarkCampaignEngineCold evaluates the grid on a cold engine per
+// iteration: every point's suite configuration priced from scratch.
+func BenchmarkCampaignEngineCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCampaign(benchCampaignSpec(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignEngineServing measures the serving scenario: a warm
+// engine re-answering the same grid, carried entirely by the memoized
+// suite cache.
+func BenchmarkCampaignEngineServing(b *testing.B) {
+	eng := NewEngine(Options{})
+	if _, err := eng.CampaignFormat(benchCampaignSpec(), false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CampaignFormat(benchCampaignSpec(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- real host execution of representative kernels -----------------------
 
 func benchHostKernel(b *testing.B, name string, n int, p prec.Precision) {

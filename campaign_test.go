@@ -1,0 +1,263 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ExampleEngine_Campaign shows the multi-axis what-if surface: grid the
+// SG2042's vector width against its NUMA layout and read the ranked
+// result.
+func ExampleEngine_Campaign() {
+	eng := NewEngine(Options{Parallel: 4})
+	res, err := eng.Campaign(CampaignSpec{
+		Bases: []*Machine{SG2042()},
+		Axes: []CampaignAxis{
+			{Axis: SweepVector, Values: []float64{128, 256}},
+			{Axis: SweepNUMA, Values: []float64{1, 4}},
+		},
+		Threads: []int{16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Title)
+	for _, p := range res.Points {
+		fmt.Println(p.Machine)
+	}
+	// Output:
+	// Campaign: SG2042 x vector=128,256 x numa=1,4 x threads=16 x block x FP32 (4 points)
+	// SG2042/v128/n1
+	// SG2042/v128/n4
+	// SG2042/v256/n1
+	// SG2042/v256/n4
+}
+
+func testCampaign() CampaignSpec {
+	return CampaignSpec{
+		Bases: []*Machine{SG2042(), SG2044()},
+		Axes: []CampaignAxis{
+			{Axis: SweepVector, Values: []float64{128, 256}},
+			{Axis: SweepNUMA, Values: []float64{1, 4}},
+		},
+		Threads: []int{0, 8},
+		Precs:   []Precision{F64},
+	}
+}
+
+// TestCampaignSerialParallelCachedByteIdentical is the campaign's
+// acceptance property: a multi-axis, multi-machine grid produces
+// identical bytes on the serial path, an 8-worker pool, and a warm
+// cache, in both text and CSV form.
+func TestCampaignSerialParallelCachedByteIdentical(t *testing.T) {
+	for _, csv := range []bool{false, true} {
+		serial, err := RunCampaign(testCampaign(), Options{Parallel: 1, CSV: csv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := RunCampaign(testCampaign(), Options{Parallel: workers, CSV: csv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par != serial {
+				t.Errorf("csv=%v parallel=%d differs from serial", csv, workers)
+			}
+		}
+		eng := NewEngine(Options{Parallel: 4})
+		cold, err := eng.CampaignFormat(testCampaign(), csv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, missesBefore := eng.CacheStats()
+		warm, err := eng.CampaignFormat(testCampaign(), csv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, missesAfter := eng.CacheStats()
+		if cold != serial || warm != cold {
+			t.Errorf("csv=%v cached campaign differs from cold/serial", csv)
+		}
+		if missesAfter != missesBefore {
+			t.Errorf("csv=%v warm campaign evaluated %d new configurations, want 0",
+				csv, missesAfter-missesBefore)
+		}
+	}
+}
+
+// TestCampaignStreamMatchesBatch: the streaming hook delivers exactly
+// the points the batch result holds, in grid order.
+func TestCampaignStreamMatchesBatch(t *testing.T) {
+	eng := NewEngine(Options{Parallel: 8})
+	var streamed []CampaignPoint
+	res, err := eng.CampaignStream(testCampaign(), func(p CampaignPoint) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Points) {
+		t.Fatalf("streamed %d points, result holds %d", len(streamed), len(res.Points))
+	}
+	for i, p := range streamed {
+		if p.Index != i {
+			t.Fatalf("streamed point %d carries index %d", i, p.Index)
+		}
+		if p.Machine != res.Points[i].Machine || p.MeanRatio != res.Points[i].MeanRatio {
+			t.Errorf("streamed point %d differs from batch result", i)
+		}
+	}
+}
+
+// TestCampaignStreamEmitErrorAborts: an emit error (a disconnected
+// client) surfaces as the campaign's error.
+func TestCampaignStreamEmitErrorAborts(t *testing.T) {
+	eng := NewEngine(Options{Parallel: 4})
+	boom := errors.New("client went away")
+	n := 0
+	_, err := eng.CampaignStream(testCampaign(), func(CampaignPoint) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("campaign error %v, want %v", err, boom)
+	}
+	if n != 3 {
+		t.Errorf("emit called %d times after the error, want 3", n)
+	}
+}
+
+func TestCampaignSpecFromJSON(t *testing.T) {
+	spec, err := CampaignSpecFromJSON([]byte(`{
+		"machines": ["SG2042", "sg2044"],
+		"axes": [
+			{"axis": "Vector", "values": [128, 256]},
+			{"axis": "numa", "values": [1, 4]}
+		],
+		"threads": [0, 8],
+		"placements": ["block", "cyclic"],
+		"precisions": ["f32"]
+	}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Bases) != 2 || spec.Bases[0].Label != "SG2042" || spec.Bases[1].Label != "SG2044" {
+		t.Errorf("bases resolved wrong: %+v", spec.Bases)
+	}
+	if len(spec.Axes) != 2 || spec.Axes[0].Axis != SweepVector || spec.Axes[1].Axis != SweepNUMA {
+		t.Errorf("axes parsed wrong: %+v", spec.Axes)
+	}
+	if len(spec.Placements) != 2 || spec.Placements[1] != CyclicNUMA {
+		t.Errorf("placements parsed wrong: %+v", spec.Placements)
+	}
+	if len(spec.Precs) != 1 || spec.Precs[0] != F32 {
+		t.Errorf("precisions parsed wrong: %+v", spec.Precs)
+	}
+	if got := spec.Points(); got != 32 {
+		t.Errorf("grid size %d, want 32", got)
+	}
+}
+
+func TestCampaignSpecFromJSONDefaults(t *testing.T) {
+	spec, err := CampaignSpecFromJSON([]byte(`{"machines": ["SG2042"]}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON boundary defaults precision to FP64 explicitly, like the
+	// sweep CLI and HTTP surfaces.
+	if len(spec.Precs) != 1 || spec.Precs[0] != F64 {
+		t.Errorf("default precisions %v, want [FP64]", spec.Precs)
+	}
+}
+
+func TestCampaignSpecFromJSONInlineSpec(t *testing.T) {
+	data, err := MachineJSON(SG2044())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := strings.Replace(string(data), `"label": "SG2044"`, `"label": "SG2044-custom"`, 1)
+	spec, err := CampaignSpecFromJSON([]byte(fmt.Sprintf(
+		`{"machines": ["SG2042"], "specs": [%s], "axes": [{"axis": "cores", "values": [16, 32]}]}`,
+		inline)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Bases) != 2 || spec.Bases[1].Label != "SG2044-custom" {
+		t.Errorf("inline spec not resolved: %+v", spec.Bases)
+	}
+}
+
+func TestCampaignSpecFromJSONErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    string
+		wantErr string
+	}{
+		{"malformed", `{`, "decoding"},
+		{"unknown field", `{"machines": ["SG2042"], "bogus": 1}`, "bogus"},
+		{"no machines", `{"axes": [{"axis": "cores", "values": [8]}]}`, "base machines"},
+		{"bad axis", `{"machines": ["SG2042"], "axes": [{"axis": "sockets", "values": [2]}]}`, "unknown campaign axis"},
+		{"bad placement", `{"machines": ["SG2042"], "placements": ["scatter"]}`, "placement"},
+		{"bad precision", `{"machines": ["SG2042"], "precisions": ["f16"]}`, "precision"},
+		{"bad inline spec", `{"specs": [{"label": "x"}]}`, "machine"},
+	}
+	for _, tc := range cases {
+		_, err := CampaignSpecFromJSON([]byte(tc.data), nil)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestCampaignSpecFromJSONUnknownMachine: an unresolvable registry
+// label is typed so the HTTP layer can 404 it, distinct from the
+// 400-class validation errors.
+func TestCampaignSpecFromJSONUnknownMachine(t *testing.T) {
+	_, err := CampaignSpecFromJSON([]byte(`{"machines": ["SG9999"]}`), nil)
+	var unknown *UnknownMachineError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %v is not an UnknownMachineError", err)
+	}
+	if unknown.Label != "SG9999" {
+		t.Errorf("error names %q, want SG9999", unknown.Label)
+	}
+	if !strings.Contains(err.Error(), "SG2042") {
+		t.Errorf("error %q does not list the known machines", err)
+	}
+}
+
+// TestCampaignSharesSweepCache: an engine that has served a single-axis
+// sweep answers the equivalent campaign grid without any new suite
+// evaluations — the cache-key contract across subsystems.
+func TestCampaignSharesSweepCache(t *testing.T) {
+	eng := NewEngine(Options{Parallel: 4})
+	sweep := SweepSpec{Base: SG2042(), Axis: SweepVector,
+		Values: []float64{128, 256}, Threads: 1, Prec: F64}
+	if _, err := eng.Sweep(sweep); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := eng.CacheStats()
+	_, err := eng.Campaign(CampaignSpec{
+		Bases:   []*Machine{SG2042()},
+		Axes:    []CampaignAxis{{Axis: SweepVector, Values: []float64{128, 256}}},
+		Threads: []int{1},
+		Precs:   []Precision{F64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter := eng.CacheStats(); missesAfter != missesBefore {
+		t.Errorf("campaign evaluated %d configurations the sweep already memoized",
+			missesAfter-missesBefore)
+	}
+}

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -36,6 +42,121 @@ func TestParseBenchOutput(t *testing.T) {
 	sv := rs[2]
 	if sv.Package != "repro" || sv.Metrics["cache_hit_rate"] != 0.8503 {
 		t.Errorf("custom metric lost: %+v", sv)
+	}
+}
+
+func report(benches ...benchResult) benchReport {
+	return benchReport{Bench: "x", Benchtime: "10x", Benchmarks: benches}
+}
+
+func bench(pkg, name string, ns, bytes, allocs float64) benchResult {
+	return benchResult{Package: pkg, Name: name, Iterations: 10,
+		Metrics: map[string]float64{"ns/op": ns, "B/op": bytes, "allocs/op": allocs}}
+}
+
+func TestCompareReportsGates(t *testing.T) {
+	base := report(bench("repro", "Serve", 1000, 4096, 100))
+
+	// Within tolerance: no regression, no warning.
+	r, w, imp, _ := compareReports(base, report(bench("repro", "Serve", 1050, 4200, 102)), 0.10)
+	if len(r) != 0 || len(w) != 0 || len(imp) != 0 {
+		t.Errorf("within-tolerance diff flagged: r=%v w=%v imp=%v", r, w, imp)
+	}
+
+	// allocs/op beyond tolerance fails.
+	r, _, _, _ = compareReports(base, report(bench("repro", "Serve", 1000, 4096, 150)), 0.10)
+	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
+		t.Errorf("allocs regression not flagged: %v", r)
+	}
+
+	// B/op beyond tolerance fails.
+	r, _, _, _ = compareReports(base, report(bench("repro", "Serve", 1000, 8192, 100)), 0.10)
+	if len(r) != 1 || !strings.Contains(r[0], "B/op") {
+		t.Errorf("bytes regression not flagged: %v", r)
+	}
+
+	// ns/op beyond tolerance warns but never fails — CI timing is noise.
+	r, w, _, _ = compareReports(base, report(bench("repro", "Serve", 9000, 4096, 100)), 0.10)
+	if len(r) != 0 {
+		t.Errorf("ns/op regression gated: %v", r)
+	}
+	if len(w) != 1 || !strings.Contains(w[0], "ns/op") {
+		t.Errorf("ns/op regression not warned: %v", w)
+	}
+
+	// Improvements beyond tolerance are reported.
+	_, _, imp, _ = compareReports(base, report(bench("repro", "Serve", 1000, 1024, 10)), 0.10)
+	if len(imp) != 2 {
+		t.Errorf("improvements not reported: %v", imp)
+	}
+}
+
+// TestCompareReportsAbsoluteSlack: tiny counts flap by a couple of
+// allocations; the gate requires clearing the absolute slack too.
+func TestCompareReportsAbsoluteSlack(t *testing.T) {
+	base := report(bench("repro", "Hit", 100, 48, 1))
+	// +1 alloc is +100% but within the 2-alloc slack.
+	r, _, _, _ := compareReports(base, report(bench("repro", "Hit", 100, 48, 2)), 0.10)
+	if len(r) != 0 {
+		t.Errorf("slack-sized alloc bump gated: %v", r)
+	}
+	// +400 B is within the 512 B slack even at +800%.
+	r, _, _, _ = compareReports(base, report(bench("repro", "Hit", 100, 448, 1)), 0.10)
+	if len(r) != 0 {
+		t.Errorf("slack-sized byte bump gated: %v", r)
+	}
+	// Beyond both bars fails.
+	r, _, _, _ = compareReports(base, report(bench("repro", "Hit", 100, 48, 10)), 0.10)
+	if len(r) != 1 {
+		t.Errorf("real alloc regression not gated: %v", r)
+	}
+}
+
+func TestCompareReportsNotes(t *testing.T) {
+	old := report(bench("repro", "Gone", 1, 1, 1))
+	cur := report(bench("repro", "Fresh", 1, 1, 1))
+	r, _, _, notes := compareReports(old, cur, 0.10)
+	if len(r) != 0 {
+		t.Errorf("presence changes gated: %v", r)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "Fresh") || !strings.Contains(joined, "Gone") {
+		t.Errorf("notes missing added/removed benchmarks: %v", notes)
+	}
+}
+
+// TestRunCompareExitCodes drives the file-level entry point end to end.
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep benchReport) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", report(bench("repro", "Serve", 1000, 4096, 100)))
+	okPath := write("ok.json", report(bench("repro", "Serve", 2000, 4096, 100)))
+	badPath := write("bad.json", report(bench("repro", "Serve", 1000, 4096, 500)))
+
+	var out strings.Builder
+	if code := runCompare(oldPath, okPath, 0.10, &out); code != 0 {
+		t.Errorf("clean compare exited %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := runCompare(oldPath, badPath, 0.10, &out); code != 1 {
+		t.Errorf("regressed compare exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regression output missing REGRESSION line:\n%s", out.String())
+	}
+	if code := runCompare(filepath.Join(dir, "missing.json"), okPath, 0.10, &out); code != 1 {
+		t.Errorf("missing baseline exited %d, want 1", code)
 	}
 }
 

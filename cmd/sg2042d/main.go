@@ -14,6 +14,10 @@
 //	GET  /v1/experiments            experiment metadata (JSON)
 //	GET  /v1/experiments/{name}     text; ?format=csv|json or Accept
 //	POST /v1/experiments:batch      {"names": ["figure1", ...], "format": "csv"}
+//	GET  /v1/machines               the machine registry (JSON)
+//	GET  /v1/machines/{name}        one machine's full JSON spec
+//	POST /v1/sweep                  what-if hardware sweep
+//	POST /v1/campaign               multi-axis campaign; ?format=ndjson streams
 //	GET  /v1/roofline/{machine}     ?prec=f32|f64
 //	GET  /v1/cluster/{machine}      ?net=ib|eth&grid=512&nodes=1,2,4
 //	GET  /metrics                   Prometheus text metrics

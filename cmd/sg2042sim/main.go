@@ -14,6 +14,12 @@
 //	sg2042sim -machine SG2042 -sweep vector=128,256,512 -threads 1
 //	sg2042sim -sweep cores=8,16,32,64          # what-if sweeps (base
 //	sg2042sim -sweep numa=1,2,4 -csv           # defaults to SG2042)
+//	sg2042sim -campaign spec.json              # multi-axis campaign
+//	sg2042sim -campaign spec.json -csv -parallel 8
+//
+// A campaign spec file is the JSON form POST /v1/campaign accepts
+// (schema in docs/EXPERIMENTS.md); examples/campaign/spec.json is a
+// worked example.
 package main
 
 import (
@@ -51,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	machineLabel := fs.String("machine", "", "registry machine label: alone prints its JSON spec; with -sweep selects the sweep base (default SG2042)")
 	sweep := fs.String("sweep", "", "what-if hardware sweep, axis=v1,v2,... with axis one of cores, clock (GHz), vector (bits), numa")
 	threads := fs.Int("threads", 0, "thread count for -sweep (0 = full occupancy of each variant)")
+	campaign := fs.String("campaign", "", "multi-axis campaign from a JSON spec file (the POST /v1/campaign form; see docs/EXPERIMENTS.md)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -64,6 +71,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *campaign != "":
+		data, err := os.ReadFile(*campaign)
+		if err != nil {
+			return fail(err)
+		}
+		spec, err := repro.CampaignSpecFromJSON(data, repro.DefaultMachineRegistry())
+		if err != nil {
+			return fail(err)
+		}
+		eng := repro.NewEngine(repro.Options{Parallel: *parallel})
+		out, err := eng.CampaignFormat(spec, *csv)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, out)
+		return 0
 	case *machines:
 		reg := repro.DefaultMachineRegistry()
 		fmt.Fprintln(stdout, "Registered machines:")
@@ -136,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, out)
 		return 0
 	case *exp == "":
-		fmt.Fprintln(stderr, "sg2042sim: pass -exp <name>, -sweep <axis=v1,v2,...>, -headline, -list or -machines")
+		fmt.Fprintln(stderr, "sg2042sim: pass -exp <name>, -sweep <axis=v1,v2,...>, -campaign <spec.json>, -headline, -list or -machines")
 		fs.Usage()
 		return 2
 	}

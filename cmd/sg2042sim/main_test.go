@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -193,6 +195,59 @@ func TestSweepFlagMatchesLibrary(t *testing.T) {
 	}
 	if out != wantCSV {
 		t.Error("-sweep -csv differs from the library rendering (base should default to SG2042)")
+	}
+}
+
+// TestCampaignFlagMatchesLibrary: -campaign output is byte-identical
+// to the library rendering of the same spec file (and therefore to
+// POST /v1/campaign, which the serve tests pin to the same bytes), in
+// text and CSV, at any -parallel.
+func TestCampaignFlagMatchesLibrary(t *testing.T) {
+	const specFile = "../../examples/campaign/spec.json"
+	data, err := os.ReadFile(specFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := repro.CampaignSpecFromJSON(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText, err := repro.RunCampaign(spec, repro.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := repro.RunCampaign(spec, repro.Options{Parallel: 1, CSV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := exec("-campaign", specFile)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if out != wantText {
+		t.Error("-campaign text differs from the library rendering")
+	}
+	code, out, _ = exec("-campaign", specFile, "-csv", "-parallel", "8")
+	if code != 0 {
+		t.Fatal("csv campaign failed")
+	}
+	if out != wantCSV {
+		t.Error("-campaign -csv differs from the library rendering")
+	}
+}
+
+func TestCampaignFlagErrors(t *testing.T) {
+	code, _, errOut := exec("-campaign", "no-such-file.json")
+	if code != 1 || !strings.Contains(errOut, "no-such-file.json") {
+		t.Errorf("missing spec file: exit %d, stderr %q", code, errOut)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"machines": ["SG9999"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = exec("-campaign", bad)
+	if code != 1 || !strings.Contains(errOut, "SG9999") {
+		t.Errorf("unknown machine in spec: exit %d, stderr %q", code, errOut)
 	}
 }
 

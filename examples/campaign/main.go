@@ -1,0 +1,82 @@
+// Multi-axis what-if campaigns: grid several machines over several
+// hardware axes and software configurations at once, stream points as
+// they finish, and read the ranked summaries.
+//
+// A single sweep answers "what does the SG2042 gain from wider
+// vectors?"; a campaign answers the follow-up studies' cross-product
+// question — across the SG2042 and SG2044, is it wider vectors, a fused
+// NUMA layout, or more threads that buys the most, and at what core
+// budget? Every grid point funnels through the same memoized suite
+// cache the paper experiments and sweeps use, so overlapping campaigns
+// cost model time only once.
+//
+// Run it:
+//
+//	go run ./examples/campaign
+//
+// The sibling spec.json is the same campaign in the serialized form the
+// CLI and HTTP surfaces accept:
+//
+//	go run ./cmd/sg2042sim -campaign examples/campaign/spec.json
+//	curl -d @examples/campaign/spec.json localhost:8042/v1/campaign?format=ndjson
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	eng := repro.NewEngine(repro.Options{Parallel: 8})
+
+	// The grid: 2 machines x 2 vector widths x 2 NUMA layouts x 2
+	// thread counts = 16 points. Threads 0 means full occupancy.
+	spec := repro.CampaignSpec{
+		Bases: []*repro.Machine{repro.SG2042(), repro.SG2044()},
+		Axes: []repro.CampaignAxis{
+			{Axis: repro.SweepVector, Values: []float64{128, 256}},
+			{Axis: repro.SweepNUMA, Values: []float64{1, 4}},
+		},
+		Threads: []int{0, 16},
+		Precs:   []repro.Precision{repro.F32},
+	}
+
+	// Stream: points arrive in grid order as soon as they (and their
+	// predecessors) finish — the same hook POST /v1/campaign?format=
+	// ndjson serves over the network.
+	fmt.Println("points as they finish:")
+	res, err := eng.CampaignStream(spec, func(p repro.CampaignPoint) error {
+		fmt.Printf("  #%-3d %-22s %3dt %-7s %v  %8.4fs  %.3fx vs %s\n",
+			p.Index, p.Machine, p.Threads, p.Placement, p.Prec,
+			p.TotalSeconds, p.MeanRatio, p.Base)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ranked summaries: who wins overall, who wins each class, and
+	// the cores-vs-time Pareto front.
+	fmt.Println()
+	best := res.Points[res.Ranked[0]]
+	fmt.Printf("best mean speedup: %s (%dt, %v) at %.3fx vs %s\n",
+		best.Machine, best.Threads, best.Prec, best.MeanRatio, best.Base)
+	fmt.Println("pareto front (cores vs full-suite time):")
+	for _, i := range res.Pareto {
+		p := res.Points[i]
+		fmt.Printf("  %3d cores  %8.4fs  %s\n", p.Cores, p.TotalSeconds, p.Machine)
+	}
+
+	// The same campaign, rendered exactly as the CLI and HTTP text form.
+	out, err := eng.CampaignFormat(spec, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(out)
+
+	hits, misses := eng.CacheStats()
+	fmt.Printf("engine cache: %d hits, %d misses\n", hits, misses)
+}

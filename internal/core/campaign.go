@@ -1,0 +1,535 @@
+package core
+
+// Multi-axis what-if campaigns. A sweep (sweep.go) varies one hardware
+// axis of one machine; the follow-on studies the ROADMAP points at
+// (the SG2044 evaluation, arXiv:2508.13840; the multi-socket
+// high-core-count study, arXiv:2502.10320) ask cross-product questions:
+// cores x clock x vector width x NUMA layout, across several machines,
+// under several software configurations at once. A campaign grids over
+// all of it — every point is one (derived machine, threads, placement,
+// precision) configuration evaluated through the same config-keyed
+// memoized suite cache the experiments and sweeps use — and summarises
+// the grid as ranked tables: points ordered by speedup against their
+// base machine, the best configuration per kernel class, and the Pareto
+// front over cores x full-suite time.
+//
+// Determinism contract: grid expansion is a pure function of the spec
+// (bases in order, axis values in odometer order with the last axis
+// fastest, then threads, placements, precisions), points fan out over
+// internal/par writing into their own slots, and a grid point whose
+// derivation chain matches a single-axis sweep point lands on the same
+// cache entry. Serial, parallel and cached campaigns are bit-identical.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/autovec"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/prec"
+	"repro/internal/stats"
+)
+
+// AxisValues is one swept hardware axis of a campaign: the axis and the
+// values it takes. A campaign grids over the cross-product of all its
+// axes.
+type AxisValues struct {
+	Axis   SweepAxis
+	Values []float64
+}
+
+// MaxCampaignPoints bounds the expanded grid so a network client cannot
+// request an unbounded fan-out. It is deliberately larger than
+// MaxSweepPoints — campaigns are the scale surface — but still small
+// enough that a full cold grid stays interactive.
+const MaxCampaignPoints = 512
+
+// CampaignSpec selects a multi-axis what-if campaign: several base
+// machines, several swept hardware axes (cross-product), and several
+// software configurations every hardware point runs under.
+type CampaignSpec struct {
+	// Bases are the machines to derive variants from; labels must be
+	// unique (case-insensitively) so reports stay unambiguous.
+	Bases []*machine.Machine
+	// Axes are the swept hardware axes, applied to each base in order.
+	// Each axis may appear once; an empty list grids over the bases
+	// themselves.
+	Axes []AxisValues
+	// Threads lists the thread counts to run each hardware point with;
+	// each is clamped to the variant's core count and 0 means full
+	// occupancy. Empty means [0].
+	Threads []int
+	// Placements lists the thread placement policies; empty means
+	// [Block].
+	Placements []placement.Policy
+	// Precs lists the floating-point precisions; empty means [FP32]
+	// (the zero value, matching SweepSpec). The CLI and HTTP surfaces
+	// default to FP64 explicitly.
+	Precs []prec.Precision
+}
+
+// normalized returns the spec with the software-config defaults filled
+// in: Threads [0], Placements [Block], Precs [FP32].
+func (s CampaignSpec) normalized() CampaignSpec {
+	if len(s.Threads) == 0 {
+		s.Threads = []int{0}
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = []placement.Policy{placement.Block}
+	}
+	if len(s.Precs) == 0 {
+		s.Precs = []prec.Precision{prec.F32}
+	}
+	return s
+}
+
+// campaignCase is one expanded grid point's inputs: the derived machine,
+// its base, and the software configuration.
+type campaignCase struct {
+	base    *machine.Machine
+	m       *machine.Machine
+	values  []float64 // axis values applied, aligned with spec.Axes
+	threads int       // requested; 0 = full occupancy
+	pol     placement.Policy
+	p       prec.Precision
+}
+
+// Validate checks the spec and runs every derivation, so a bad request
+// fails before any suite evaluation — the same boundary discipline as
+// machine JSON specs and sweeps.
+func (s CampaignSpec) Validate() error {
+	_, err := s.expand()
+	return err
+}
+
+// Points returns the size of the expanded grid (0 when the spec is
+// invalid).
+func (s CampaignSpec) Points() int {
+	cases, err := s.expand()
+	if err != nil {
+		return 0
+	}
+	return len(cases)
+}
+
+// expand validates the spec and builds every grid point, deriving each
+// point's machine. Expansion order is the determinism anchor: bases in
+// order, axis values in odometer order (last axis fastest), then
+// threads, placements, precisions.
+func (s CampaignSpec) expand() ([]campaignCase, error) {
+	s = s.normalized()
+	if len(s.Bases) == 0 {
+		return nil, fmt.Errorf("core: campaign has no base machines")
+	}
+	seen := make(map[string]bool, len(s.Bases))
+	for _, b := range s.Bases {
+		if b == nil {
+			return nil, fmt.Errorf("core: campaign has a nil base machine")
+		}
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(b.Label)
+		if seen[key] {
+			return nil, fmt.Errorf("core: campaign base %q listed twice", b.Label)
+		}
+		seen[key] = true
+	}
+	combos := 1
+	seenAxis := make(map[SweepAxis]bool, len(s.Axes))
+	for _, ax := range s.Axes {
+		switch ax.Axis {
+		case SweepCores, SweepClock, SweepVector, SweepNUMA:
+		default:
+			return nil, fmt.Errorf("core: unknown campaign axis %q (want one of %s)",
+				ax.Axis, joinAxes())
+		}
+		if seenAxis[ax.Axis] {
+			return nil, fmt.Errorf("core: campaign axis %s listed twice", ax.Axis)
+		}
+		seenAxis[ax.Axis] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("core: campaign axis %s has no values", ax.Axis)
+		}
+		combos *= len(ax.Values)
+	}
+	for _, t := range s.Threads {
+		if t < 0 {
+			return nil, fmt.Errorf("core: campaign threads %d < 0", t)
+		}
+	}
+	for _, pol := range s.Placements {
+		switch pol {
+		case placement.Block, placement.CyclicNUMA, placement.ClusterCyclic:
+		default:
+			return nil, fmt.Errorf("core: unknown campaign placement %v", pol)
+		}
+	}
+	for _, p := range s.Precs {
+		switch p {
+		case prec.F32, prec.F64:
+		default:
+			return nil, fmt.Errorf("core: unknown campaign precision %v", p)
+		}
+	}
+	total := len(s.Bases) * combos * len(s.Threads) * len(s.Placements) * len(s.Precs)
+	if total > MaxCampaignPoints {
+		return nil, fmt.Errorf("core: campaign expands to %d points, max %d", total, MaxCampaignPoints)
+	}
+
+	cases := make([]campaignCase, 0, total)
+	values := make([]float64, len(s.Axes))
+	for _, base := range s.Bases {
+		var walk func(i int, m *machine.Machine) error
+		walk = func(i int, m *machine.Machine) error {
+			if i == len(s.Axes) {
+				applied := append([]float64(nil), values...)
+				for _, t := range s.Threads {
+					for _, pol := range s.Placements {
+						for _, p := range s.Precs {
+							cases = append(cases, campaignCase{
+								base: base, m: m, values: applied,
+								threads: t, pol: pol, p: p,
+							})
+						}
+					}
+				}
+				return nil
+			}
+			for _, v := range s.Axes[i].Values {
+				variant, err := deriveAxis(m, s.Axes[i].Axis, v)
+				if err != nil {
+					return err
+				}
+				values[i] = v
+				if err := walk(i+1, variant); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(0, base); err != nil {
+			return nil, err
+		}
+	}
+	return cases, nil
+}
+
+// Title renders the campaign's deterministic heading.
+func (s CampaignSpec) Title() string {
+	n := s.normalized()
+	labels := make([]string, len(n.Bases))
+	for i, b := range n.Bases {
+		if b != nil {
+			labels[i] = b.Label
+		}
+	}
+	var parts []string
+	parts = append(parts, strings.Join(labels, ", "))
+	for _, ax := range n.Axes {
+		vals := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = fmt.Sprintf("%g", v)
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", ax.Axis, strings.Join(vals, ",")))
+	}
+	threads := make([]string, len(n.Threads))
+	for i, t := range n.Threads {
+		if t == 0 {
+			threads[i] = "full"
+		} else {
+			threads[i] = fmt.Sprintf("%d", t)
+		}
+	}
+	parts = append(parts, "threads="+strings.Join(threads, ","))
+	pols := make([]string, len(n.Placements))
+	for i, pol := range n.Placements {
+		pols[i] = pol.String()
+	}
+	parts = append(parts, strings.Join(pols, ","))
+	ps := make([]string, len(n.Precs))
+	for i, p := range n.Precs {
+		ps[i] = p.String()
+	}
+	parts = append(parts, strings.Join(ps, ","))
+	return fmt.Sprintf("Campaign: %s (%d points)", strings.Join(parts, " x "), s.Points())
+}
+
+// CampaignCell is one (point, class) summary: the class's mean modelled
+// time at that point and its ratio against the point's base machine
+// under the same software configuration.
+type CampaignCell struct {
+	// Seconds is the mean per-kernel modelled time of the class.
+	Seconds float64
+	// Ratio summarises the per-kernel ratios base/point (> 1 means the
+	// point is faster than its base).
+	Ratio stats.Summary
+}
+
+// CampaignPoint is one evaluated grid point.
+type CampaignPoint struct {
+	// Index is the point's position in grid order.
+	Index int
+	// Base is the base machine's label; Machine is the derived
+	// variant's (equal to Base when the campaign has no axes).
+	Base    string
+	Machine string
+	// Values are the axis values applied, aligned with the spec's Axes.
+	Values []float64
+	// Threads is the resolved thread count the point ran with (the
+	// requested count clamped to the variant's cores; 0 resolves to
+	// full occupancy).
+	Threads   int
+	Placement placement.Policy
+	Prec      prec.Precision
+	// Cores is the variant's core count — one Pareto axis.
+	Cores int
+	// TotalSeconds is the summed modelled time of the full 64-kernel
+	// suite — the other Pareto axis.
+	TotalSeconds float64
+	// MeanRatio is the grand mean of the per-class mean ratios against
+	// the base — the ranking key.
+	MeanRatio float64
+	// ByClass holds the per-class cells.
+	ByClass map[kernels.Class]CampaignCell
+}
+
+// CampaignResult is an evaluated campaign: every point in grid order
+// plus the ranked summaries.
+type CampaignResult struct {
+	Title  string
+	Points []CampaignPoint
+	// Ranked lists point indices by descending MeanRatio (ties broken
+	// by grid order).
+	Ranked []int
+	// BestByClass maps each class to the index of the point with the
+	// lowest class mean time (ties broken by grid order).
+	BestByClass map[kernels.Class]int
+	// Pareto lists the indices of the points on the cores x
+	// TotalSeconds Pareto front (no other point has both fewer-or-equal
+	// cores and less-or-equal time with one strict), sorted by
+	// ascending cores.
+	Pareto []int
+}
+
+// errCampaignAborted cancels remaining grid evaluation after an emit
+// failure; Campaign never returns it (the emit error does).
+var errCampaignAborted = errors.New("core: campaign aborted by emit failure")
+
+// campaignConfig is the software configuration of one grid point — the
+// machine's default compiler in VLS mode, exactly like sweepConfig, so
+// equivalent points share cache entries with sweeps.
+func campaignConfig(m *machine.Machine, threads int, pol placement.Policy, p prec.Precision) perfmodel.Config {
+	if threads <= 0 || threads > m.Cores {
+		threads = m.Cores
+	}
+	return perfmodel.Config{
+		Machine: m, Threads: threads, Placement: pol,
+		Prec: p, Compiler: perfmodel.DefaultCompilerFor(m), Mode: autovec.VLS,
+	}
+}
+
+// evalCampaignPoint measures one grid point and its base under the same
+// software configuration, both through the memoized suite cache.
+func (st *Study) evalCampaignPoint(i int, c campaignCase) (CampaignPoint, error) {
+	cfg := campaignConfig(c.m, c.threads, c.pol, c.p)
+	ms, err := st.RunSuite(cfg)
+	if err != nil {
+		return CampaignPoint{}, err
+	}
+	base, err := st.RunSuite(campaignConfig(c.base, c.threads, c.pol, c.p))
+	if err != nil {
+		return CampaignPoint{}, err
+	}
+	ratios, err := Ratios(base, ms)
+	if err != nil {
+		return CampaignPoint{}, err
+	}
+	p := CampaignPoint{
+		Index: i, Base: c.base.Label, Machine: c.m.Label, Values: c.values,
+		Threads: cfg.Threads, Placement: c.pol, Prec: c.p, Cores: c.m.Cores,
+		ByClass: make(map[kernels.Class]CampaignCell),
+	}
+	perClass := make(map[kernels.Class][]float64)
+	for _, m := range ms {
+		p.TotalSeconds += m.Seconds
+		perClass[m.Class] = append(perClass[m.Class], m.Seconds)
+	}
+	byClass := ClassSummaries(ratios)
+	sum, n := 0.0, 0
+	for _, class := range kernels.Classes {
+		secs, ok := perClass[class]
+		if !ok {
+			continue
+		}
+		cell := CampaignCell{Seconds: stats.Mean(secs), Ratio: byClass[class]}
+		p.ByClass[class] = cell
+		sum += cell.Ratio.Mean
+		n++
+	}
+	if n > 0 {
+		p.MeanRatio = sum / float64(n)
+	}
+	return p, nil
+}
+
+// Campaign evaluates a multi-axis campaign. Points fan out over the
+// study's worker pool into the shared memoized suite cache; when emit
+// is non-nil it is called once per point, in grid order, as soon as the
+// point and all its predecessors have finished — the streaming surface
+// (NDJSON over HTTP) hangs off this hook without disturbing the
+// determinism contract, because delivery order is grid order whatever
+// the completion order. An emit error aborts the campaign after the
+// in-flight evaluations drain.
+func (st *Study) Campaign(spec CampaignSpec, emit func(CampaignPoint) error) (CampaignResult, error) {
+	cases, err := spec.expand()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	n := len(cases)
+	points := make([]CampaignPoint, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	// An emit failure (a disconnected streaming client) flips aborted;
+	// workers check it before each point so the rest of the grid is
+	// cancelled through par's first-error path instead of evaluated for
+	// nobody.
+	var aborted atomic.Bool
+	evalDone := make(chan error, 1)
+	go func() {
+		evalDone <- par.ForEach(n, st.Workers, func(i int) error {
+			if aborted.Load() {
+				return errCampaignAborted
+			}
+			p, err := st.evalCampaignPoint(i, cases[i])
+			if err != nil {
+				return err
+			}
+			points[i] = p
+			close(ready[i])
+			return nil
+		})
+	}()
+
+	var emitErr error
+	pending := evalDone
+	for i := 0; i < n && emitErr == nil; i++ {
+		if pending != nil {
+			select {
+			case <-ready[i]:
+			case err := <-evalDone:
+				pending = nil
+				if err != nil {
+					return CampaignResult{}, err
+				}
+				// Evaluation finished cleanly: every slot is ready.
+				<-ready[i]
+			}
+		} else {
+			<-ready[i]
+		}
+		if emit != nil {
+			if emitErr = emit(points[i]); emitErr != nil {
+				aborted.Store(true)
+			}
+		}
+	}
+	if pending != nil {
+		// Drain the evaluation goroutine before returning so no worker
+		// writes into points after we hand the result out. A genuine
+		// evaluation error still wins over the abort sentinel.
+		if err := <-evalDone; err != nil && !errors.Is(err, errCampaignAborted) {
+			return CampaignResult{}, err
+		}
+	}
+	if emitErr != nil {
+		return CampaignResult{}, emitErr
+	}
+
+	res := CampaignResult{Title: spec.Title(), Points: points}
+	res.Ranked = rankByMeanRatio(points)
+	res.BestByClass = bestByClass(points)
+	res.Pareto = paretoFront(points)
+	return res, nil
+}
+
+// rankByMeanRatio orders point indices by descending MeanRatio, grid
+// order breaking ties — a deterministic insertion sort over a small
+// grid.
+func rankByMeanRatio(points []CampaignPoint) []int {
+	out := make([]int, len(points))
+	for i := range out {
+		out[i] = i
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && points[out[j]].MeanRatio > points[out[j-1]].MeanRatio; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// bestByClass finds, per class, the point with the lowest class mean
+// time.
+func bestByClass(points []CampaignPoint) map[kernels.Class]int {
+	out := make(map[kernels.Class]int)
+	for _, class := range kernels.Classes {
+		best := -1
+		for i, p := range points {
+			cell, ok := p.ByClass[class]
+			if !ok {
+				continue
+			}
+			if best < 0 || cell.Seconds < points[best].ByClass[class].Seconds {
+				best = i
+			}
+		}
+		if best >= 0 {
+			out[class] = best
+		}
+	}
+	return out
+}
+
+// paretoFront returns the indices of the points minimizing TotalSeconds
+// per core budget: sorted by (cores, time, index), a point joins the
+// front when it is strictly faster than everything with fewer or equal
+// cores before it.
+func paretoFront(points []CampaignPoint) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	less := func(a, b int) bool {
+		pa, pb := points[a], points[b]
+		if pa.Cores != pb.Cores {
+			return pa.Cores < pb.Cores
+		}
+		if pa.TotalSeconds != pb.TotalSeconds {
+			return pa.TotalSeconds < pb.TotalSeconds
+		}
+		return a < b
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var front []int
+	best := 0.0
+	for k, i := range order {
+		if k == 0 || points[i].TotalSeconds < best {
+			front = append(front, i)
+			best = points[i].TotalSeconds
+		}
+	}
+	return front
+}

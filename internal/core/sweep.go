@@ -128,27 +128,35 @@ func joinAxes() string {
 
 // derive builds the variant machine for one axis value.
 func (s SweepSpec) derive(v float64) (*machine.Machine, error) {
-	switch s.Axis {
+	return deriveAxis(s.Base, s.Axis, v)
+}
+
+// deriveAxis applies one axis value to a machine — the single derivation
+// path sweeps and campaigns share, so a campaign grid point over one
+// axis produces the exact machine (label, fingerprint, cache key) the
+// equivalent single-axis sweep does.
+func deriveAxis(m *machine.Machine, axis SweepAxis, v float64) (*machine.Machine, error) {
+	switch axis {
 	case SweepClock:
 		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
-			return nil, fmt.Errorf("core: sweep axis %s needs positive finite GHz values, got %v", s.Axis, v)
+			return nil, fmt.Errorf("core: sweep axis %s needs positive finite GHz values, got %v", axis, v)
 		}
-		return s.Base.WithClock(v * 1e9)
+		return m.WithClock(v * 1e9)
 	case SweepCores, SweepVector, SweepNUMA:
 		if v != math.Trunc(v) || v <= 0 {
-			return nil, fmt.Errorf("core: sweep axis %s needs positive integer values, got %v", s.Axis, v)
+			return nil, fmt.Errorf("core: sweep axis %s needs positive integer values, got %v", axis, v)
 		}
 		n := int(v)
-		switch s.Axis {
+		switch axis {
 		case SweepCores:
-			return s.Base.WithCores(n)
+			return m.WithCores(n)
 		case SweepVector:
-			return s.Base.WithVectorBits(n)
+			return m.WithVectorBits(n)
 		default:
-			return s.Base.WithNUMARegions(n)
+			return m.WithNUMARegions(n)
 		}
 	}
-	return nil, fmt.Errorf("core: unknown sweep axis %q (want one of %s)", s.Axis, joinAxes())
+	return nil, fmt.Errorf("core: unknown sweep axis %q (want one of %s)", axis, joinAxes())
 }
 
 // sweepThreads resolves the spec's thread rule for one machine: full

@@ -1,0 +1,95 @@
+package report
+
+// Campaign renderers. A campaign is summarised as ranked tables — the
+// full grid ordered by speedup against each point's base machine, the
+// best configuration per kernel class, and the cores x time Pareto
+// front — in fixed-width text and as flat CSV (one row per point and
+// class, with the point-level columns repeated, so spreadsheet pivots
+// work without parsing sections).
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// campaignConfig renders a point's software configuration compactly
+// ("64t block FP32").
+func campaignConfig(p core.CampaignPoint) string {
+	return fmt.Sprintf("%dt %s %v", p.Threads, p.Placement, p.Prec)
+}
+
+// CampaignText renders a campaign result as fixed-width text: the
+// ranked grid, the per-class winners, and the Pareto front.
+func CampaignText(res core.CampaignResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", res.Title)
+	b.WriteString("(speedup = class-mean ratio vs the point's base machine under the same software config)\n\n")
+
+	b.WriteString("Ranked by mean speedup vs base:\n")
+	fmt.Fprintf(&b, "  %-4s %-22s %-18s %6s %12s %9s\n",
+		"rank", "machine", "config", "cores", "suite(s)", "speedup")
+	for rank, i := range res.Ranked {
+		p := res.Points[i]
+		fmt.Fprintf(&b, "  %-4d %-22s %-18s %6d %12.4f %9.3f\n",
+			rank+1, p.Machine, campaignConfig(p), p.Cores, p.TotalSeconds, p.MeanRatio)
+	}
+
+	b.WriteString("\nBest configuration per class:\n")
+	fmt.Fprintf(&b, "  %-10s %-22s %-18s %12s %9s\n",
+		"class", "machine", "config", "class(s)", "speedup")
+	for _, class := range kernels.Classes {
+		i, ok := res.BestByClass[class]
+		if !ok {
+			continue
+		}
+		p := res.Points[i]
+		cell := p.ByClass[class]
+		fmt.Fprintf(&b, "  %-10s %-22s %-18s %12.4f %9.3f\n",
+			class.String(), p.Machine, campaignConfig(p), cell.Seconds, cell.Ratio.Mean)
+	}
+
+	b.WriteString("\nPareto front (cores vs full-suite time):\n")
+	fmt.Fprintf(&b, "  %6s %12s  %-22s %-18s\n", "cores", "suite(s)", "machine", "config")
+	for _, i := range res.Pareto {
+		p := res.Points[i]
+		fmt.Fprintf(&b, "  %6d %12.4f  %-22s %-18s\n",
+			p.Cores, p.TotalSeconds, p.Machine, campaignConfig(p))
+	}
+	return b.String()
+}
+
+// CampaignCSV renders a campaign as CSV: one row per (point, class),
+// point-level columns repeated, plus pareto/best-in-class flags.
+func CampaignCSV(res core.CampaignResult) string {
+	onFront := make(map[int]bool, len(res.Pareto))
+	for _, i := range res.Pareto {
+		onFront[i] = true
+	}
+	var b strings.Builder
+	b.WriteString("point,base,machine,threads,placement,prec,cores," +
+		"class,class_seconds,ratio_vs_base,total_seconds,mean_ratio,pareto,best_in_class\n")
+	for _, p := range res.Points {
+		for _, class := range kernels.Classes {
+			cell, ok := p.ByClass[class]
+			if !ok {
+				continue
+			}
+			best := 0
+			if i, ok := res.BestByClass[class]; ok && i == p.Index {
+				best = 1
+			}
+			pareto := 0
+			if onFront[p.Index] {
+				pareto = 1
+			}
+			fmt.Fprintf(&b, "%d,%s,%s,%d,%s,%v,%d,%s,%.6g,%.4f,%.6g,%.4f,%d,%d\n",
+				p.Index, p.Base, p.Machine, p.Threads, p.Placement, p.Prec, p.Cores,
+				class, cell.Seconds, cell.Ratio.Mean, p.TotalSeconds, p.MeanRatio,
+				pareto, best)
+		}
+	}
+	return b.String()
+}

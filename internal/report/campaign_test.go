@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func campaignResult(t *testing.T) core.CampaignResult {
+	t.Helper()
+	st := core.NewStudy()
+	st.Workers = 4
+	res, err := st.Campaign(core.CampaignSpec{
+		Bases: []*machine.Machine{machine.SG2042()},
+		Axes: []core.AxisValues{
+			{Axis: core.SweepCores, Values: []float64{8, 64}},
+		},
+		Threads: []int{0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignTextShape(t *testing.T) {
+	out := CampaignText(campaignResult(t))
+	for _, want := range []string{
+		"Campaign: SG2042 x cores=8,64",
+		"Ranked by mean speedup vs base:",
+		"Best configuration per class:",
+		"Pareto front (cores vs full-suite time):",
+		"SG2042/c8", "SG2042/c64",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, out)
+		}
+	}
+	for _, c := range kernels.Classes {
+		if !strings.Contains(out, c.String()) {
+			t.Errorf("text rendering missing class %v", c)
+		}
+	}
+}
+
+func TestCampaignCSVShape(t *testing.T) {
+	out := CampaignCSV(campaignResult(t))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	wantHeader := "point,base,machine,threads,placement,prec,cores," +
+		"class,class_seconds,ratio_vs_base,total_seconds,mean_ratio,pareto,best_in_class"
+	if lines[0] != wantHeader {
+		t.Fatalf("header %q", lines[0])
+	}
+	// 2 points x 6 classes.
+	if len(lines) != 1+2*len(kernels.Classes) {
+		t.Fatalf("%d rows, want %d", len(lines)-1, 2*len(kernels.Classes))
+	}
+	cols := len(strings.Split(wantHeader, ","))
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != cols {
+			t.Errorf("row %q has %d columns, want %d", line, got, cols)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+// POST /v1/campaign — the multi-axis what-if surface over HTTP. The
+// request body is the JSON campaign spec (repro.CampaignSpecFromJSON;
+// schema in docs/EXPERIMENTS.md): registry labels and/or inline machine
+// specs, swept axes, and software-config lists. Responses negotiate
+// like the sweep endpoint — text, CSV, or a JSON envelope — plus a
+// streaming NDJSON form (?format=ndjson or Accept:
+// application/x-ndjson) that emits one line per grid point, in grid
+// order, as soon as the point and its predecessors finish, then a
+// terminal summary line.
+//
+// Determinism makes all four forms cacheable: the full rendered body —
+// the NDJSON form included, since grid order is fixed — is stored in
+// the render cache under the bases' fingerprints and the exact bit
+// patterns of every axis value, so a repeat campaign costs no model
+// time and serves byte-identical responses. Errors split the usual way:
+// a malformed or invalid spec is a 400, an unknown registry label a
+// 404, and both are decided before any evaluation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro"
+)
+
+// campaignJSON is the non-streaming JSON envelope; Output carries the
+// text or CSV rendering verbatim, like the sweep envelope.
+type campaignJSON struct {
+	Title  string `json:"title"`
+	Points int    `json:"points"`
+	Format string `json:"format"`
+	Output string `json:"output"`
+}
+
+// campaignClassJSON is one per-class cell of an NDJSON point line.
+type campaignClassJSON struct {
+	Class   string  `json:"class"`
+	Seconds float64 `json:"seconds"`
+	Ratio   float64 `json:"ratio_vs_base"`
+}
+
+// campaignPointJSON is one NDJSON line: a grid point with its per-class
+// cells in the paper's class order (never a map, so the bytes are
+// deterministic).
+type campaignPointJSON struct {
+	Point        int                 `json:"point"`
+	Base         string              `json:"base"`
+	Machine      string              `json:"machine"`
+	Threads      int                 `json:"threads"`
+	Placement    string              `json:"placement"`
+	Prec         string              `json:"prec"`
+	Cores        int                 `json:"cores"`
+	TotalSeconds float64             `json:"total_seconds"`
+	MeanRatio    float64             `json:"mean_ratio_vs_base"`
+	Classes      []campaignClassJSON `json:"classes"`
+}
+
+// campaignSummaryJSON is the terminal NDJSON line.
+type campaignSummaryJSON struct {
+	Summary struct {
+		Title       string         `json:"title"`
+		Points      int            `json:"points"`
+		Ranked      []int          `json:"ranked"`
+		BestByClass []campaignBest `json:"best_by_class"`
+		Pareto      []int          `json:"pareto"`
+	} `json:"summary"`
+}
+
+type campaignBest struct {
+	Class string `json:"class"`
+	Point int    `json:"point"`
+}
+
+func campaignPointLine(p repro.CampaignPoint) campaignPointJSON {
+	out := campaignPointJSON{
+		Point: p.Index, Base: p.Base, Machine: p.Machine,
+		Threads: p.Threads, Placement: p.Placement.String(),
+		Prec: p.Prec.String(), Cores: p.Cores,
+		TotalSeconds: p.TotalSeconds, MeanRatio: p.MeanRatio,
+	}
+	for _, class := range repro.Classes() {
+		cell, ok := p.ByClass[class]
+		if !ok {
+			continue
+		}
+		out.Classes = append(out.Classes, campaignClassJSON{
+			Class: class.String(), Seconds: cell.Seconds, Ratio: cell.Ratio.Mean,
+		})
+	}
+	return out
+}
+
+func campaignSummaryLine(res repro.CampaignResult) campaignSummaryJSON {
+	var out campaignSummaryJSON
+	out.Summary.Title = res.Title
+	out.Summary.Points = len(res.Points)
+	out.Summary.Ranked = res.Ranked
+	out.Summary.Pareto = res.Pareto
+	for _, class := range repro.Classes() {
+		if i, ok := res.BestByClass[class]; ok {
+			out.Summary.BestByClass = append(out.Summary.BestByClass,
+				campaignBest{Class: class.String(), Point: i})
+		}
+	}
+	return out
+}
+
+// handleCampaign serves POST /v1/campaign.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	format, err := negotiateStream(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	// Spec errors are the client's and split 400-vs-404 on whether the
+	// spec was invalid or merely named a machine the registry lacks —
+	// decided here, before any evaluation. Errors after this point are
+	// the engine's own.
+	spec, err := repro.CampaignSpecFromJSON(data, s.reg)
+	if err != nil {
+		var unknown *repro.UnknownMachineError
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// One expansion for everything downstream (metrics, the JSON
+	// envelope): the spec validated above, so Points is just the count.
+	points := spec.Points()
+	if format == formatNDJSON {
+		s.campaignNDJSON(w, r, spec, points)
+		return
+	}
+	ent, err := s.rc.get(campaignRenderKey(spec, format), func() ([]byte, string, error) {
+		out, err := s.eng.CampaignFormat(spec, format == formatCSV)
+		if err != nil {
+			return nil, "", err
+		}
+		switch format {
+		case formatJSON:
+			body, err := marshalJSONBody(campaignJSON{
+				Title: spec.Title(), Points: points,
+				Format: "text", Output: out,
+			})
+			return body, "application/json", err
+		case formatCSV:
+			return []byte(out), "text/csv; charset=utf-8", nil
+		default:
+			return []byte(out), "text/plain; charset=utf-8", nil
+		}
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.met.addCampaign(points, false)
+	serveRendered(w, r, ent)
+}
+
+// campaignNDJSON serves the streaming form. The first request for a
+// grid renders live — each point line is written and flushed as the
+// engine finishes it, in grid order — while teeing the bytes into the
+// render cache; repeat requests (and concurrent requests that lost the
+// singleflight race) serve the cached body, byte-identical to the
+// stream.
+func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec repro.CampaignSpec, points int) {
+	streamed := false
+	ent, err := s.rc.get(campaignRenderKey(spec, formatNDJSON), func() ([]byte, string, error) {
+		streamed = true
+		body, err := s.streamCampaign(w, spec)
+		return body, "application/x-ndjson", err
+	})
+	if streamed {
+		// The response — or, on a mid-stream engine failure, a terminal
+		// error line — has already been written.
+		if err == nil {
+			s.met.addCampaign(points, true)
+		}
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.met.addCampaign(points, true)
+	// The replay is an ordinary cached body: ETag, gzip and Vary come
+	// from the shared path (conditional 304s stay GET/HEAD-only).
+	serveRendered(w, r, ent)
+}
+
+// streamCampaign writes the live NDJSON stream and returns the complete
+// body for the render cache.
+func (s *Server) streamCampaign(w http.ResponseWriter, spec repro.CampaignSpec) ([]byte, error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(io.MultiWriter(w, &buf))
+	res, err := s.eng.CampaignStream(spec, func(p repro.CampaignPoint) error {
+		if err := enc.Encode(campaignPointLine(p)); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// The stream is already underway with a 200 status; a terminal
+		// error line is the only way left to tell the client the grid
+		// is truncated. The body is not cached (the fill error path).
+		json.NewEncoder(w).Encode(struct {
+			Error string `json:"error"`
+		}{err.Error()})
+		return nil, err
+	}
+	if err := enc.Encode(campaignSummaryLine(res)); err != nil {
+		return nil, err
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return buf.Bytes(), nil
+}
+
+// campaignRenderKey canonicalizes a validated campaign spec into a
+// render cache key: every base's full fingerprint (an inline spec with
+// one tweaked field must miss) and the exact bit patterns of every axis
+// value, plus the software-config lists.
+func campaignRenderKey(spec repro.CampaignSpec, f format) renderKey {
+	var name, v strings.Builder
+	for i, b := range spec.Bases {
+		if i > 0 {
+			name.WriteString(",")
+		}
+		name.WriteString(b.Label)
+		fmt.Fprintf(&v, "fp=%016x ", b.Fingerprint())
+	}
+	for _, ax := range spec.Axes {
+		fmt.Fprintf(&v, "axis=%s:", ax.Axis)
+		for _, x := range ax.Values {
+			fmt.Fprintf(&v, "%x,", x)
+		}
+		v.WriteString(" ")
+	}
+	fmt.Fprintf(&v, "threads=%v pols=%v precs=%v", spec.Threads, spec.Placements, spec.Precs)
+	return renderKey{kind: "campaign", name: name.String(), variant: v.String(), format: f}
+}

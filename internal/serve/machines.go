@@ -215,13 +215,5 @@ func sweepRenderKey(spec repro.SweepSpec, f format) renderKey {
 // parsePlacement maps a placement token onto a policy; empty means the
 // sweep default, block.
 func parsePlacement(s string) (repro.Policy, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "", "block":
-		return repro.Block, nil
-	case "cyclic":
-		return repro.CyclicNUMA, nil
-	case "cluster":
-		return repro.ClusterCyclic, nil
-	}
-	return repro.Block, fmt.Errorf("unknown placement %q (want block, cyclic or cluster)", s)
+	return repro.ParsePlacement(s)
 }

@@ -17,6 +17,11 @@ import (
 type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	// campaignPoints counts grid points served by the campaign endpoint
+	// (cached responses included — the points a client received);
+	// campaignStreams counts the responses delivered as NDJSON.
+	campaignPoints  uint64
+	campaignStreams uint64
 }
 
 type endpointStats struct {
@@ -38,6 +43,16 @@ func (m *metrics) instrument(endpoint string, h http.Handler) http.Handler {
 		h.ServeHTTP(sw, r)
 		m.observe(endpoint, time.Since(start), sw.status)
 	})
+}
+
+// addCampaign records one served campaign response.
+func (m *metrics) addCampaign(points int, streamed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.campaignPoints += uint64(points)
+	if streamed {
+		m.campaignStreams++
+	}
 }
 
 func (m *metrics) observe(endpoint string, d time.Duration, status int) {
@@ -112,6 +127,13 @@ func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64
 		rrate = float64(renderHits) / float64(total)
 	}
 	fmt.Fprintf(&b, "sg2042d_render_cache_hit_rate %.6f\n", rrate)
+
+	b.WriteString("# HELP sg2042d_campaign_points_total Campaign grid points served (cached responses included).\n")
+	b.WriteString("# TYPE sg2042d_campaign_points_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_campaign_points_total %d\n", m.campaignPoints)
+	b.WriteString("# HELP sg2042d_campaign_streams_total Campaign responses delivered as NDJSON streams.\n")
+	b.WriteString("# TYPE sg2042d_campaign_streams_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_campaign_streams_total %d\n", m.campaignStreams)
 	return b.String()
 }
 

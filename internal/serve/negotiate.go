@@ -13,6 +13,9 @@ const (
 	formatText format = iota
 	formatCSV
 	formatJSON
+	// formatNDJSON streams one JSON object per line as results finish;
+	// only the campaign endpoint negotiates it (see negotiateStream).
+	formatNDJSON
 )
 
 // negotiate picks the response format for an experiment request. The
@@ -44,4 +47,22 @@ func negotiate(r *http.Request) (format, error) {
 		}
 	}
 	return formatText, nil
+}
+
+// negotiateStream is negotiate for endpoints that also stream:
+// ?format=ndjson or an Accept listing application/x-ndjson (or
+// application/jsonlines) selects NDJSON; everything else falls through
+// to the ordinary negotiation.
+func negotiateStream(r *http.Request) (format, error) {
+	if strings.ToLower(r.URL.Query().Get("format")) == "ndjson" {
+		return formatNDJSON, nil
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch strings.ToLower(mediaType) {
+		case "application/x-ndjson", "application/jsonlines":
+			return formatNDJSON, nil
+		}
+	}
+	return negotiate(r)
 }

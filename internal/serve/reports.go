@@ -140,13 +140,7 @@ func parseNetwork(s string) (string, error) {
 // parsePrec maps a query value onto a precision; empty means the CLI's
 // default FP64.
 func parsePrec(s string) (repro.Precision, error) {
-	switch strings.ToLower(s) {
-	case "", "f64", "fp64":
-		return repro.F64, nil
-	case "f32", "fp32":
-		return repro.F32, nil
-	}
-	return repro.F64, fmt.Errorf("unknown precision %q (want f32 or f64)", s)
+	return repro.ParsePrecision(s)
 }
 
 // parseNodes parses a comma-separated node-count list; empty keeps the

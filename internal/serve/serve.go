@@ -13,6 +13,7 @@
 //	GET  /v1/machines               list the machine registry (JSON)
 //	GET  /v1/machines/{name}        one machine's full JSON spec
 //	POST /v1/sweep                  what-if hardware sweep; text, CSV or JSON
+//	POST /v1/campaign               multi-axis campaign; text, CSV, JSON or streaming NDJSON
 //	GET  /v1/roofline/{machine}     roofline report for a machine
 //	GET  /v1/cluster/{machine}      MPI scaling model for a machine
 //	GET  /metrics                   Prometheus-style text metrics
@@ -80,6 +81,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/machines", "machines", s.handleMachines)
 	s.handle("GET /v1/machines/{name}", "machine", s.handleMachine)
 	s.handle("POST /v1/sweep", "sweep", s.handleSweep)
+	s.handle("POST /v1/campaign", "campaign", s.handleCampaign)
 	s.handle("GET /v1/roofline/{machine}", "roofline", s.handleRoofline)
 	s.handle("GET /v1/cluster/{machine}", "cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -36,8 +36,13 @@
 // hardware as JSON specs, and Engine.Sweep runs what-if hardware
 // sweeps — one axis (cores, clock, vector width, NUMA layout) varied
 // across a range, every point's per-class performance reported against
-// the unmodified base. docs/EXPERIMENTS.md records the calibration
-// rationale behind the presets.
+// the unmodified base. Engine.Campaign scales that to multi-axis
+// campaigns: several machines x several axes x several software
+// configurations gridded at once, summarised as ranked tables and a
+// cores-vs-time Pareto front, with an optional streaming hook
+// (CampaignStream) delivering points in grid order as they finish.
+// docs/EXPERIMENTS.md records the calibration rationale behind the
+// presets and the campaign spec schema.
 //
 // Start with examples/quickstart, or run:
 //
@@ -118,6 +123,10 @@ const (
 	Polybench = kernels.Polybench
 	Stream    = kernels.Stream
 )
+
+// Classes lists the six benchmark classes in the paper's reporting
+// order (a copy; callers may reorder freely).
+func Classes() []Class { return append([]Class(nil), kernels.Classes...) }
 
 // Machine presets (Section 2.1 and Table 4), plus the SG2044 what-if
 // preset grounded in the follow-up evaluation (arXiv:2508.13840).
