@@ -66,7 +66,10 @@ determinism:
 	./bin/sg2042sim -campaign examples/campaign/spec.json -parallel 1 > bin/det-campaign-serial.txt
 	./bin/sg2042sim -campaign examples/campaign/spec.json -parallel 8 > bin/det-campaign-parallel.txt
 	cmp bin/det-campaign-serial.txt bin/det-campaign-parallel.txt
-	@echo "determinism OK: serial == parallel for -exp all and -campaign"
+	./bin/sg2042sim -campaign examples/scaling/campaign.json -parallel 1 > bin/det-scaling-serial.txt
+	./bin/sg2042sim -campaign examples/scaling/campaign.json -parallel 8 > bin/det-scaling-parallel.txt
+	cmp bin/det-scaling-serial.txt bin/det-scaling-parallel.txt
+	@echo "determinism OK: serial == parallel for -exp all and both campaigns (incl. multi-socket)"
 
 # Build sg2042d and smoke-test it: start the daemon, hit one experiment
 # endpoint through the example client, then shut the daemon down.

@@ -202,7 +202,7 @@ func TestCampaignSpecFromJSONErrors(t *testing.T) {
 		{"malformed", `{`, "decoding"},
 		{"unknown field", `{"machines": ["SG2042"], "bogus": 1}`, "bogus"},
 		{"no machines", `{"axes": [{"axis": "cores", "values": [8]}]}`, "base machines"},
-		{"bad axis", `{"machines": ["SG2042"], "axes": [{"axis": "sockets", "values": [2]}]}`, "unknown campaign axis"},
+		{"bad axis", `{"machines": ["SG2042"], "axes": [{"axis": "dies", "values": [2]}]}`, "unknown campaign axis"},
 		{"bad placement", `{"machines": ["SG2042"], "placements": ["scatter"]}`, "placement"},
 		{"bad precision", `{"machines": ["SG2042"], "precisions": ["f16"]}`, "precision"},
 		{"bad inline spec", `{"specs": [{"label": "x"}]}`, "machine"},

@@ -14,6 +14,8 @@
 //	sg2042sim -machine SG2042 -sweep vector=128,256,512 -threads 1
 //	sg2042sim -sweep cores=8,16,32,64          # what-if sweeps (base
 //	sg2042sim -sweep numa=1,2,4 -csv           # defaults to SG2042)
+//	sg2042sim -sweep nodes=1,2,4               # scale past 64 cores
+//	sg2042sim -cluster SG2042 -sockets 2       # MPI scaling, 2-socket nodes
 //	sg2042sim -campaign spec.json              # multi-axis campaign
 //	sg2042sim -campaign spec.json -csv -parallel 8
 //
@@ -53,9 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	roofline := fs.String("roofline", "", "print the roofline of a machine (label, e.g. SG2042)")
 	clusterNode := fs.String("cluster", "", "model MPI scaling of a machine (label, e.g. SG2042) — the paper's further work")
 	network := fs.String("net", "ib", "interconnect for -cluster: ib or eth")
+	sockets := fs.Int("sockets", 0, "sockets per node for -cluster (0 = the preset's own topology)")
 	machines := fs.Bool("machines", false, "list the machine registry (presets + SG2044)")
 	machineLabel := fs.String("machine", "", "registry machine label: alone prints its JSON spec; with -sweep selects the sweep base (default SG2042)")
-	sweep := fs.String("sweep", "", "what-if hardware sweep, axis=v1,v2,... with axis one of cores, clock (GHz), vector (bits), numa")
+	sweep := fs.String("sweep", "", "what-if hardware sweep, axis=v1,v2,... with axis one of cores, clock (GHz), vector (bits), numa, sockets, nodes")
 	threads := fs.Int("threads", 0, "thread count for -sweep (0 = full occupancy of each variant)")
 	campaign := fs.String("campaign", "", "multi-axis campaign from a JSON spec file (the POST /v1/campaign form; see docs/EXPERIMENTS.md)")
 	if err := fs.Parse(args); err != nil {
@@ -138,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, out)
 		return 0
 	case *clusterNode != "":
-		out, err := repro.ClusterScalingReport(*clusterNode, *network, 512, repro.F64, nil)
+		out, err := repro.ClusterScalingReport(*clusterNode, *network, 512, repro.F64, nil, *sockets)
 		if err != nil {
 			return fail(err)
 		}

@@ -260,9 +260,9 @@ func TestSweepFlagErrors(t *testing.T) {
 	}
 	// Well-formed syntax with a bad axis or unknown base is a runtime
 	// error, not a usage error.
-	code, _, errOut := exec("-sweep", "sockets=2")
+	code, _, errOut := exec("-sweep", "dies=2")
 	if code != 1 || !strings.Contains(errOut, "unknown sweep axis") {
-		t.Errorf("-sweep sockets=2: exit %d, stderr %q", code, errOut)
+		t.Errorf("-sweep dies=2: exit %d, stderr %q", code, errOut)
 	}
 	code, _, errOut = exec("-machine", "SG9999", "-sweep", "cores=4")
 	if code != 1 || !strings.Contains(errOut, "SG9999") {

@@ -17,21 +17,21 @@ func main() {
 	nodes := []int{1, 2, 4, 8, 16, 32}
 
 	fmt.Println("=== SG2042 cluster over InfiniBand HDR ===")
-	out, err := repro.ClusterScalingReport("SG2042", "ib", 512, repro.F64, nodes)
+	out, err := repro.ClusterScalingReport("SG2042", "ib", 512, repro.F64, nodes, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
 
 	fmt.Println("=== SG2042 cluster over 25GbE (the commodity option) ===")
-	out, err = repro.ClusterScalingReport("SG2042", "eth", 512, repro.F64, nodes)
+	out, err = repro.ClusterScalingReport("SG2042", "eth", 512, repro.F64, nodes, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
 
 	fmt.Println("=== AMD Rome cluster over InfiniBand (reference) ===")
-	out, err = repro.ClusterScalingReport("Rome", "ib", 512, repro.F64, nodes)
+	out, err = repro.ClusterScalingReport("Rome", "ib", 512, repro.F64, nodes, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

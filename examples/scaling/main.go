@@ -1,0 +1,95 @@
+// Scaling: past the 64 cores of one SG2042 socket. The paper stops at
+// a single socket; its follow-ups ask what a multi-socket board
+// (arXiv:2502.10320) and an MPI cluster buy. This walkthrough sweeps
+// the two topology axes the study models:
+//
+//   - sockets: replicate the SG2042's per-socket structure across a
+//     coherent inter-socket link (the SG2042x2 preset is the
+//     calibrated 2-socket point);
+//   - nodes: fuse N nodes over an inter-node link — the axis that
+//     scales the suite past 64 cores without pretending the extra
+//     cores are free.
+//
+// It then runs the strong/weak-scaling stencil study on dual-socket
+// nodes, and closes by proving the determinism contract across
+// surfaces: the bytes the library renders for a nodes sweep are the
+// bytes the HTTP API serves — and `sg2042sim -sweep nodes=1,2,4`
+// prints the same.
+//
+// Run it:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	eng := repro.NewEngine(repro.Options{Parallel: 8})
+
+	// 1. The sockets axis: one SG2042 socket against two and four on a
+	// coherent link. Doubling sockets doubles cores and memory
+	// controllers, but cross-socket placements pay the link, so the
+	// speedup is sublinear — the multi-socket study's core observation.
+	out, err := eng.SweepFormat(repro.SweepSpec{
+		Base: repro.SG2042(), Axis: repro.SweepSockets,
+		Values: []float64{1, 2, 4}, Prec: repro.F64,
+	}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	// 2. The nodes axis: the same question for distributed nodes, where
+	// the link is thinner and the penalty larger.
+	nodesSpec := repro.SweepSpec{
+		Base: repro.SG2042(), Axis: repro.SweepNodes,
+		Values: []float64{1, 2, 4}, Prec: repro.F64,
+	}
+	libOut, err := eng.SweepFormat(nodesSpec, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(libOut)
+
+	// 3. Strong and weak scaling of the HEAT_3D stencil on dual-socket
+	// nodes: MPI across nodes composes with the coherent link inside
+	// each node, so even the 1-node point pays intra-node communication.
+	report, err := repro.ClusterScalingReport("SG2042", "ib", 512, repro.F64,
+		[]int{1, 2, 4, 8, 16}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Dual-socket SG2042 nodes over InfiniBand HDR ===")
+	fmt.Println(report)
+
+	// 4. The determinism contract across surfaces: POST the nodes sweep
+	// to the HTTP API (the same engine sg2042d serves) and compare
+	// bytes with the library rendering above. cmd/sg2042sim prints the
+	// identical bytes for `-sweep nodes=1,2,4`.
+	ts := httptest.NewServer(serve.New(serve.Options{Parallel: 8}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"machine": "SG2042", "axis": "nodes", "values": [1, 2, 4]}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpOut, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HTTP bytes == library bytes: %v\n", string(httpOut) == libOut)
+
+	hits, misses := eng.CacheStats()
+	fmt.Printf("engine cache: %d hits, %d misses\n", hits, misses)
+}

@@ -36,11 +36,30 @@ func MemoryBoundShare(label string, p Precision) (float64, error) {
 // ClusterScalingReport models the paper's proposed further work: MPI
 // scaling of SG2042 nodes. It renders strong- and weak-scaling sweeps
 // of the HEAT_3D halo-exchange stencil across the node counts on the
-// named interconnect ("ib" for InfiniBand HDR, "eth" for 25GbE).
-func ClusterScalingReport(nodeLabel, network string, grid int, p Precision, nodes []int) (string, error) {
-	m := MachineByLabel(nodeLabel)
-	if m == nil {
-		return "", fmt.Errorf("repro: unknown machine %q", nodeLabel)
+// named interconnect ("ib" for InfiniBand HDR, "eth" for 25GbE). Node
+// labels resolve through the default machine registry (so the SG2044
+// and the dual-socket SG2042x2 serve alongside the paper presets); an
+// unresolvable label yields an *UnknownMachineError, the same typed
+// path campaigns use, so the HTTP layer can 404 it apart from the
+// 400-class validation errors. sockets > 0 derives a sockets-per-node
+// what-if variant of the named preset (WithSockets); 0 keeps the
+// preset's own topology. Multi-socket nodes pay the coherent
+// inter-socket link inside every point, composing node-level MPI with
+// socket-level NUMA.
+func ClusterScalingReport(nodeLabel, network string, grid int, p Precision, nodes []int, sockets int) (string, error) {
+	reg := DefaultMachineRegistry()
+	m, ok := reg.Get(nodeLabel)
+	if !ok {
+		return "", &UnknownMachineError{Label: nodeLabel, Known: reg.Labels()}
+	}
+	if sockets < 0 {
+		return "", fmt.Errorf("repro: %d sockets per node", sockets)
+	}
+	if sockets > 0 {
+		var err error
+		if m, err = m.WithSockets(sockets); err != nil {
+			return "", err
+		}
 	}
 	var net cluster.Network
 	switch strings.ToLower(network) {

@@ -169,3 +169,59 @@ func TestTextRender(t *testing.T) {
 		t.Error("summary count wrong")
 	}
 }
+
+// TestDualSocketNodePaysIntraNodeComm: a dual-socket node exchanges
+// halo faces over its coherent link even on a single node, and the
+// socket link's cost shows up in every point of the sweep; the
+// single-socket sweeps are untouched by the topology model.
+func TestDualSocketNodePaysIntraNodeComm(t *testing.T) {
+	x2 := New(machine.SG2042x2(), InfinibandHDR())
+	pts, err := x2.StrongScaleStencil(256, prec.F64, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].CommSec <= 0 {
+		t.Error("dual-socket single node has zero comm time; the socket link is free")
+	}
+	single := New(machine.SG2042(), InfinibandHDR())
+	sPts, err := single.StrongScaleStencil(256, prec.F64, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPts[0].CommSec != 0 {
+		t.Error("single-socket single node grew a comm term")
+	}
+	// At equal node counts the dual-socket board's comm per step is
+	// strictly higher: network faces plus socket faces.
+	for i := range pts {
+		if pts[i].CommSec <= sPts[i].CommSec {
+			t.Errorf("nodes=%d: dual-socket comm %v <= single-socket %v",
+				pts[i].Nodes, pts[i].CommSec, sPts[i].CommSec)
+		}
+	}
+
+	weak, err := x2.WeakScaleStencil(128, prec.F64, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak[0].CommSec <= 0 {
+		t.Error("weak scaling on a dual-socket node has no intra-node comm")
+	}
+	red, err := x2.StrongScaleAllreduce(1 << 20, prec.F64, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red[0].CommSec <= 0 {
+		t.Error("allreduce on a dual-socket node skips the intra-node reduction")
+	}
+}
+
+func TestSocketLink(t *testing.T) {
+	if _, ok := SocketLink(machine.SG2042()); ok {
+		t.Error("single-socket machine reports a socket link")
+	}
+	link, ok := SocketLink(machine.SG2042x2())
+	if !ok || link.BW != machine.SG2042x2().XSocketBW || link.LatencyNs != machine.SG2042x2().XSocketLatencyNs {
+		t.Errorf("SocketLink = %+v, %v", link, ok)
+	}
+}

@@ -145,7 +145,7 @@ func (s CampaignSpec) expand() ([]campaignCase, error) {
 	seenAxis := make(map[SweepAxis]bool, len(s.Axes))
 	for _, ax := range s.Axes {
 		switch ax.Axis {
-		case SweepCores, SweepClock, SweepVector, SweepNUMA:
+		case SweepCores, SweepClock, SweepVector, SweepNUMA, SweepSockets, SweepNodes:
 		default:
 			return nil, fmt.Errorf("core: unknown campaign axis %q (want one of %s)",
 				ax.Axis, joinAxes())

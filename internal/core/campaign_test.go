@@ -173,7 +173,7 @@ func TestCampaignValidation(t *testing.T) {
 		{"nil base", CampaignSpec{Bases: []*machine.Machine{nil}}, "nil base"},
 		{"duplicate base", CampaignSpec{Bases: []*machine.Machine{sg, machine.SG2042()}}, "twice"},
 		{"unknown axis", CampaignSpec{Bases: []*machine.Machine{sg},
-			Axes: []AxisValues{{Axis: "sockets", Values: []float64{2}}}}, "unknown campaign axis"},
+			Axes: []AxisValues{{Axis: "dies", Values: []float64{2}}}}, "unknown campaign axis"},
 		{"duplicate axis", CampaignSpec{Bases: []*machine.Machine{sg},
 			Axes: []AxisValues{{Axis: SweepCores, Values: []float64{8}},
 				{Axis: SweepCores, Values: []float64{16}}}}, "listed twice"},

@@ -38,10 +38,17 @@ const (
 	// SweepNUMA varies the NUMA region count, conserving total memory
 	// controllers (values are region counts).
 	SweepNUMA SweepAxis = "numa"
+	// SweepSockets varies the sockets per node, replicating the base's
+	// per-socket structure (values are socket counts).
+	SweepSockets SweepAxis = "sockets"
+	// SweepNodes varies the fused node count, replicating the base's
+	// per-node structure across an inter-node link (values are node
+	// counts).
+	SweepNodes SweepAxis = "nodes"
 )
 
 // SweepAxes lists every axis, in presentation order.
-var SweepAxes = []SweepAxis{SweepCores, SweepClock, SweepVector, SweepNUMA}
+var SweepAxes = []SweepAxis{SweepCores, SweepClock, SweepVector, SweepNUMA, SweepSockets, SweepNodes}
 
 // MaxSweepPoints bounds a single sweep so a network client cannot
 // request an unbounded fan-out.
@@ -93,7 +100,7 @@ func (s SweepSpec) variants() ([]*machine.Machine, error) {
 		return nil, err
 	}
 	switch s.Axis {
-	case SweepCores, SweepClock, SweepVector, SweepNUMA:
+	case SweepCores, SweepClock, SweepVector, SweepNUMA, SweepSockets, SweepNodes:
 	default:
 		return nil, fmt.Errorf("core: unknown sweep axis %q (want one of %s)",
 			s.Axis, joinAxes())
@@ -142,7 +149,7 @@ func deriveAxis(m *machine.Machine, axis SweepAxis, v float64) (*machine.Machine
 			return nil, fmt.Errorf("core: sweep axis %s needs positive finite GHz values, got %v", axis, v)
 		}
 		return m.WithClock(v * 1e9)
-	case SweepCores, SweepVector, SweepNUMA:
+	case SweepCores, SweepVector, SweepNUMA, SweepSockets, SweepNodes:
 		if v != math.Trunc(v) || v <= 0 {
 			return nil, fmt.Errorf("core: sweep axis %s needs positive integer values, got %v", axis, v)
 		}
@@ -152,6 +159,10 @@ func deriveAxis(m *machine.Machine, axis SweepAxis, v float64) (*machine.Machine
 			return m.WithCores(n)
 		case SweepVector:
 			return m.WithVectorBits(n)
+		case SweepSockets:
+			return m.WithSockets(n)
+		case SweepNodes:
+			return m.WithNodes(n)
 		default:
 			return m.WithNUMARegions(n)
 		}

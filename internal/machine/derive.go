@@ -31,6 +31,10 @@ func (m *Machine) WithCores(n int) (*Machine, error) {
 		return nil, fmt.Errorf("machine %s: cannot derive %d-core variant (want 1 to %d)",
 			m.Label, n, MaxCores)
 	}
+	if pk := m.Packages(); pk > 1 && (n%pk != 0 || n < m.NUMARegions) {
+		return nil, fmt.Errorf("machine %s: %d cores do not divide across %d packages (derive sockets or nodes instead)",
+			m.Label, n, pk)
+	}
 	v := m.Clone()
 	v.Cores = n
 	if n < m.NUMARegions {
@@ -103,6 +107,10 @@ func (m *Machine) WithNUMARegions(n int) (*Machine, error) {
 		return nil, fmt.Errorf("machine %s: %d memory controllers do not divide across %d NUMA regions",
 			m.Label, total, n)
 	}
+	if pk := m.Packages(); pk > 1 && n%pk != 0 {
+		return nil, fmt.Errorf("machine %s: %d NUMA regions do not divide across %d packages",
+			m.Label, n, pk)
+	}
 	v := m.Clone()
 	v.NUMARegions = n
 	v.MemCtrlPerNUMA = total / n
@@ -115,4 +123,99 @@ func (m *Machine) WithNUMARegions(n int) (*Machine, error) {
 		return nil, err
 	}
 	return v, nil
+}
+
+// Default inter-socket and inter-node link parameters, applied when a
+// derivation crosses the socket or node boundary and the base carries
+// no explicit link. The socket link defaults to half of one socket's
+// DRAM bandwidth at 1.5x its idle latency (the coherent-link regime the
+// multi-socket study, arXiv:2502.10320, operates in); the node link
+// defaults to InfiniBand-HDR-class alpha-beta parameters, matching the
+// cluster model's interconnect presets.
+const (
+	defaultNodeBW        = 23.0e9 // bytes/second, InfiniBand HDR class
+	defaultNodeLatencyNs = 1300
+)
+
+// WithSockets returns a copy of m with n sockets per node. The package
+// structure of the base — cores, NUMA regions and the region map of one
+// socket — is replicated across the n sockets, so total cores, regions
+// and memory controllers all scale with the socket count. A base with
+// no explicit inter-socket link gains the default one (half a socket's
+// DRAM bandwidth, 1.5x its DRAM latency). The label gains a "/sN"
+// suffix.
+func (m *Machine) WithSockets(n int) (*Machine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("machine %s: cannot derive %d-socket variant", m.Label, n)
+	}
+	cp, rp := m.CoresPerSocket(), m.RegionsPerSocket()
+	if cp*n*m.NodeCount() > MaxCores {
+		return nil, fmt.Errorf("machine %s: %d sockets of %d cores exceed %d cores",
+			m.Label, n, cp, MaxCores)
+	}
+	v := m.Clone()
+	v.Sockets = n
+	v.Cores = cp * n * m.NodeCount()
+	v.NUMARegions = rp * n * m.NodeCount()
+	v.NUMARegionOf = replicatePackages(m.NUMARegionOf[:cp], rp, v.Cores)
+	if n > 1 {
+		if v.XSocketBW == 0 {
+			v.XSocketBW = 0.5 * float64(m.MemCtrlPerNUMA) * m.CtrlBW * float64(rp)
+		}
+		if v.XSocketLatencyNs == 0 {
+			v.XSocketLatencyNs = 1.5 * m.MemLatencyNs
+		}
+	}
+	v.Label = fmt.Sprintf("%s/s%d", m.Label, n)
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// WithNodes returns a copy of m fused across n nodes: the base's
+// per-node structure (which may itself be multi-socket) replicated n
+// times, with an inter-node alpha-beta link (defaulting to
+// InfiniBand-HDR-class parameters when the base carries none). The
+// label gains a "/nodeN" suffix.
+func (m *Machine) WithNodes(n int) (*Machine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("machine %s: cannot derive %d-node variant", m.Label, n)
+	}
+	cpn := m.Cores / m.NodeCount()
+	rpn := m.NUMARegions / m.NodeCount()
+	if cpn*n > MaxCores {
+		return nil, fmt.Errorf("machine %s: %d nodes of %d cores exceed %d cores",
+			m.Label, n, cpn, MaxCores)
+	}
+	v := m.Clone()
+	v.Nodes = n
+	v.Cores = cpn * n
+	v.NUMARegions = rpn * n
+	v.NUMARegionOf = replicatePackages(m.NUMARegionOf[:cpn], rpn, v.Cores)
+	if n > 1 {
+		if v.NodeBW == 0 {
+			v.NodeBW = defaultNodeBW
+		}
+		if v.NodeLatencyNs == 0 {
+			v.NodeLatencyNs = defaultNodeLatencyNs
+		}
+	}
+	v.Label = fmt.Sprintf("%s/node%d", m.Label, n)
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// replicatePackages tiles one package's region pattern (regions spanning
+// [0, regionsPer)) across cores/len(pattern) packages, offsetting each
+// package's regions by its index.
+func replicatePackages(pattern []int, regionsPer, cores int) []int {
+	per := len(pattern)
+	out := make([]int, cores)
+	for c := range out {
+		out[c] = (c/per)*regionsPer + pattern[c%per]
+	}
+	return out
 }

@@ -8,8 +8,8 @@ import (
 
 // ExampleRegistry shows the named-machine surface the HTTP API and the
 // CLI share: the default registry serves the paper's presets plus the
-// SG2044, lookups are case-insensitive, and custom hardware registers
-// alongside them.
+// SG2044 and dual-socket SG2042x2, lookups are case-insensitive, and
+// custom hardware registers alongside them.
 func ExampleRegistry() {
 	reg := machine.DefaultRegistry()
 	fmt.Println(reg.Len(), "machines")
@@ -27,7 +27,7 @@ func ExampleRegistry() {
 	wide, _ := reg.Get("SG2042/v256")
 	fmt.Println(wide.Vector.WidthBits, "bits")
 	// Output:
-	// 8 machines
+	// 9 machines
 	// Sophon SG2042 (XuanTie C920): 64 cores @ 2.00 GHz, 4 NUMA regions, RVV v0.7.1 128-bit
 	// 256 bits
 }

@@ -55,6 +55,12 @@ func (m *Machine) Fingerprint() uint64 {
 	h.f64(m.ForkJoinNsPerThread)
 	h.f64(m.StragglerNs)
 	h.f64(m.JitterFullOccupancy)
+	h.int(m.Sockets)
+	h.int(m.Nodes)
+	h.f64(m.XSocketBW)
+	h.f64(m.XSocketLatencyNs)
+	h.f64(m.NodeBW)
+	h.f64(m.NodeLatencyNs)
 	return h.sum()
 }
 

@@ -13,7 +13,7 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{reflect.TypeOf(Machine{}), 22},
+		{reflect.TypeOf(Machine{}), 28},
 		{reflect.TypeOf(CacheLevel{}), 8},
 		{reflect.TypeOf(Vector{}), 4},
 	} {
@@ -71,6 +71,12 @@ func TestFingerprintDistinguishesFields(t *testing.T) {
 		"ForkJoinNsPerThread":        func(m *Machine) { m.ForkJoinNsPerThread++ },
 		"StragglerNs":                func(m *Machine) { m.StragglerNs++ },
 		"JitterFullOccupancy":        func(m *Machine) { m.JitterFullOccupancy *= 2 },
+		"Sockets":                    func(m *Machine) { m.Sockets = 1 },
+		"Nodes":                      func(m *Machine) { m.Nodes = 1 },
+		"XSocketBW":                  func(m *Machine) { m.XSocketBW = 24e9 },
+		"XSocketLatencyNs":           func(m *Machine) { m.XSocketLatencyNs = 200 },
+		"NodeBW":                     func(m *Machine) { m.NodeBW = 23e9 },
+		"NodeLatencyNs":              func(m *Machine) { m.NodeLatencyNs = 1300 },
 	}
 	for field, tweak := range tweaks {
 		m := SG2042()

@@ -180,6 +180,67 @@ type Machine struct {
 	// every physical core is busy (OS daemons and the runtime itself
 	// compete; the paper sees severe degradation at 64 threads).
 	JitterFullOccupancy float64 `json:"jitter_full_occupancy"`
+
+	// Sockets is the number of CPU packages per node (0 and 1 both mean
+	// a single socket, the paper's regime). Cores, NUMARegions and the
+	// NUMA map are totals across all sockets and nodes: the description
+	// is partitioned into Nodes x Sockets equal packages of contiguous
+	// core ids, each holding RegionsPerSocket contiguous NUMA regions.
+	// The multi-socket high-core-count study (arXiv:2502.10320) is the
+	// regime these fields model.
+	Sockets int `json:"sockets,omitempty"`
+	// Nodes is the number of network-coupled nodes fused into this
+	// description (0 and 1 both mean a single node). A multi-node
+	// machine models a tightly-coupled partition as one schedulable
+	// description so sweeps and campaigns can cross the node boundary.
+	Nodes int `json:"nodes,omitempty"`
+	// XSocketBW and XSocketLatencyNs are the alpha-beta parameters of
+	// the coherent inter-socket link (bytes/second and per-hop
+	// nanoseconds). Required when Sockets > 1.
+	XSocketBW        float64 `json:"xsocket_bw,omitempty"`
+	XSocketLatencyNs float64 `json:"xsocket_latency_ns,omitempty"`
+	// NodeBW and NodeLatencyNs are the alpha-beta parameters of the
+	// inter-node interconnect. Required when Nodes > 1.
+	NodeBW        float64 `json:"node_bw,omitempty"`
+	NodeLatencyNs float64 `json:"node_latency_ns,omitempty"`
+}
+
+// SocketCount returns the number of sockets per node (>= 1; the zero
+// value means one socket, so every pre-existing description is
+// single-socket).
+func (m *Machine) SocketCount() int {
+	if m.Sockets < 1 {
+		return 1
+	}
+	return m.Sockets
+}
+
+// NodeCount returns the number of nodes (>= 1).
+func (m *Machine) NodeCount() int {
+	if m.Nodes < 1 {
+		return 1
+	}
+	return m.Nodes
+}
+
+// Packages returns the total number of CPU packages: nodes x sockets.
+func (m *Machine) Packages() int { return m.NodeCount() * m.SocketCount() }
+
+// CoresPerSocket returns the core count of one package. For every
+// single-socket, single-node machine this is simply Cores.
+func (m *Machine) CoresPerSocket() int { return m.Cores / m.Packages() }
+
+// RegionsPerSocket returns the NUMA region count of one package.
+func (m *Machine) RegionsPerSocket() int { return m.NUMARegions / m.Packages() }
+
+// SocketOf returns the global package index of a core (0 on any
+// single-socket, single-node machine). Packages are contiguous blocks
+// of core ids.
+func (m *Machine) SocketOf(core int) int { return core / m.CoresPerSocket() }
+
+// NodeOf returns the node index of a core.
+func (m *Machine) NodeOf(core int) int {
+	return core / (m.CoresPerSocket() * m.SocketCount())
 }
 
 // Clone returns a deep copy of the machine; mutating the copy (or its
@@ -256,6 +317,8 @@ func (m *Machine) Cache(name string) *CacheLevel {
 }
 
 // SharersOf returns how many cores share one instance of the level.
+// A per-socket level has one instance per package, so its sharers are
+// the package's cores (all of them on a single-socket machine).
 func (m *Machine) SharersOf(l *CacheLevel) int {
 	switch l.Shared {
 	case PerCore:
@@ -263,7 +326,7 @@ func (m *Machine) SharersOf(l *CacheLevel) int {
 	case PerCluster:
 		return m.ClusterSize
 	case PerSocket:
-		return m.Cores
+		return m.CoresPerSocket()
 	}
 	return 1
 }
@@ -341,10 +404,52 @@ func (m *Machine) Validate() error {
 	if m.JitterFullOccupancy < 1 {
 		return fmt.Errorf("machine %s: jitter %v < 1", m.Name, m.JitterFullOccupancy)
 	}
+	if m.Sockets < 0 || m.Nodes < 0 {
+		return fmt.Errorf("machine %s: negative socket/node count (%d sockets, %d nodes)",
+			m.Name, m.Sockets, m.Nodes)
+	}
+	if pk := m.Packages(); pk > 1 {
+		if m.Cores%pk != 0 {
+			return fmt.Errorf("machine %s: %d cores do not divide across %d packages (%d nodes x %d sockets)",
+				m.Name, m.Cores, pk, m.NodeCount(), m.SocketCount())
+		}
+		if m.NUMARegions%pk != 0 {
+			return fmt.Errorf("machine %s: %d NUMA regions do not divide across %d packages",
+				m.Name, m.NUMARegions, pk)
+		}
+		cp, rp := m.CoresPerSocket(), m.RegionsPerSocket()
+		if m.ClusterSize > 1 && cp%m.ClusterSize != 0 {
+			return fmt.Errorf("machine %s: cluster size %d straddles the %d-core socket boundary",
+				m.Name, m.ClusterSize, cp)
+		}
+		for c, r := range m.NUMARegionOf {
+			if r/rp != c/cp {
+				return fmt.Errorf("machine %s: core %d (package %d) mapped to NUMA region %d of package %d",
+					m.Name, c, c/cp, r, r/rp)
+			}
+		}
+	}
+	if m.SocketCount() > 1 && (m.XSocketBW <= 0 || m.XSocketLatencyNs <= 0) {
+		return fmt.Errorf("machine %s: %d sockets without an inter-socket link (xsocket_bw, xsocket_latency_ns)",
+			m.Name, m.SocketCount())
+	}
+	if m.NodeCount() > 1 && (m.NodeBW <= 0 || m.NodeLatencyNs <= 0) {
+		return fmt.Errorf("machine %s: %d nodes without an inter-node link (node_bw, node_latency_ns)",
+			m.Name, m.NodeCount())
+	}
 	return nil
 }
 
 func (m *Machine) String() string {
-	return fmt.Sprintf("%s: %d cores @ %.2f GHz, %d NUMA regions, %s %d-bit",
-		m.Name, m.Cores, m.ClockHz/1e9, m.NUMARegions, m.Vector.ISA, m.Vector.WidthBits)
+	topo := ""
+	if m.NodeCount() > 1 {
+		topo = fmt.Sprintf("%d nodes x ", m.NodeCount())
+	}
+	if m.SocketCount() > 1 {
+		topo += fmt.Sprintf("%d sockets, ", m.SocketCount())
+	} else if topo != "" {
+		topo += "1 socket, "
+	}
+	return fmt.Sprintf("%s: %s%d cores @ %.2f GHz, %d NUMA regions, %s %d-bit",
+		m.Name, topo, m.Cores, m.ClockHz/1e9, m.NUMARegions, m.Vector.ISA, m.Vector.WidthBits)
 }

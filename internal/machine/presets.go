@@ -387,6 +387,30 @@ func SG2044() *Machine {
 	}
 }
 
+// SG2042x2 is a dual-socket SG2042 board: two 64-core sockets joined by
+// a coherent inter-socket link, the multi-socket high-core-count RISC-V
+// regime of arXiv:2502.10320 that the source paper names as further
+// work. Each socket keeps the SG2042's internal topology — including
+// its unusual lscpu core-id mapping, replicated with a per-socket
+// region offset — so cores 64-127 mirror cores 0-63 four NUMA regions
+// up. The link's 24 GB/s bandwidth (half one socket's aggregate DRAM
+// bandwidth) and 200 ns latency are calibration choices, not published
+// measurements; docs/EXPERIMENTS.md records the split.
+func SG2042x2() *Machine {
+	m := SG2042()
+	m.Name = "Dual-socket Sophon SG2042 board"
+	m.Label = "SG2042x2"
+	m.Sockets = 2
+	m.Cores = 128
+	m.NUMARegions = 8
+	m.NUMARegionOf = numaMap(128, func(c int) int {
+		return (c/64)*4 + sg2042NUMARegion(c%64)
+	})
+	m.XSocketBW = 24 * gb
+	m.XSocketLatencyNs = 200
+	return m
+}
+
 // All returns every preset, RISC-V machines first, in the order the
 // paper introduces them.
 func All() []*Machine {

@@ -23,11 +23,11 @@ func NewRegistry() *Registry {
 }
 
 // DefaultRegistry returns a registry pre-registered with every preset:
-// the seven CPUs the paper evaluates (All) plus the SG2044 what-if
-// preset, in that order.
+// the seven CPUs the paper evaluates (All) plus the SG2044 and
+// dual-socket SG2042x2 what-if presets, in that order.
 func DefaultRegistry() *Registry {
 	r := NewRegistry()
-	for _, m := range append(All(), SG2044()) {
+	for _, m := range append(All(), SG2044(), SG2042x2()) {
 		if err := r.Register(m); err != nil {
 			panic(err) // presets are validated by tests; unreachable
 		}

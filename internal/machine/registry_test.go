@@ -7,12 +7,12 @@ import (
 
 func TestDefaultRegistryContents(t *testing.T) {
 	r := DefaultRegistry()
-	if r.Len() != 8 {
-		t.Fatalf("default registry has %d machines, want 8 (the paper's seven + SG2044)", r.Len())
+	if r.Len() != 9 {
+		t.Fatalf("default registry has %d machines, want 9 (the paper's seven + SG2044 + SG2042x2)", r.Len())
 	}
 	labels := r.Labels()
-	// Registration order: the paper's order, then the what-if preset.
-	want := []string{"V1", "V2", "SG2042", "Rome", "Broadwell", "Icelake", "Sandybridge", "SG2044"}
+	// Registration order: the paper's order, then the what-if presets.
+	want := []string{"V1", "V2", "SG2042", "Rome", "Broadwell", "Icelake", "Sandybridge", "SG2044", "SG2042x2"}
 	for i, l := range want {
 		if labels[i] != l {
 			t.Errorf("label %d = %q, want %q", i, labels[i], l)

@@ -60,6 +60,13 @@ type evalCtx struct {
 	hasL3    bool
 	rmwSec   float64 // one atomic RMW, seconds
 
+	// Cross-package memory traffic: seconds per byte of per-thread
+	// traffic spent on the inter-socket and inter-node links. Zero —
+	// and never added in — unless the placement spans more than one
+	// package, so single-socket evaluations are bit-identical to the
+	// pre-topology model.
+	xlinkPerByte float64
+
 	// Parallel-region costs at cfg.Threads.
 	syncSec float64 // per-region fork/join + straggler, seconds
 
@@ -113,6 +120,19 @@ func (m *Model) newEvalCtx(cfg Config) (*evalCtx, error) {
 	}
 	ctx.dramBW = math.Min(mach.CoreMemBW, mach.NUMABandwidth()/float64(sharersMem))
 
+	// A placement spanning sockets pushes a calibrated fraction of each
+	// thread's traffic over the coherent link (remote first-touch,
+	// coherence); the most crowded socket's threads share its bandwidth.
+	// Spanning nodes pays the same way on the network link.
+	if ctx.sharing.SocketsUsed > 1 && mach.XSocketBW > 0 {
+		ctx.xlinkPerByte += m.Cal.XSocketTrafficFrac *
+			float64(ctx.sharing.MaxPerSocket) / mach.XSocketBW
+	}
+	if ctx.sharing.NodesUsed > 1 && mach.NodeBW > 0 {
+		ctx.xlinkPerByte += m.Cal.XNodeTrafficFrac *
+			float64(ctx.sharing.MaxPerNode) / mach.NodeBW
+	}
+
 	ctx.memLatNs = mach.MemLatencyNs
 	if l2 := mach.Cache("L2"); l2 != nil {
 		ctx.l2LatNs = l2.LatencyNs
@@ -125,6 +145,16 @@ func (m *Model) newEvalCtx(cfg Config) (*evalCtx, error) {
 
 	if cfg.Threads > 1 {
 		ctx.syncSec = m.syncOverhead(mach, cfg.Threads)
+		// Barriers that span packages serialise over the links: one
+		// inter-socket hop per extra socket, and a log2 all-reduce-style
+		// up-down pass over the node network.
+		if s := ctx.sharing.SocketsUsed; s > 1 && mach.XSocketLatencyNs > 0 {
+			ctx.syncSec += float64(s-1) * mach.XSocketLatencyNs * 1e-9
+		}
+		if nd := ctx.sharing.NodesUsed; nd > 1 && mach.NodeLatencyNs > 0 {
+			hops := 2 * math.Ceil(math.Log2(float64(nd)))
+			ctx.syncSec += hops * mach.NodeLatencyNs * 1e-9
+		}
 	}
 
 	ctx.levels = m.levelParamsFor(mach, ctx.sharing, cfg.Threads)
@@ -147,15 +177,22 @@ func (m *Model) levelParamsFor(mach *machine.Machine, sh placement.Sharing,
 		case machine.PerCluster:
 			sharers = sh.MaxPerCluster
 		default:
+			// A per-socket cache has one instance per package; its
+			// sharers are the threads on the most crowded package (all
+			// of them on a single-socket machine).
 			sharers = threads
+			if sh.MaxPerSocket > 0 && sh.MaxPerSocket < sharers {
+				sharers = sh.MaxPerSocket
+			}
 			// A socket-level cache on a multi-NUMA die (the SG2042's
 			// 64MB "system cache") is physically sliced across the
-			// mesh: a placement that occupies few NUMA regions reaches
-			// only those regions' slices and their bandwidth. This is
-			// the second mechanism (besides the DRAM controllers)
-			// behind block placement's poor Table 1 scaling.
-			if mach.NUMARegions > 1 && sh.NUMARegionsUsed > 0 {
-				agg *= float64(sh.NUMARegionsUsed) / float64(mach.NUMARegions)
+			// mesh: a placement that occupies few of the socket's NUMA
+			// regions reaches only those regions' slices and their
+			// bandwidth. This is the second mechanism (besides the DRAM
+			// controllers) behind block placement's poor Table 1
+			// scaling.
+			if rp := mach.RegionsPerSocket(); rp > 1 && sh.MaxRegionsPerSocket > 0 {
+				agg *= float64(sh.MaxRegionsPerSocket) / float64(rp)
 			}
 		}
 		if sharers < 1 {
@@ -288,6 +325,10 @@ func (m *Model) kernelTime(ctx *evalCtx, spec kernels.Spec) Breakdown {
 	bytesPerIter := trafficPerIter(spec, cfg.Prec, dramShare)
 	patternEff := m.patternEfficiency(spec.Loop.DominantPattern())
 	b.MemSec = itersPerThread * bytesPerIter / (bw * patternEff * scalarBW)
+	if threads > 1 && ctx.xlinkPerByte > 0 {
+		// Cross-package share of the traffic, serialised on the links.
+		b.MemSec += itersPerThread * bytesPerIter * ctx.xlinkPerByte
+	}
 
 	// --- latency term (gather/random under limited MLP) --------------------
 	b.LatSec = m.latencyTerm(ctx, spec, served, itersPerThread)

@@ -45,6 +45,22 @@ func batchConfigs() []perfmodel.Config {
 		add(perfmodel.Config{Machine: m, Threads: m.Cores, Placement: placement.Block,
 			Prec: prec.F32, Compiler: autovec.GCCx86, Mode: autovec.VLS})
 	}
+	// Multi-socket and multi-node topologies: placements that stay on
+	// one package, straddle the socket link, and straddle the node
+	// network all go through the same batched-vs-single contract.
+	x2 := machine.SG2042x2()
+	for _, threads := range []int{8, 64, 128} {
+		for _, pol := range placement.Policies {
+			add(perfmodel.Config{Machine: x2, Threads: threads, Placement: pol,
+				Prec: prec.F64, Compiler: autovec.GCCXuanTie, Mode: autovec.VLS})
+		}
+	}
+	fused, err := machine.SG2042().WithNodes(2)
+	if err != nil {
+		panic(err)
+	}
+	add(perfmodel.Config{Machine: fused, Threads: 128, Placement: placement.CyclicNUMA,
+		Prec: prec.F32, Compiler: autovec.GCCXuanTie, Mode: autovec.VLS})
 	return cfgs
 }
 
@@ -93,10 +109,96 @@ func TestSuiteTimesErrors(t *testing.T) {
 	}
 }
 
+// TestSingleSocketExplicitMatchesImplicit: writing Sockets=1, Nodes=1
+// explicitly must change nothing — every breakdown stays bit-identical
+// to the implicit (zero-valued) single-socket machine. Together with
+// the construction (every new model term is gated on a multi-package
+// sharing), this is the proof that pre-topology results are unchanged.
+func TestSingleSocketExplicitMatchesImplicit(t *testing.T) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	explicit := machine.SG2042()
+	explicit.Sockets = 1
+	explicit.Nodes = 1
+	for _, threads := range []int{1, 8, 64} {
+		implicitCfg := perfmodel.Config{Machine: machine.SG2042(), Threads: threads,
+			Placement: placement.CyclicNUMA, Prec: prec.F64,
+			Compiler: autovec.GCCXuanTie, Mode: autovec.VLS}
+		explicitCfg := implicitCfg
+		explicitCfg.Machine = explicit
+		a, err := mdl.SuiteTimes(specs, implicitCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mdl.SuiteTimes(specs, explicitCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("t=%d %s: explicit Sockets=1 changed the breakdown:\n%+v\n%+v",
+					threads, specs[i].Name, b[i], a[i])
+			}
+		}
+	}
+}
+
+// TestCrossSocketPenaltyIsVisible: the link terms must actually act —
+// a placement spanning both sockets is slower on the stock SG2042x2
+// than on a variant whose inter-socket link is effectively free.
+func TestCrossSocketPenaltyIsVisible(t *testing.T) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	free := machine.SG2042x2()
+	free.XSocketBW = 1e18
+	free.XSocketLatencyNs = 1e-9
+	cfg := perfmodel.Config{Machine: machine.SG2042x2(), Threads: 64,
+		Placement: placement.CyclicNUMA, Prec: prec.F64,
+		Compiler: autovec.GCCXuanTie, Mode: autovec.VLS}
+	freeCfg := cfg
+	freeCfg.Machine = free
+	stock, err := mdl.SuiteTimes(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, err := mdl.SuiteTimes(specs, freeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 0
+	for i := range stock {
+		if stock[i].Seconds > cheap[i].Seconds {
+			slower++
+		}
+		if stock[i].Seconds < cheap[i].Seconds {
+			t.Errorf("%s: stock link faster than free link", specs[i].Name)
+		}
+	}
+	if slower == 0 {
+		t.Error("cross-socket link cost never visible across the suite")
+	}
+}
+
 func BenchmarkSuiteTimesBatched(b *testing.B) {
 	mdl := perfmodel.New()
 	specs := suite.All()
 	cfg := perfmodel.Config{Machine: machine.SG2042(), Threads: 32,
+		Placement: placement.CyclicNUMA, Prec: prec.F32,
+		Compiler: autovec.GCCXuanTie, Mode: autovec.VLS}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdl.SuiteTimes(specs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteTimesMultiSocket covers the new hot path: a full-board
+// evaluation whose placement spans the inter-socket link.
+func BenchmarkSuiteTimesMultiSocket(b *testing.B) {
+	mdl := perfmodel.New()
+	specs := suite.All()
+	cfg := perfmodel.Config{Machine: machine.SG2042x2(), Threads: 128,
 		Placement: placement.CyclicNUMA, Prec: prec.F32,
 		Compiler: autovec.GCCXuanTie, Mode: autovec.VLS}
 	b.ReportAllocs()

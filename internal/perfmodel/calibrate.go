@@ -40,6 +40,16 @@ type Calibration struct {
 	// the C920 (Figure 2).
 	ScalarMemBW32 float64
 	ScalarMemBW64 float64
+	// XSocketTrafficFrac and XNodeTrafficFrac are the fractions of a
+	// thread's memory traffic that cross the inter-socket (resp.
+	// inter-node) link when a placement spans packages: remote
+	// first-touch pages, coherence and shared read-only data. They only
+	// act on machines whose mapping uses more than one socket or node —
+	// single-package evaluations never read them — and are calibration
+	// choices in the regime of the multi-socket RISC-V study
+	// (arXiv:2502.10320), not measured values.
+	XSocketTrafficFrac float64
+	XNodeTrafficFrac   float64
 }
 
 // DefaultCalibration returns the fitted constants.
@@ -62,5 +72,8 @@ func DefaultCalibration() Calibration {
 		StragglerExponent: 3.7,
 		ScalarMemBW32:     0.60,
 		ScalarMemBW64:     0.85,
+
+		XSocketTrafficFrac: 0.15,
+		XNodeTrafficFrac:   0.05,
 	}
 }

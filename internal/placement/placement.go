@@ -174,6 +174,26 @@ type Sharing struct {
 	// NUMARegionsUsed and ClustersUsed count the domains with >=1 thread.
 	NUMARegionsUsed int
 	ClustersUsed    int
+	// ThreadsPerSocket[p] is the number of threads bound to CPU package
+	// p (packages = nodes x sockets, contiguous core-id blocks). On a
+	// single-socket single-node machine it has one entry equal to the
+	// thread count.
+	ThreadsPerSocket []int
+	// MaxPerSocket and MaxPerNode are the worst-case sharer counts of
+	// the package and node domains — what per-socket caches and
+	// per-node memory systems are divided by.
+	MaxPerSocket int
+	MaxPerNode   int
+	// SocketsUsed and NodesUsed count packages and nodes with >=1
+	// thread; a mapping that crosses either boundary pays the
+	// corresponding link.
+	SocketsUsed int
+	NodesUsed   int
+	// MaxRegionsPerSocket is the largest number of NUMA regions in use
+	// inside any one package (== NUMARegionsUsed on a single-package
+	// machine) — the per-socket analogue the aggregate-bandwidth
+	// scaling consumes.
+	MaxRegionsPerSocket int
 }
 
 // Analyze derives the Sharing of a thread->core mapping.
@@ -181,14 +201,21 @@ func Analyze(m *machine.Machine, cores []int) Sharing {
 	s := Sharing{
 		ThreadsPerNUMA:    make([]int, m.NUMARegions),
 		ThreadsPerCluster: make(map[int]int),
+		ThreadsPerSocket:  make([]int, m.Packages()),
 	}
+	threadsPerNode := make([]int, m.NodeCount())
 	for _, c := range cores {
 		s.ThreadsPerNUMA[m.NUMARegionOf[c]]++
 		s.ThreadsPerCluster[m.ClusterOf(c)]++
+		s.ThreadsPerSocket[m.SocketOf(c)]++
+		threadsPerNode[m.NodeOf(c)]++
 	}
-	for _, n := range s.ThreadsPerNUMA {
+	rp := m.RegionsPerSocket()
+	regionsUsed := make([]int, m.Packages())
+	for r, n := range s.ThreadsPerNUMA {
 		if n > 0 {
 			s.NUMARegionsUsed++
+			regionsUsed[r/rp]++
 		}
 		if n > s.MaxPerNUMA {
 			s.MaxPerNUMA = n
@@ -200,6 +227,27 @@ func Analyze(m *machine.Machine, cores []int) Sharing {
 		}
 	}
 	s.ClustersUsed = len(s.ThreadsPerCluster)
+	for _, n := range s.ThreadsPerSocket {
+		if n > 0 {
+			s.SocketsUsed++
+		}
+		if n > s.MaxPerSocket {
+			s.MaxPerSocket = n
+		}
+	}
+	for _, n := range threadsPerNode {
+		if n > 0 {
+			s.NodesUsed++
+		}
+		if n > s.MaxPerNode {
+			s.MaxPerNode = n
+		}
+	}
+	for _, n := range regionsUsed {
+		if n > s.MaxRegionsPerSocket {
+			s.MaxRegionsPerSocket = n
+		}
+	}
 	return s
 }
 

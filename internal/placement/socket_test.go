@@ -1,0 +1,149 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// The dual-socket analogues of the paper's Section 3.2 core-id
+// examples: exhaustive mapping tables for each policy on the SG2042x2
+// preset, whose second socket mirrors the SG2042's lscpu layout 64
+// core ids (and 4 NUMA regions) up.
+func TestDualSocketMappingTables(t *testing.T) {
+	m := machine.SG2042x2()
+	cases := []struct {
+		policy  Policy
+		threads int
+		want    []int
+	}{
+		// Block stays contiguous: it fills socket 0 before touching
+		// socket 1.
+		{Block, 8, []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{Block, 66, seq(0, 66)},
+		// CyclicNUMA round-robins all eight regions — four per socket —
+		// so even 8 threads straddle the socket link.
+		{CyclicNUMA, 4, []int{0, 8, 32, 40}},
+		{CyclicNUMA, 8, []int{0, 8, 32, 40, 64, 72, 96, 104}},
+		{CyclicNUMA, 16, []int{0, 8, 32, 40, 64, 72, 96, 104, 1, 9, 33, 41, 65, 73, 97, 105}},
+		// ClusterCyclic's second pass lands on fresh L2 clusters in every
+		// region of both sockets.
+		{ClusterCyclic, 8, []int{0, 8, 32, 40, 64, 72, 96, 104}},
+		{ClusterCyclic, 16, []int{0, 8, 32, 40, 64, 72, 96, 104, 16, 24, 48, 56, 80, 88, 112, 120}},
+	}
+	for _, tc := range cases {
+		got := mustMap(t, m, tc.policy, tc.threads)
+		if !equalInts(got, tc.want) {
+			t.Errorf("%v %d threads = %v, want %v", tc.policy, tc.threads, got, tc.want)
+		}
+	}
+}
+
+func seq(from, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}
+
+// TestDualSocketSharing pins the induced per-socket / per-region /
+// per-cluster structure of each policy's mapping on the SG2042x2.
+func TestDualSocketSharing(t *testing.T) {
+	m := machine.SG2042x2()
+	cases := []struct {
+		policy           Policy
+		threads          int
+		perSocket        []int
+		socketsUsed      int
+		maxPerSocket     int
+		regionsUsed      int
+		maxPerNUMA       int
+		maxRegionsPerSkt int
+		clustersUsed     int
+		maxPerCluster    int
+	}{
+		// 8 block threads: one socket, one region, two full clusters.
+		{Block, 8, []int{8, 0}, 1, 8, 1, 8, 1, 2, 4},
+		// 8 cyclic threads: both sockets, all eight regions, one thread
+		// each — the mapping that newly pays the inter-socket link.
+		{CyclicNUMA, 8, []int{4, 4}, 2, 4, 8, 1, 4, 8, 1},
+		// 16 cluster-cyclic threads: 16 distinct L2s, 8 per socket.
+		{ClusterCyclic, 16, []int{8, 8}, 2, 8, 8, 2, 4, 16, 1},
+		// Full machine: everything saturated symmetrically.
+		{Block, 128, []int{64, 64}, 2, 64, 8, 16, 4, 32, 4},
+	}
+	for _, tc := range cases {
+		s := Analyze(m, mustMap(t, m, tc.policy, tc.threads))
+		if !equalInts(s.ThreadsPerSocket, tc.perSocket) {
+			t.Errorf("%v %d: ThreadsPerSocket = %v, want %v",
+				tc.policy, tc.threads, s.ThreadsPerSocket, tc.perSocket)
+		}
+		if s.SocketsUsed != tc.socketsUsed || s.MaxPerSocket != tc.maxPerSocket {
+			t.Errorf("%v %d: sockets used/max = %d/%d, want %d/%d",
+				tc.policy, tc.threads, s.SocketsUsed, s.MaxPerSocket, tc.socketsUsed, tc.maxPerSocket)
+		}
+		if s.NUMARegionsUsed != tc.regionsUsed || s.MaxPerNUMA != tc.maxPerNUMA {
+			t.Errorf("%v %d: regions used/max = %d/%d, want %d/%d",
+				tc.policy, tc.threads, s.NUMARegionsUsed, s.MaxPerNUMA, tc.regionsUsed, tc.maxPerNUMA)
+		}
+		if s.MaxRegionsPerSocket != tc.maxRegionsPerSkt {
+			t.Errorf("%v %d: MaxRegionsPerSocket = %d, want %d",
+				tc.policy, tc.threads, s.MaxRegionsPerSocket, tc.maxRegionsPerSkt)
+		}
+		if s.ClustersUsed != tc.clustersUsed || s.MaxPerCluster != tc.maxPerCluster {
+			t.Errorf("%v %d: clusters used/max = %d/%d, want %d/%d",
+				tc.policy, tc.threads, s.ClustersUsed, s.MaxPerCluster, tc.clustersUsed, tc.maxPerCluster)
+		}
+		if s.NodesUsed != 1 || s.MaxPerNode != tc.threads {
+			t.Errorf("%v %d: node sharing = %d used, %d max; the board is one node",
+				tc.policy, tc.threads, s.NodesUsed, s.MaxPerNode)
+		}
+	}
+}
+
+// TestSingleSocketSharingDegenerates: on every single-package preset
+// the new fields must collapse to the old ones — the identity the
+// performance model's bit-compatibility rests on.
+func TestSingleSocketSharingDegenerates(t *testing.T) {
+	for _, m := range machine.All() {
+		for _, p := range Policies {
+			for threads := 1; threads <= m.Cores; threads += 3 {
+				s := Analyze(m, mustMap(t, m, p, threads))
+				if len(s.ThreadsPerSocket) != 1 || s.ThreadsPerSocket[0] != threads {
+					t.Fatalf("%s/%v/%d: ThreadsPerSocket = %v", m.Label, p, threads, s.ThreadsPerSocket)
+				}
+				if s.MaxPerSocket != threads || s.SocketsUsed != 1 ||
+					s.MaxPerNode != threads || s.NodesUsed != 1 {
+					t.Fatalf("%s/%v/%d: socket/node sharing %+v", m.Label, p, threads, s)
+				}
+				if s.MaxRegionsPerSocket != s.NUMARegionsUsed {
+					t.Fatalf("%s/%v/%d: MaxRegionsPerSocket %d != NUMARegionsUsed %d",
+						m.Label, p, threads, s.MaxRegionsPerSocket, s.NUMARegionsUsed)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiNodeSharing: the node axis composes with sockets — a
+// two-node dual-socket fusion exposes four packages, and cyclic
+// placement spreads across all of them.
+func TestMultiNodeSharing(t *testing.T) {
+	base, err := machine.SG2042x2().WithNodes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(base, mustMap(t, base, CyclicNUMA, 16))
+	if !equalInts(s.ThreadsPerSocket, []int{4, 4, 4, 4}) {
+		t.Errorf("ThreadsPerSocket = %v", s.ThreadsPerSocket)
+	}
+	if s.NodesUsed != 2 || s.MaxPerNode != 8 || s.SocketsUsed != 4 || s.MaxPerSocket != 4 {
+		t.Errorf("sharing = %+v", s)
+	}
+	// Block keeps 16 threads on the first socket of the first node.
+	bl := Analyze(base, mustMap(t, base, Block, 16))
+	if bl.NodesUsed != 1 || bl.SocketsUsed != 1 || bl.MaxPerNode != 16 {
+		t.Errorf("block sharing = %+v", bl)
+	}
+}

@@ -124,7 +124,7 @@ func TestCampaignErrorSplit(t *testing.T) {
 		{"malformed JSON", "", `{`, http.StatusBadRequest},
 		{"unknown field", "", `{"machines": ["SG2042"], "bogus": 1}`, http.StatusBadRequest},
 		{"no machines", "", `{"axes": [{"axis": "cores", "values": [8]}]}`, http.StatusBadRequest},
-		{"unknown axis", "", `{"machines": ["SG2042"], "axes": [{"axis": "sockets", "values": [2]}]}`, http.StatusBadRequest},
+		{"unknown axis", "", `{"machines": ["SG2042"], "axes": [{"axis": "dies", "values": [2]}]}`, http.StatusBadRequest},
 		{"bad placement", "", `{"machines": ["SG2042"], "placements": ["scatter"]}`, http.StatusBadRequest},
 		{"bad precision", "", `{"machines": ["SG2042"], "precisions": ["f16"]}`, http.StatusBadRequest},
 		{"underivable grid", "", `{"machines": ["V2"], "axes": [{"axis": "vector", "values": [256]}]}`, http.StatusBadRequest},

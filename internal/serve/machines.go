@@ -19,11 +19,13 @@ type machineSummary struct {
 	NUMARegions int     `json:"numa_regions"`
 	VectorISA   string  `json:"vector_isa"`
 	VectorBits  int     `json:"vector_bits,omitempty"`
+	Sockets     int     `json:"sockets,omitempty"`
+	Nodes       int     `json:"nodes,omitempty"`
 }
 
 // handleMachines serves GET /v1/machines: every registered machine —
-// the paper's seven presets plus the SG2044 — summarised, in
-// registration order.
+// the paper's seven presets plus the SG2044 and the dual-socket
+// SG2042x2 — summarised, in registration order.
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	ms := s.reg.Machines()
 	out := make([]machineSummary, len(ms))
@@ -36,6 +38,8 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 			NUMARegions: m.NUMARegions,
 			VectorISA:   m.Vector.ISA.Token(),
 			VectorBits:  m.Vector.WidthBits,
+			Sockets:     m.Sockets,
+			Nodes:       m.Nodes,
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -75,7 +79,8 @@ type sweepRequest struct {
 	Machine string `json:"machine,omitempty"`
 	// Spec is an inline custom machine spec.
 	Spec json.RawMessage `json:"spec,omitempty"`
-	// Axis is the hardware axis to vary: cores, clock, vector or numa.
+	// Axis is the hardware axis to vary: cores, clock, vector, numa,
+	// sockets or nodes.
 	Axis string `json:"axis"`
 	// Values are the axis values (clock in GHz; the rest positive
 	// integers).

@@ -55,8 +55,8 @@ func TestMachinesList(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Machines) != 8 {
-		t.Fatalf("%d machines, want 8 (the paper's seven + SG2044)", len(resp.Machines))
+	if len(resp.Machines) != 9 {
+		t.Fatalf("%d machines, want 9 (the paper's seven + SG2044 + SG2042x2)", len(resp.Machines))
 	}
 	byLabel := map[string]int{}
 	for i, m := range resp.Machines {
@@ -167,6 +167,42 @@ func TestSweepEndpointByteIdentical(t *testing.T) {
 	}
 }
 
+// TestNodesSweepEndpointByteIdentical extends the byte-identity
+// contract to the topology axes: a nodes sweep past 64 cores serves
+// the exact bytes the library (and therefore cmd/sg2042sim -sweep
+// nodes=...) renders for the same spec.
+func TestNodesSweepEndpointByteIdentical(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Parallel: 4}))
+	defer ts.Close()
+
+	spec := repro.SweepSpec{Base: repro.SG2042(), Axis: repro.SweepNodes,
+		Values: []float64{1, 2, 4}, Prec: repro.F64}
+	wantText, err := repro.RunSweep(spec, repro.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"machine": "SG2042", "axis": "nodes", "values": [1, 2, 4]}`
+	status, _, out := postSweep(t, ts, "", body, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	if out != wantText {
+		t.Error("nodes sweep body differs from the library rendering")
+	}
+	for _, want := range []string{"SG2042/node2", "SG2042/node4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	// The sockets axis serves too, on the dual-socket preset's base.
+	status, _, out = postSweep(t, ts, "",
+		`{"machine": "SG2042", "axis": "sockets", "values": [2]}`, "")
+	if status != http.StatusOK || !strings.Contains(out, "SG2042/s2") {
+		t.Errorf("sockets sweep: status %d body %s", status, out)
+	}
+}
+
 // TestSweepCustomSpec: an inline machine spec — the GET /v1/machines
 // form — sweeps without being registered.
 func TestSweepCustomSpec(t *testing.T) {
@@ -212,7 +248,7 @@ func TestSweepErrors(t *testing.T) {
 			http.StatusBadRequest, "needs a base"},
 		{"both bases", "", `{"machine": "SG2042", "spec": {"name": "x"}, "axis": "cores", "values": [4]}`,
 			http.StatusBadRequest, "not both"},
-		{"unknown axis", "", `{"machine": "SG2042", "axis": "sockets", "values": [2]}`,
+		{"unknown axis", "", `{"machine": "SG2042", "axis": "dies", "values": [2]}`,
 			http.StatusBadRequest, "unknown sweep axis"},
 		{"no values", "", `{"machine": "SG2042", "axis": "cores"}`,
 			http.StatusBadRequest, "no values"},

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -54,7 +55,11 @@ func (s *Server) handleRoofline(w http.ResponseWriter, r *http.Request) {
 // handleCluster serves GET /v1/cluster/{machine}: the MPI scaling model
 // of the paper's further-work section. Query parameters mirror the
 // CLI: ?net=ib|eth (default ib), ?grid=N (default 512), plus
-// ?nodes=1,2,4 to override the swept node counts and ?prec=f32|f64.
+// ?nodes=1,2,4 to override the swept node counts, ?sockets=N to derive
+// a sockets-per-node variant of the preset, and ?prec=f32|f64. An
+// unknown machine label is 404; every validation failure (bad socket
+// count included) is 400, classified by the library's typed
+// *repro.UnknownMachineError rather than error wording.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	label := r.PathValue("machine")
 	f, err := negotiate(r)
@@ -84,20 +89,31 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	sockets, err := atoiDefault(q.Get("sockets"), 0)
+	if err != nil || sockets < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad sockets %q (want a non-negative integer)", q.Get("sockets")))
+		return
+	}
 	key := renderKey{kind: "cluster", name: label,
-		variant: fmt.Sprintf("net=%s grid=%d prec=%v nodes=%v", network, grid, p, nodes),
+		variant: fmt.Sprintf("net=%s grid=%d prec=%v nodes=%v sockets=%d", network, grid, p, nodes, sockets),
 		format:  reportFormat(f)}
 	ent, err := s.rc.get(key, func() ([]byte, string, error) {
-		out, err := repro.ClusterScalingReport(label, network, grid, p, nodes)
+		out, err := repro.ClusterScalingReport(label, network, grid, p, nodes, sockets)
 		if err != nil {
 			return nil, "", err
 		}
 		return renderReport(f, reportJSON{Machine: label, Report: "cluster", Output: out})
 	})
 	if err != nil {
-		// The network and grid were validated above, so what remains is
-		// an unknown machine label.
-		writeError(w, http.StatusNotFound, err)
+		var unknown *repro.UnknownMachineError
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		// The label resolved; what remains is a derivation the machine
+		// cannot support (an over-size socket count, say).
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	serveRendered(w, r, ent)

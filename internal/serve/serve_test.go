@@ -400,7 +400,7 @@ func TestClusterEndpoint(t *testing.T) {
 	ts := httptest.NewServer(New(Options{Parallel: 2}))
 	defer ts.Close()
 
-	want, err := repro.ClusterScalingReport("SG2042", "ib", 512, repro.F64, nil)
+	want, err := repro.ClusterScalingReport("SG2042", "ib", 512, repro.F64, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestClusterEndpoint(t *testing.T) {
 		t.Errorf("cluster: status %d, body match %v", status, body == want)
 	}
 
-	wantEth, err := repro.ClusterScalingReport("SG2042", "eth", 256, repro.F32, []int{1, 2, 4})
+	wantEth, err := repro.ClusterScalingReport("SG2042", "eth", 256, repro.F32, []int{1, 2, 4}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,6 +430,46 @@ func TestClusterEndpoint(t *testing.T) {
 		status, _, _ := get(t, ts, path, "")
 		if status != want {
 			t.Errorf("%s: status %d, want %d", path, status, want)
+		}
+	}
+}
+
+// TestClusterEndpointSockets: ?sockets= derives multi-socket nodes and
+// the 400-vs-404 split follows the typed UnknownMachineError — the bad
+// label is the only 404; every socket-count failure is the client's
+// 400, whether it dies in query parsing or in the derivation.
+func TestClusterEndpointSockets(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Parallel: 2}))
+	defer ts.Close()
+
+	want, err := repro.ClusterScalingReport("SG2042", "ib", 256, repro.F64, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, body := get(t, ts, "/v1/cluster/SG2042?grid=256&nodes=1,2&sockets=2", "")
+	if status != http.StatusOK || body != want {
+		t.Errorf("sockets=2: status %d, body match %v", status, body == want)
+	}
+	if body == "" || !strings.Contains(body, "SG2042/s2") {
+		t.Errorf("sockets=2 report does not name the derived machine:\n%s", body)
+	}
+
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"unknown machine", "/v1/cluster/SG9999?sockets=2", http.StatusNotFound},
+		{"unknown machine, no sockets", "/v1/cluster/SG9999", http.StatusNotFound},
+		{"non-numeric sockets", "/v1/cluster/SG2042?sockets=two", http.StatusBadRequest},
+		{"negative sockets", "/v1/cluster/SG2042?sockets=-1", http.StatusBadRequest},
+		{"oversize sockets", "/v1/cluster/SG2042?sockets=1000000", http.StatusBadRequest},
+		{"sockets on dual-socket preset", "/v1/cluster/SG2042x2?sockets=4096", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, _, body := get(t, ts, tc.path, "")
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
 		}
 	}
 }

@@ -34,9 +34,9 @@
 // DefaultMachineRegistry serves the presets (plus the SG2044 follow-up
 // preset) by name, MachineFromJSON/MachineJSON round-trip custom
 // hardware as JSON specs, and Engine.Sweep runs what-if hardware
-// sweeps — one axis (cores, clock, vector width, NUMA layout) varied
-// across a range, every point's per-class performance reported against
-// the unmodified base. Engine.Campaign scales that to multi-axis
+// sweeps — one axis (cores, clock, vector width, NUMA layout, sockets
+// per node, fused node count) varied across a range, every point's
+// per-class performance reported against the unmodified base. Engine.Campaign scales that to multi-axis
 // campaigns: several machines x several axes x several software
 // configurations gridded at once, summarised as ranked tables and a
 // cores-vs-time Pareto front, with an optional streaming hook
@@ -128,8 +128,10 @@ const (
 // order (a copy; callers may reorder freely).
 func Classes() []Class { return append([]Class(nil), kernels.Classes...) }
 
-// Machine presets (Section 2.1 and Table 4), plus the SG2044 what-if
-// preset grounded in the follow-up evaluation (arXiv:2508.13840).
+// Machine presets (Section 2.1 and Table 4), plus two what-if presets:
+// the SG2044 grounded in the follow-up evaluation (arXiv:2508.13840)
+// and the dual-socket SG2042x2 board in the regime of the multi-socket
+// study (arXiv:2502.10320).
 var (
 	SG2042       = machine.SG2042
 	VisionFiveV1 = machine.VisionFiveV1
@@ -139,6 +141,7 @@ var (
 	Xeon6330     = machine.Xeon6330
 	XeonE52609   = machine.XeonE52609
 	SG2044       = machine.SG2044
+	SG2042x2     = machine.SG2042x2
 )
 
 // Machines returns the seven CPUs the paper evaluates.

@@ -208,7 +208,7 @@ func TestRooflineReport(t *testing.T) {
 }
 
 func TestClusterScalingReport(t *testing.T) {
-	out, err := ClusterScalingReport("SG2042", "ib", 256, F64, []int{1, 2, 4})
+	out, err := ClusterScalingReport("SG2042", "ib", 256, F64, []int{1, 2, 4}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,13 +218,13 @@ func TestClusterScalingReport(t *testing.T) {
 		}
 	}
 	// Defaults fill in.
-	if _, err := ClusterScalingReport("Rome", "eth", 0, F32, nil); err != nil {
+	if _, err := ClusterScalingReport("Rome", "eth", 0, F32, nil, 0); err != nil {
 		t.Error(err)
 	}
-	if _, err := ClusterScalingReport("nope", "ib", 256, F64, nil); err == nil {
+	if _, err := ClusterScalingReport("nope", "ib", 256, F64, nil, 0); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if _, err := ClusterScalingReport("SG2042", "carrier-pigeon", 256, F64, nil); err == nil {
+	if _, err := ClusterScalingReport("SG2042", "carrier-pigeon", 256, F64, nil, 0); err == nil {
 		t.Error("unknown network accepted")
 	}
 }

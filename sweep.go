@@ -7,9 +7,10 @@ import (
 
 // What-if hardware sweeps: hold the software configuration fixed and
 // vary one hardware axis of a base machine — core count, clock, vector
-// width, or NUMA layout. A sweep renders as an ordinary Figure (one
-// series per swept value, ratios against the unmodified base), so the
-// text/CSV renderers and the determinism contract apply unchanged.
+// width, NUMA layout, sockets per node, or fused node count. A sweep
+// renders as an ordinary Figure (one series per swept value, ratios
+// against the unmodified base), so the text/CSV renderers and the
+// determinism contract apply unchanged.
 
 // SweepAxis names the hardware axis a sweep varies.
 type SweepAxis = core.SweepAxis
@@ -25,6 +26,13 @@ const (
 	// SweepNUMA varies the NUMA region count, conserving total memory
 	// controllers.
 	SweepNUMA = core.SweepNUMA
+	// SweepSockets varies the sockets per node, replicating the base's
+	// per-socket structure across a coherent inter-socket link.
+	SweepSockets = core.SweepSockets
+	// SweepNodes varies the fused node count, replicating the base's
+	// per-node structure across an inter-node link — the axis strong
+	// and weak scaling walkthroughs sweep past 64 cores.
+	SweepNodes = core.SweepNodes
 )
 
 // SweepAxes lists every sweep axis in presentation order.

@@ -102,6 +102,9 @@ func TestSweepAxes(t *testing.T) {
 		{Base: SG2042(), Axis: SweepClock, Values: []float64{1.5, 2.0, 2.5}, Threads: 1},
 		{Base: SG2042(), Axis: SweepNUMA, Values: []float64{1, 2, 4}},
 		{Base: SG2044(), Axis: SweepVector, Values: []float64{128, 256}, Threads: 1},
+		{Base: SG2042(), Axis: SweepSockets, Values: []float64{1, 2, 4}},
+		{Base: SG2042(), Axis: SweepNodes, Values: []float64{1, 2, 4}},
+		{Base: SG2042x2(), Axis: SweepNodes, Values: []float64{2, 4}},
 	}
 	for _, spec := range cases {
 		fig, err := eng.Sweep(spec)
@@ -162,6 +165,62 @@ func TestSweepVectorWidthIsMemoryBound(t *testing.T) {
 	}
 }
 
+// TestNodesSweepDeterministic extends the byte-identity contract to
+// the topology axes: a nodes sweep past 64 cores produces the same
+// bytes serially, on an 8-worker pool, and from a warm cache.
+func TestNodesSweepDeterministic(t *testing.T) {
+	spec := SweepSpec{Base: SG2042(), Axis: SweepNodes, Values: []float64{1, 2, 4}}
+	serial, err := RunSweep(spec, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SG2042/node2", "SG2042/node4"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("nodes sweep missing %q:\n%s", want, serial)
+		}
+	}
+	par, err := RunSweep(spec, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != serial {
+		t.Error("parallel nodes sweep differs from serial")
+	}
+	eng := NewEngine(Options{Parallel: 4})
+	if _, err := eng.SweepFormat(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := eng.CacheStats()
+	warm, err := eng.SweepFormat(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter := eng.CacheStats(); missesAfter != missesBefore {
+		t.Error("warm nodes sweep re-evaluated configurations")
+	}
+	if warm != serial {
+		t.Error("cached nodes sweep differs from serial")
+	}
+}
+
+// TestSocketsSweepPenalisesTheLink: doubling sockets doubles cores and
+// controllers, so the suite speeds up — but by less than the
+// equivalent WithCores doubling would suggest, because cross-socket
+// placements pay the link. The series must at least beat the
+// single-socket base and stay finite.
+func TestSocketsSweepPenalisesTheLink(t *testing.T) {
+	eng := NewEngine(Options{Parallel: 4})
+	fig, err := eng.Sweep(SweepSpec{Base: SG2042(), Axis: SweepSockets, Values: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Label != "SG2042/s2" {
+			t.Errorf("series label = %q", s.Label)
+		}
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	eng := NewEngine(Options{Parallel: 2})
 	cases := []struct {
@@ -170,7 +229,7 @@ func TestSweepValidation(t *testing.T) {
 		wantErr string
 	}{
 		{"nil base", SweepSpec{Axis: SweepCores, Values: []float64{4}}, "no base machine"},
-		{"unknown axis", SweepSpec{Base: SG2042(), Axis: "sockets", Values: []float64{2}}, "unknown sweep axis"},
+		{"unknown axis", SweepSpec{Base: SG2042(), Axis: "dies", Values: []float64{2}}, "unknown sweep axis"},
 		{"no values", SweepSpec{Base: SG2042(), Axis: SweepCores}, "no values"},
 		{"fractional cores", SweepSpec{Base: SG2042(), Axis: SweepCores, Values: []float64{2.5}}, "integer"},
 		{"zero vector bits", SweepSpec{Base: SG2042(), Axis: SweepVector, Values: []float64{0}}, "integer"},
