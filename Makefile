@@ -4,7 +4,7 @@ SERVE_ADDR ?= 127.0.0.1:18042
 # B/op beyond it fail, ns/op only warns (CI timing is noise).
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet test race cross bench bench-json bench-compare verify serve doccheck determinism ci
+.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json verify serve doccheck determinism ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,22 @@ bench-compare:
 	@mkdir -p bin
 	$(GO) run ./cmd/benchjson -o bin/BENCH_new.json
 	$(GO) run ./cmd/benchjson -compare -tolerance $(BENCH_TOLERANCE) BENCH_engine.json bin/BENCH_new.json
+
+# The serving-SLO gate: drive a short sg2042load burst against a
+# self-hosted prewarmed server and compare the report against the
+# committed BENCH_http.json baseline. Latency metrics (ns/op and the
+# percentiles) only warn — CI timing is noise — but any request error
+# (errors/op > 0) or a baseline endpoint x format target missing from
+# the fresh run fails hard.
+bench-http:
+	@mkdir -p bin
+	$(GO) run ./cmd/sg2042load -c 8 -d 2s -prewarm -o bin/BENCH_http_new.json
+	$(GO) run ./cmd/benchjson -compare -tolerance $(BENCH_TOLERANCE) -fail-missing BENCH_http.json bin/BENCH_http_new.json
+
+# Refresh the committed serving-SLO baseline after a deliberate change
+# to the HTTP surface or the target list.
+bench-http-json:
+	$(GO) run ./cmd/sg2042load -c 8 -d 2s -prewarm -o BENCH_http.json
 
 verify: build vet test
 
@@ -91,6 +107,6 @@ serve:
 # Everything the CI workflow runs, reproducible in one local command:
 # tier-1 verify, doc references, the race detector, the riscv64
 # cross-build, the byte-level determinism check, the daemon smoke test
-# and the benchmark regression gate.
-ci: verify doccheck race cross determinism serve bench-compare
+# and both regression gates (engine benchmarks and the serving SLO).
+ci: verify doccheck race cross determinism serve bench-compare bench-http
 	@echo "ci OK"

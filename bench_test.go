@@ -13,6 +13,8 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/autovec"
@@ -408,4 +410,67 @@ func pad2(n int) string {
 		return "0" + itoa(n)
 	}
 	return itoa(n)
+}
+
+// --- binary wire vs JSON encoding ----------------------------------------
+
+// benchAllTables evaluates the full experiment set once (warm study)
+// and returns the wire tables, so the Encode benchmarks below time only
+// the encoding step.
+func benchAllTables(b *testing.B) []WireTable {
+	b.Helper()
+	tables, err := binaryEach(core.NewStudy(), ExperimentNames, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tables
+}
+
+// BenchmarkEncodeBinary measures encoding the full experiment set as
+// binary wire frames. The exact-size precompute means one allocation
+// for the output buffer, however many tables and columns go in — the
+// number BENCH_engine.json's allocs/op gate holds against the JSON twin
+// below (the serving-SLO criterion is >= 2x fewer allocs/op).
+func BenchmarkEncodeBinary(b *testing.B) {
+	tables := benchAllTables(b)
+	enc, err := EncodeWire(tables...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(enc)), "body_bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeWire(tables...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeJSON encodes the same tables the way the server's JSON
+// path does (indented encoding/json), the baseline BenchmarkEncodeBinary
+// divides against.
+func BenchmarkEncodeJSON(b *testing.B) {
+	tables := benchAllTables(b)
+	encode := func() ([]byte, error) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	enc, err := encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(enc)), "body_bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -51,20 +51,22 @@ type benchReport struct {
 
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file")
-	bench := flag.String("bench", "AllExperiments|RunSuite|SuiteTimes|HTTPGet|Campaign",
+	bench := flag.String("bench", "AllExperiments|RunSuite|SuiteTimes|HTTPGet|Campaign|Encode",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "10x", "go test -benchtime value")
 	compare := flag.Bool("compare", false,
-		"compare two reports (old.json new.json) instead of running: exit 1 on allocs/op or B/op regressions beyond -tolerance; ns/op warns only")
+		"compare two reports (old.json new.json) instead of running: exit 1 on allocs/op, B/op or errors/op regressions beyond -tolerance; ns/op warns only")
 	tolerance := flag.Float64("tolerance", 0.10,
 		"relative regression tolerance for -compare (0.10 = 10%)")
+	failMissing := flag.Bool("fail-missing", false,
+		"with -compare, fail when a baseline benchmark is missing from the new report (an endpoint the load run never exercised)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two reports: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance, os.Stdout))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *failMissing, os.Stdout))
 	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -133,14 +135,20 @@ var gateMetrics = []struct {
 }{
 	{"allocs/op", 2},
 	{"B/op", 512},
+	// errors/op gates the HTTP load reports (cmd/sg2042load): the
+	// baseline is zero and zero slack means any error at all — a 5xx, a
+	// short body, a broken binary frame — fails the gate outright.
+	{"errors/op", 0},
 }
 
 // compareReports diffs new against old: regressions are gate-metric
 // increases beyond tolerance, warnings are ns/op increases beyond
 // tolerance (CI timing is noise, so they never fail), notes record
-// benchmarks present on only one side, and improvements record
-// gate-metric drops beyond tolerance.
-func compareReports(old, cur benchReport, tol float64) (regressions, warnings, improvements, notes []string) {
+// benchmarks present on only one side (with failMissing, a baseline
+// benchmark absent from the new report is a regression instead — CI
+// uses it so a load run that silently skipped an endpoint cannot
+// pass), and improvements record gate-metric drops beyond tolerance.
+func compareReports(old, cur benchReport, tol float64, failMissing bool) (regressions, warnings, improvements, notes []string) {
 	oldBy := make(map[string]benchResult, len(old.Benchmarks))
 	for _, r := range old.Benchmarks {
 		oldBy[r.Package+"/"+r.Name] = r
@@ -170,7 +178,12 @@ func compareReports(old, cur benchReport, tol float64) (regressions, warnings, i
 	}
 	for _, r := range old.Benchmarks {
 		if key := r.Package + "/" + r.Name; !seen[key] {
-			notes = append(notes, fmt.Sprintf("benchmark %s removed (was in baseline)", key))
+			msg := fmt.Sprintf("benchmark %s removed (was in baseline)", key)
+			if failMissing {
+				regressions = append(regressions, msg)
+			} else {
+				notes = append(notes, msg)
+			}
 		}
 	}
 	return regressions, warnings, improvements, notes
@@ -178,7 +191,7 @@ func compareReports(old, cur benchReport, tol float64) (regressions, warnings, i
 
 // runCompare loads both reports, prints the diff, and returns the
 // process exit code: 1 when any gate metric regressed, 0 otherwise.
-func runCompare(oldPath, newPath string, tol float64, w io.Writer) int {
+func runCompare(oldPath, newPath string, tol float64, failMissing bool, w io.Writer) int {
 	old, err := readReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -189,7 +202,7 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 1
 	}
-	regressions, warnings, improvements, notes := compareReports(old, newer, tol)
+	regressions, warnings, improvements, notes := compareReports(old, newer, tol, failMissing)
 	for _, s := range notes {
 		fmt.Fprintln(w, "note:", s)
 	}

@@ -58,25 +58,25 @@ func TestCompareReportsGates(t *testing.T) {
 	base := report(bench("repro", "Serve", 1000, 4096, 100))
 
 	// Within tolerance: no regression, no warning.
-	r, w, imp, _ := compareReports(base, report(bench("repro", "Serve", 1050, 4200, 102)), 0.10)
+	r, w, imp, _ := compareReports(base, report(bench("repro", "Serve", 1050, 4200, 102)), 0.10, false)
 	if len(r) != 0 || len(w) != 0 || len(imp) != 0 {
 		t.Errorf("within-tolerance diff flagged: r=%v w=%v imp=%v", r, w, imp)
 	}
 
 	// allocs/op beyond tolerance fails.
-	r, _, _, _ = compareReports(base, report(bench("repro", "Serve", 1000, 4096, 150)), 0.10)
+	r, _, _, _ = compareReports(base, report(bench("repro", "Serve", 1000, 4096, 150)), 0.10, false)
 	if len(r) != 1 || !strings.Contains(r[0], "allocs/op") {
 		t.Errorf("allocs regression not flagged: %v", r)
 	}
 
 	// B/op beyond tolerance fails.
-	r, _, _, _ = compareReports(base, report(bench("repro", "Serve", 1000, 8192, 100)), 0.10)
+	r, _, _, _ = compareReports(base, report(bench("repro", "Serve", 1000, 8192, 100)), 0.10, false)
 	if len(r) != 1 || !strings.Contains(r[0], "B/op") {
 		t.Errorf("bytes regression not flagged: %v", r)
 	}
 
 	// ns/op beyond tolerance warns but never fails — CI timing is noise.
-	r, w, _, _ = compareReports(base, report(bench("repro", "Serve", 9000, 4096, 100)), 0.10)
+	r, w, _, _ = compareReports(base, report(bench("repro", "Serve", 9000, 4096, 100)), 0.10, false)
 	if len(r) != 0 {
 		t.Errorf("ns/op regression gated: %v", r)
 	}
@@ -85,7 +85,7 @@ func TestCompareReportsGates(t *testing.T) {
 	}
 
 	// Improvements beyond tolerance are reported.
-	_, _, imp, _ = compareReports(base, report(bench("repro", "Serve", 1000, 1024, 10)), 0.10)
+	_, _, imp, _ = compareReports(base, report(bench("repro", "Serve", 1000, 1024, 10)), 0.10, false)
 	if len(imp) != 2 {
 		t.Errorf("improvements not reported: %v", imp)
 	}
@@ -96,17 +96,17 @@ func TestCompareReportsGates(t *testing.T) {
 func TestCompareReportsAbsoluteSlack(t *testing.T) {
 	base := report(bench("repro", "Hit", 100, 48, 1))
 	// +1 alloc is +100% but within the 2-alloc slack.
-	r, _, _, _ := compareReports(base, report(bench("repro", "Hit", 100, 48, 2)), 0.10)
+	r, _, _, _ := compareReports(base, report(bench("repro", "Hit", 100, 48, 2)), 0.10, false)
 	if len(r) != 0 {
 		t.Errorf("slack-sized alloc bump gated: %v", r)
 	}
 	// +400 B is within the 512 B slack even at +800%.
-	r, _, _, _ = compareReports(base, report(bench("repro", "Hit", 100, 448, 1)), 0.10)
+	r, _, _, _ = compareReports(base, report(bench("repro", "Hit", 100, 448, 1)), 0.10, false)
 	if len(r) != 0 {
 		t.Errorf("slack-sized byte bump gated: %v", r)
 	}
 	// Beyond both bars fails.
-	r, _, _, _ = compareReports(base, report(bench("repro", "Hit", 100, 48, 10)), 0.10)
+	r, _, _, _ = compareReports(base, report(bench("repro", "Hit", 100, 48, 10)), 0.10, false)
 	if len(r) != 1 {
 		t.Errorf("real alloc regression not gated: %v", r)
 	}
@@ -115,13 +115,43 @@ func TestCompareReportsAbsoluteSlack(t *testing.T) {
 func TestCompareReportsNotes(t *testing.T) {
 	old := report(bench("repro", "Gone", 1, 1, 1))
 	cur := report(bench("repro", "Fresh", 1, 1, 1))
-	r, _, _, notes := compareReports(old, cur, 0.10)
+	r, _, _, notes := compareReports(old, cur, 0.10, false)
 	if len(r) != 0 {
 		t.Errorf("presence changes gated: %v", r)
 	}
 	joined := strings.Join(notes, "\n")
 	if !strings.Contains(joined, "Fresh") || !strings.Contains(joined, "Gone") {
 		t.Errorf("notes missing added/removed benchmarks: %v", notes)
+	}
+}
+
+// TestCompareReportsErrorGate: errors/op has zero slack — the HTTP load
+// baseline is error-free and any error at all must fail the gate.
+func TestCompareReportsErrorGate(t *testing.T) {
+	withErrors := func(n float64) benchReport {
+		b := bench("repro/cmd/sg2042load", "HTTPLoadExperimentBinary", 1000, 0, 0)
+		b.Metrics["errors/op"] = n
+		return report(b)
+	}
+	r, _, _, _ := compareReports(withErrors(0), withErrors(0), 0.10, false)
+	if len(r) != 0 {
+		t.Errorf("error-free compare gated: %v", r)
+	}
+	r, _, _, _ = compareReports(withErrors(0), withErrors(0.001), 0.10, false)
+	if len(r) != 1 || !strings.Contains(r[0], "errors/op") {
+		t.Errorf("nonzero error rate not gated: %v", r)
+	}
+}
+
+// TestCompareReportsFailMissing: with failMissing a baseline benchmark
+// absent from the new report is a regression — a load run that skipped
+// an endpoint cannot pass CI.
+func TestCompareReportsFailMissing(t *testing.T) {
+	old := report(bench("repro", "Gone", 1, 1, 1), bench("repro", "Kept", 1, 1, 1))
+	cur := report(bench("repro", "Kept", 1, 1, 1))
+	r, _, _, notes := compareReports(old, cur, 0.10, true)
+	if len(r) != 1 || !strings.Contains(r[0], "Gone") {
+		t.Errorf("missing benchmark not gated: r=%v notes=%v", r, notes)
 	}
 }
 
@@ -145,17 +175,17 @@ func TestRunCompareExitCodes(t *testing.T) {
 	badPath := write("bad.json", report(bench("repro", "Serve", 1000, 4096, 500)))
 
 	var out strings.Builder
-	if code := runCompare(oldPath, okPath, 0.10, &out); code != 0 {
+	if code := runCompare(oldPath, okPath, 0.10, false, &out); code != 0 {
 		t.Errorf("clean compare exited %d:\n%s", code, out.String())
 	}
 	out.Reset()
-	if code := runCompare(oldPath, badPath, 0.10, &out); code != 1 {
+	if code := runCompare(oldPath, badPath, 0.10, false, &out); code != 1 {
 		t.Errorf("regressed compare exited %d, want 1:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
 		t.Errorf("regression output missing REGRESSION line:\n%s", out.String())
 	}
-	if code := runCompare(filepath.Join(dir, "missing.json"), okPath, 0.10, &out); code != 1 {
+	if code := runCompare(filepath.Join(dir, "missing.json"), okPath, 0.10, false, &out); code != 1 {
 		t.Errorf("missing baseline exited %d, want 1", code)
 	}
 }

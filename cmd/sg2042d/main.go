@@ -8,6 +8,7 @@
 //	sg2042d                         # serve on :8042, GOMAXPROCS workers
 //	sg2042d -addr 127.0.0.1:9000    # bind elsewhere
 //	sg2042d -parallel 8             # engine worker bound (same bytes)
+//	sg2042d -prewarm                # render the full corpus before ready
 //
 // Endpoints:
 //
@@ -21,7 +22,14 @@
 //	GET  /v1/roofline/{machine}     ?prec=f32|f64
 //	GET  /v1/cluster/{machine}      ?net=ib|eth&grid=512&nodes=1,2,4
 //	GET  /metrics                   Prometheus text metrics
-//	GET  /healthz                   liveness probe
+//	GET  /healthz                   readiness probe (503 while prewarming)
+//	GET  /livez                     liveness probe
+//
+// With -prewarm the daemon renders the full preset corpus (every
+// experiment x format, the preset rooflines and cluster reports) into
+// the response cache at boot; /healthz answers 503 until the pass
+// completes, so a load balancer only routes to a warm instance. The
+// listener is up throughout, and /livez answers 200.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to five seconds.
@@ -58,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8042", "address to listen on")
 	parallel := fs.Int("parallel", 0, "worker pool size for the study engine (0 = GOMAXPROCS, 1 = serial); responses are identical for every setting")
+	prewarm := fs.Bool("prewarm", false, "render the preset corpus at boot; /healthz stays 503 until it completes")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -75,8 +84,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		fmt.Fprintln(stderr, "sg2042d:", err)
 		return 1
 	}
+	s := serve.New(serve.Options{Parallel: *parallel, Prewarm: *prewarm})
 	srv := &http.Server{
-		Handler: serve.New(serve.Options{Parallel: *parallel}).Handler(),
+		Handler: s.Handler(),
 		// A network-facing daemon must not let slow or stalled clients
 		// hold connections open indefinitely (and with them, graceful
 		// shutdown). Handlers themselves answer in milliseconds.
@@ -93,6 +103,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	if *prewarm {
+		// Warm while the listener is already up: /livez answers, /healthz
+		// returns 503 until the corpus is in the cache. A failed or
+		// cancelled pass is fatal — an instance that can't render its
+		// corpus shouldn't take traffic.
+		start := time.Now()
+		n, err := s.Prewarm(ctx)
+		if err != nil {
+			if ctx.Err() != nil { // interrupted mid-warm: a normal shutdown
+				fmt.Fprintln(stdout, "sg2042d: shutting down")
+				srv.Close()
+				return 0
+			}
+			fmt.Fprintln(stderr, "sg2042d: prewarm:", err)
+			srv.Close()
+			return 1
+		}
+		fmt.Fprintf(stdout, "sg2042d: prewarmed %d renderings in %s\n", n, time.Since(start).Round(time.Millisecond))
+	}
 
 	select {
 	case err := <-errc:

@@ -69,6 +69,48 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestPrewarmReadiness: with -prewarm the daemon eventually reports
+// ready on /healthz, /livez answers throughout, and a corpus request
+// after readiness is served (from the warmed cache).
+func TestPrewarmReadiness(t *testing.T) {
+	url, cancel, done := startDaemon(t, "-parallel", "4", "-prewarm")
+	defer cancel()
+
+	status := func(path string) int {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if got := status("/livez"); got != http.StatusOK {
+		t.Fatalf("livez during warm: status %d", got)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for status("/healthz") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := status("/v1/experiments/figure1?format=binary"); got != http.StatusOK {
+		t.Fatalf("warmed corpus request: status %d", got)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("shutdown exit code %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-h"}, &out, &errOut, nil); code != 0 {

@@ -1,0 +1,309 @@
+// Command sg2042load is the serving tier's load generator: it drives a
+// mix of endpoint × format requests against an sg2042d daemon at a
+// configurable concurrency for a configurable duration, validates every
+// response (status, and for binary bodies a full wire decode), and
+// writes per-target latency percentiles and throughput as a
+// BENCH_http.json report in cmd/benchjson's schema, so the same
+// -compare gate that watches the engine benchmarks watches the HTTP
+// serving SLO:
+//
+//	go run ./cmd/sg2042load -addr http://127.0.0.1:8080 -c 8 -d 2s -o BENCH_http.json
+//	go run ./cmd/benchjson -compare -fail-missing BENCH_http.json BENCH_http_new.json
+//
+// With no -addr, sg2042load self-hosts: it builds the serve.Server
+// in-process, binds it to an ephemeral localhost port, optionally
+// prewarms it (-prewarm), and load-tests over real TCP — the one-shot
+// CI form that needs no daemon management.
+//
+// The report's gate metric is errors/op with a zero baseline: any
+// non-200, short read or undecodable binary frame in CI fails the gate
+// outright, while ns/op percentiles are recorded warn-only (runner
+// timing is noise). Percentile metrics are p50-ns, p95-ns and p99-ns;
+// throughput is rps.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// target is one endpoint × format combination of the load mix. Name is
+// the benchmark name the report carries — stable, because the CI gate
+// matches baseline benchmarks by name.
+type target struct {
+	name   string
+	method string
+	path   string // path + query, joined to the base URL
+	body   string // POST body, if any
+	binary bool   // validate the response as wire frames
+}
+
+// defaultTargets is the served corpus cross-section the gate watches:
+// every format family (text, CSV, JSON, binary, NDJSON-adjacent JSON
+// envelope) over the experiment, machine, report, sweep and campaign
+// endpoints. POSTs carry small fixed specs so their grids stay cheap;
+// repeat requests hit the render cache exactly as production traffic
+// would.
+func defaultTargets() []target {
+	sweepBody := `{"machine": "SG2042", "axis": "cores", "values": [32, 64], "threads": 8}`
+	campaignBody := `{"machines": ["SG2042"], "axes": [{"axis": "clock", "values": [1.5, 2.0]}], "threads": [8]}`
+	return []target{
+		{name: "experiment-figure1-text", method: "GET", path: "/v1/experiments/figure1?format=text"},
+		{name: "experiment-figure1-json", method: "GET", path: "/v1/experiments/figure1?format=json"},
+		{name: "experiment-figure1-binary", method: "GET", path: "/v1/experiments/figure1?format=binary", binary: true},
+		{name: "experiment-table2-csv", method: "GET", path: "/v1/experiments/table2?format=csv"},
+		{name: "experiment-all-binary", method: "GET", path: "/v1/experiments/all?format=binary", binary: true},
+		{name: "machines-json", method: "GET", path: "/v1/machines"},
+		{name: "roofline-SG2042-text", method: "GET", path: "/v1/roofline/SG2042"},
+		{name: "roofline-SG2042-binary", method: "GET", path: "/v1/roofline/SG2042?format=binary", binary: true},
+		{name: "cluster-SG2042-text", method: "GET", path: "/v1/cluster/SG2042"},
+		{name: "sweep-cores-json", method: "POST", path: "/v1/sweep?format=json", body: sweepBody},
+		{name: "sweep-cores-binary", method: "POST", path: "/v1/sweep?format=binary", body: sweepBody, binary: true},
+		{name: "campaign-clock-json", method: "POST", path: "/v1/campaign?format=json", body: campaignBody},
+	}
+}
+
+// loadResult is one target's measured load run.
+type loadResult struct {
+	requests  int64
+	errors    int64
+	latencies []time.Duration // successful requests only
+	elapsed   time.Duration
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sg2042load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "base URL of a running daemon (e.g. http://127.0.0.1:8080); empty self-hosts an in-process server on an ephemeral port")
+	conc := fs.Int("c", 8, "concurrent workers per target")
+	dur := fs.Duration("d", 2*time.Second, "load duration per target")
+	out := fs.String("o", "BENCH_http.json", "output report file")
+	parallel := fs.Int("parallel", 0, "self-hosted engine parallelism (0 = GOMAXPROCS)")
+	prewarm := fs.Bool("prewarm", false, "prewarm the self-hosted server's full corpus before applying load")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *conc < 1 || *dur <= 0 {
+		fmt.Fprintln(stderr, "sg2042load: -c must be >= 1 and -d positive")
+		return 2
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "sg2042load: listen: %v\n", err)
+			return 1
+		}
+		srv := serve.New(serve.Options{Parallel: *parallel, Prewarm: *prewarm})
+		if *prewarm {
+			start := time.Now()
+			n, err := srv.Prewarm(context.Background())
+			if err != nil {
+				fmt.Fprintf(stderr, "sg2042load: prewarm: %v\n", err)
+				ln.Close()
+				return 1
+			}
+			fmt.Fprintf(stdout, "sg2042load: prewarmed %d renderings in %s\n", n, time.Since(start).Round(time.Millisecond))
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stdout, "sg2042load: self-hosting on %s\n", base)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	targets := defaultTargets()
+	report := benchReport{Bench: "http-load", Benchtime: dur.String()}
+	failed := false
+	for _, tg := range targets {
+		res := loadTarget(client, base, tg, *conc, *dur)
+		bm := summarize(tg, res)
+		report.Benchmarks = append(report.Benchmarks, bm)
+		line := fmt.Sprintf("sg2042load: %-28s %7d reqs %6.0f rps p50 %8.0fns p99 %8.0fns errors %d",
+			tg.name, res.requests, bm.Metrics["rps"], bm.Metrics["p50-ns"], bm.Metrics["p99-ns"], res.errors)
+		fmt.Fprintln(stdout, line)
+		if res.errors > 0 {
+			failed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "sg2042load: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "sg2042load: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "sg2042load: wrote %d targets to %s\n", len(report.Benchmarks), *out)
+	if failed {
+		fmt.Fprintln(stderr, "sg2042load: errors observed during load (see errors/op in the report)")
+		return 1
+	}
+	return 0
+}
+
+// loadTarget hammers one target with conc workers for at least dur,
+// counting errors and collecting per-request latency.
+func loadTarget(client *http.Client, base string, tg target, conc int, dur time.Duration) loadResult {
+	var mu sync.Mutex
+	agg := loadResult{}
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			var reqs, errs int64
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := doRequest(client, base, tg)
+				lat := time.Since(t0)
+				reqs++
+				if err != nil {
+					errs++
+				} else {
+					lats = append(lats, lat)
+				}
+			}
+			mu.Lock()
+			agg.requests += reqs
+			agg.errors += errs
+			agg.latencies = append(agg.latencies, lats...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	agg.elapsed = time.Since(start)
+	return agg
+}
+
+// doRequest performs one request and validates the response: 200 status,
+// a readable body, and for binary targets a full wire decode.
+func doRequest(client *http.Client, base string, tg target) error {
+	var body io.Reader
+	if tg.body != "" {
+		body = strings.NewReader(tg.body)
+	}
+	req, err := http.NewRequest(tg.method, base+tg.path, body)
+	if err != nil {
+		return err
+	}
+	if tg.body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", tg.path, resp.StatusCode, truncate(data))
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%s: empty body", tg.path)
+	}
+	if tg.binary {
+		if ct := resp.Header.Get("Content-Type"); ct != repro.WireContentType {
+			return fmt.Errorf("%s: content type %q, want %q", tg.path, ct, repro.WireContentType)
+		}
+		if _, err := repro.DecodeWire(data); err != nil {
+			return fmt.Errorf("%s: %w", tg.path, err)
+		}
+	}
+	return nil
+}
+
+func truncate(b []byte) string {
+	const max = 120
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// summarize folds one load run into a benchmark row of cmd/benchjson's
+// report schema: mean ns/op plus p50/p95/p99 latency, throughput and
+// the gated errors/op.
+func summarize(tg target, res loadResult) benchResult {
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	metrics := map[string]float64{
+		"ns/op":     0,
+		"p50-ns":    percentile(res.latencies, 0.50),
+		"p95-ns":    percentile(res.latencies, 0.95),
+		"p99-ns":    percentile(res.latencies, 0.99),
+		"errors/op": 0,
+	}
+	if len(res.latencies) > 0 {
+		var sum time.Duration
+		for _, l := range res.latencies {
+			sum += l
+		}
+		metrics["ns/op"] = float64(sum.Nanoseconds()) / float64(len(res.latencies))
+	}
+	if res.requests > 0 {
+		metrics["errors/op"] = float64(res.errors) / float64(res.requests)
+	}
+	if res.elapsed > 0 {
+		metrics["rps"] = float64(res.requests) / res.elapsed.Seconds()
+	}
+	return benchResult{
+		Package:    "repro/cmd/sg2042load",
+		Name:       tg.name,
+		Iterations: res.requests,
+		Metrics:    metrics,
+	}
+}
+
+// percentile returns the q-quantile of sorted latencies in nanoseconds
+// (nearest-rank on the sorted slice).
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds())
+}
+
+// benchResult and benchReport mirror cmd/benchjson's report schema, so
+// the HTTP load report feeds the same -compare gate. Kept in sync by
+// TestReportSchemaMatchesBenchjson.
+type benchResult struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchReport struct {
+	Bench      string        `json:"bench"`
+	Benchtime  string        `json:"benchtime"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The self-hosted end-to-end path: spin up the in-process server, apply
+// a short burst to every default target, and check the report has every
+// target with zero errors — the exact invariant the CI gate enforces.
+func TestRunSelfHosted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load burst in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_http.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-c", "2", "-d", "80ms", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	byName := make(map[string]benchResult)
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, tg := range defaultTargets() {
+		b, ok := byName[tg.name]
+		if !ok {
+			t.Errorf("report missing target %s", tg.name)
+			continue
+		}
+		if b.Iterations == 0 {
+			t.Errorf("%s: zero requests in the load window", tg.name)
+		}
+		if b.Metrics["errors/op"] != 0 {
+			t.Errorf("%s: errors/op = %g, want 0", tg.name, b.Metrics["errors/op"])
+		}
+		for _, m := range []string{"ns/op", "p50-ns", "p95-ns", "p99-ns", "rps"} {
+			if b.Metrics[m] <= 0 {
+				t.Errorf("%s: metric %s = %g, want > 0", tg.name, m, b.Metrics[m])
+			}
+		}
+	}
+}
+
+// The prewarmed self-host path exercises Server.Prewarm end to end: the
+// corpus is rendered before load, so the burst runs entirely against
+// the render cache and still validates every body.
+func TestRunSelfHostedPrewarmed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prewarm pass in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_http.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-c", "2", "-d", "40ms", "-prewarm", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "prewarmed") {
+		t.Errorf("stdout missing prewarm line:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-c", "0"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-c 0 exited %d, want 2", code)
+	}
+	if code := run([]string{"-d", "0s"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-d 0s exited %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lats, 0.50); p != 5 {
+		t.Errorf("p50 = %g, want 5", p)
+	}
+	if p := percentile(lats, 0.99); p != 9 {
+		t.Errorf("p99 = %g, want 9 (nearest rank)", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %g, want 0", p)
+	}
+}
+
+// The report schema must stay field-compatible with cmd/benchjson's
+// benchReport, or the -compare gate silently sees no benchmarks.
+func TestReportSchemaMatchesBenchjson(t *testing.T) {
+	rep := benchReport{Bench: "http-load", Benchtime: "2s", Benchmarks: []benchResult{{
+		Package: "repro/cmd/sg2042load", Name: "t", Iterations: 3,
+		Metrics: map[string]float64{"errors/op": 0},
+	}}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"bench"`, `"benchtime"`, `"benchmarks"`, `"package"`, `"name"`, `"iterations"`, `"metrics"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("serialized report missing %s:\n%s", key, data)
+		}
+	}
+}

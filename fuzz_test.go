@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"testing"
+)
+
+// FuzzCampaignSpecFromJSON: the HTTP campaign endpoint feeds
+// client-controlled bytes straight into this parser, so it must never
+// panic, and any spec it accepts must be immediately usable — validated,
+// with a nonempty grid and a stable title. Seeds cover the documented
+// schema, its defaults, and the rejection branches.
+func FuzzCampaignSpecFromJSON(f *testing.F) {
+	f.Add([]byte(`{"machines": ["SG2042"], "axes": [{"axis": "cores", "values": [32, 64]}], "threads": [8]}`))
+	f.Add([]byte(`{"machines": ["SG2042", "SG2044"], "placements": ["block", "cyclic"], "precisions": ["f32", "f64"]}`))
+	f.Add([]byte(`{"machines": ["SG2042"], "axes": [{"axis": "clock", "values": [1.5]}, {"axis": "vector", "values": [256]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"machines": ["nope"]}`))
+	f.Add([]byte(`{"machines": ["SG2042"], "axes": [{"axis": "warp", "values": [1]}]}`))
+	f.Add([]byte(`{"machines": ["SG2042"], "threads": [-3]}`))
+	f.Add([]byte(`{"machines": ["SG2042"], "unknown": true}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"specs": [{"label": "x"}]}`))
+	reg := DefaultMachineRegistry()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := CampaignSpecFromJSON(data, reg)
+		if err != nil {
+			return
+		}
+		// An accepted spec has passed Validate, so the grid is usable.
+		if n := spec.Points(); n < 1 {
+			t.Fatalf("accepted spec has %d grid points", n)
+		}
+		if spec.Title() == "" {
+			t.Fatal("accepted spec has an empty title")
+		}
+		// Parsing is deterministic: the same bytes give the same grid.
+		again, err := CampaignSpecFromJSON(data, reg)
+		if err != nil {
+			t.Fatalf("accepted spec rejected on re-parse: %v", err)
+		}
+		if again.Points() != spec.Points() || again.Title() != spec.Title() {
+			t.Fatalf("re-parse differs: %d/%q vs %d/%q",
+				spec.Points(), spec.Title(), again.Points(), again.Title())
+		}
+	})
+}

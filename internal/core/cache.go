@@ -10,6 +10,7 @@ package core
 // evaluation, so memoization is purely an execution strategy.
 
 import (
+	"math"
 	"sync"
 
 	"repro/internal/autovec"
@@ -87,12 +88,25 @@ func (st *Study) suiteKeyFor(cfg perfmodel.Config) suiteKey {
 	}
 }
 
-// suiteCache memoizes RunSuite results for one Study. Entries are
-// created under the mutex but computed outside it through a sync.Once
-// (singleflight), so concurrent experiment constructors that need the
-// same configuration share a single evaluation instead of racing to
-// duplicate it.
+// suiteShards is the shard count of the suite cache — a power of two so
+// shard selection is a mask. 16 shards keep the per-shard critical
+// section (one map lookup) contention-free at any realistic request
+// concurrency while costing a few hundred bytes of fixed overhead.
+const suiteShards = 16
+
+// suiteCache memoizes RunSuite results for one Study, sharded across
+// suiteShards mutexes keyed by a hash of the canonical suite key (the
+// machine fingerprint is the entropy source: it already folds every
+// hardware parameter). Entries are created under their shard's mutex
+// but computed outside it through a sync.Once (singleflight), so
+// concurrent experiment constructors that need the same configuration
+// share a single evaluation instead of racing to duplicate it — while
+// lookups for different configurations no longer serialize on one lock.
 type suiteCache struct {
+	shards [suiteShards]suiteShard
+}
+
+type suiteShard struct {
 	mu      sync.Mutex
 	entries map[suiteKey]*suiteEntry
 	hits    uint64
@@ -105,30 +119,70 @@ type suiteEntry struct {
 	err  error
 }
 
-func (c *suiteCache) entry(k suiteKey) *suiteEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.entries == nil {
-		c.entries = make(map[suiteKey]*suiteEntry)
+// shardFor mixes the key's discriminating fields with FNV-1a. The model
+// pointer is deliberately left out (one Study, one Model — no entropy),
+// as is the label (the fingerprint already covers the machine).
+func (c *suiteCache) shardFor(k suiteKey) *suiteShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
 	}
-	e, ok := c.entries[k]
+	mix(k.machineFP)
+	mix(uint64(k.threads))
+	mix(uint64(k.placement))
+	mix(uint64(k.prec))
+	mix(uint64(k.compiler))
+	mix(uint64(k.mode))
+	if k.scalarOnly {
+		mix(1)
+	}
+	mix(uint64(k.problemN))
+	mix(uint64(k.runs))
+	mix(math.Float64bits(k.noise))
+	mix(uint64(k.seed))
+	return &c.shards[h&(suiteShards-1)]
+}
+
+func (c *suiteCache) entry(k suiteKey) *suiteEntry {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[suiteKey]*suiteEntry)
+	}
+	e, ok := s.entries[k]
 	if !ok {
 		e = &suiteEntry{}
-		c.entries[k] = e
-		c.misses++
+		s.entries[k] = e
+		s.misses++
 	} else {
-		c.hits++
+		s.hits++
 	}
 	return e
 }
 
+// stats sums the per-shard counters.
+func (c *suiteCache) stats() (hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
 // CacheStats reports memoized RunSuite lookups so far: hits served from
-// the cache and misses that evaluated the suite.
+// the cache and misses that evaluated the suite, summed across shards.
 func (st *Study) CacheStats() (hits, misses uint64) {
 	if st.cache == nil {
 		return 0, 0
 	}
-	st.cache.mu.Lock()
-	defer st.cache.mu.Unlock()
-	return st.cache.hits, st.cache.misses
+	return st.cache.stats()
 }

@@ -242,3 +242,79 @@ type constErr string
 func (e constErr) Error() string { return string(e) }
 
 const errFigureMismatch = constErr("concurrent Figure1 differs from serial reference")
+
+// TestSuiteCacheShardedStress hammers the sharded cache with a key
+// space spanning every shard from many goroutines at once — the
+// make-race workload for the shard locking: concurrent misses on
+// different shards, repeat hits, and singleflight coalescing within a
+// shard must all agree with a serial evaluation.
+func TestSuiteCacheShardedStress(t *testing.T) {
+	shared := NewStudy()
+	serial := NewStudy()
+
+	// 18 distinct configs (machine x threads x placement) spread over the
+	// shards; thread counts stay within the smallest machine's 4 cores.
+	// Each goroutine walks all of them from a different offset.
+	var cfgs []perfmodel.Config
+	for _, m := range []*machine.Machine{machine.SG2042(), machine.VisionFiveV2(), machine.EPYC7742()} {
+		for _, threads := range []int{1, 2, 4} {
+			for _, pol := range []placement.Policy{placement.Block, placement.CyclicNUMA} {
+				cfg := mustMachineCfg(m, threads, prec.F32)
+				cfg.Placement = pol
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	want := make([][]Measurement, len(cfgs))
+	for i, cfg := range cfgs {
+		ms, err := serial.RunSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ms
+	}
+	shardsHit := make(map[*suiteShard]bool)
+	for _, cfg := range cfgs {
+		shardsHit[shared.cache.shardFor(shared.suiteKeyFor(cfg))] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("stress key space lands on %d shard(s); hash is not spreading", len(shardsHit))
+	}
+
+	const workers = 16
+	const rounds = 3
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range cfgs {
+					j := (i + offset) % len(cfgs)
+					ms, err := shared.RunSuite(cfgs[j])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(ms, want[j]) {
+						errs <- constErr("concurrent RunSuite differs from serial reference")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses := shared.CacheStats()
+	if total := hits + misses; total != uint64(workers*rounds*len(cfgs)) {
+		t.Errorf("stats dropped lookups: hits+misses = %d, want %d", total, workers*rounds*len(cfgs))
+	}
+	if misses != uint64(len(cfgs)) {
+		t.Errorf("misses = %d, want %d (each config evaluates exactly once)", misses, len(cfgs))
+	}
+}

@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"testing"
+)
+
+// FuzzFromJSON: decoding an arbitrary spec never panics, and any spec
+// FromJSON accepts survives a ToJSON/FromJSON round trip with its
+// fingerprint — the cache identity every layer above keys on — intact.
+// Seeds are the presets' own specs plus structurally interesting
+// rejects.
+func FuzzFromJSON(f *testing.F) {
+	for _, m := range All() {
+		data, err := ToJSON(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"cores": 0}`))
+	f.Add([]byte(`{"label": "x", "unknown_knob": 1}`))
+	f.Add([]byte(`{"label": "x", "cores": -1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := FromJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := ToJSON(m)
+		if err != nil {
+			t.Fatalf("accepted machine fails to re-encode: %v", err)
+		}
+		m2, err := FromJSON(out)
+		if err != nil {
+			t.Fatalf("ToJSON output rejected by FromJSON: %v\nspec: %s", err, out)
+		}
+		if m.Fingerprint() != m2.Fingerprint() {
+			t.Fatalf("fingerprint changed across round trip: %016x -> %016x\nspec: %s",
+				m.Fingerprint(), m2.Fingerprint(), out)
+		}
+	})
+}

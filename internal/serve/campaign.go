@@ -146,6 +146,10 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ent, err := s.rc.get(campaignRenderKey(spec, format), func() ([]byte, string, error) {
+		if format == formatBinary {
+			body, err := s.eng.CampaignBinary(spec)
+			return body, wireContentType, err
+		}
 		out, err := s.eng.CampaignFormat(spec, format == formatCSV)
 		if err != nil {
 			return nil, "", err

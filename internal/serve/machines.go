@@ -179,6 +179,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// tweaked field must miss) and the exact bit patterns of the axis
 	// values.
 	ent, err := s.rc.get(sweepRenderKey(spec, format), func() ([]byte, string, error) {
+		if format == formatBinary {
+			body, err := s.eng.SweepBinary(spec)
+			return body, wireContentType, err
+		}
 		out, err := s.eng.SweepFormat(spec, format == formatCSV)
 		if err != nil {
 			return nil, "", err

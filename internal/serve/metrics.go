@@ -22,6 +22,12 @@ type metrics struct {
 	// campaignStreams counts the responses delivered as NDJSON.
 	campaignPoints  uint64
 	campaignStreams uint64
+	// prewarmEntries/prewarmErrors/prewarmSeconds record the boot-time
+	// corpus precompute (Server.Prewarm): renderings filled, fills that
+	// errored, and the wall-clock the pass took.
+	prewarmEntries uint64
+	prewarmErrors  uint64
+	prewarmSeconds float64
 }
 
 type endpointStats struct {
@@ -43,6 +49,15 @@ func (m *metrics) instrument(endpoint string, h http.Handler) http.Handler {
 		h.ServeHTTP(sw, r)
 		m.observe(endpoint, time.Since(start), sw.status)
 	})
+}
+
+// setPrewarm records a completed prewarm pass.
+func (m *metrics) setPrewarm(entries, errors int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.prewarmEntries = uint64(entries)
+	m.prewarmErrors = uint64(errors)
+	m.prewarmSeconds = d.Seconds()
 }
 
 // addCampaign records one served campaign response.
@@ -71,9 +86,9 @@ func (m *metrics) observe(endpoint string, d time.Duration, status int) {
 }
 
 // render emits the registry in the Prometheus text format, folding in
-// the engine cache and render cache counters passed by the caller.
-// Endpoints are sorted so the output is stable.
-func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64) string {
+// the engine cache and render cache counters and the readiness gauge
+// passed by the caller. Endpoints are sorted so the output is stable.
+func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64, ready bool) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -134,6 +149,23 @@ func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64
 	b.WriteString("# HELP sg2042d_campaign_streams_total Campaign responses delivered as NDJSON streams.\n")
 	b.WriteString("# TYPE sg2042d_campaign_streams_total counter\n")
 	fmt.Fprintf(&b, "sg2042d_campaign_streams_total %d\n", m.campaignStreams)
+
+	b.WriteString("# HELP sg2042d_prewarm_ready Whether the server is ready for traffic (prewarm complete, or prewarm not requested).\n")
+	b.WriteString("# TYPE sg2042d_prewarm_ready gauge\n")
+	readyVal := 0
+	if ready {
+		readyVal = 1
+	}
+	fmt.Fprintf(&b, "sg2042d_prewarm_ready %d\n", readyVal)
+	b.WriteString("# HELP sg2042d_prewarm_entries_total Renderings filled by the boot-time prewarm pass.\n")
+	b.WriteString("# TYPE sg2042d_prewarm_entries_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_prewarm_entries_total %d\n", m.prewarmEntries)
+	b.WriteString("# HELP sg2042d_prewarm_errors_total Prewarm fills that errored (the corpus entry stays cold).\n")
+	b.WriteString("# TYPE sg2042d_prewarm_errors_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_prewarm_errors_total %d\n", m.prewarmErrors)
+	b.WriteString("# HELP sg2042d_prewarm_seconds Wall-clock seconds the prewarm pass took.\n")
+	b.WriteString("# TYPE sg2042d_prewarm_seconds gauge\n")
+	fmt.Fprintf(&b, "sg2042d_prewarm_seconds %.6f\n", m.prewarmSeconds)
 	return b.String()
 }
 

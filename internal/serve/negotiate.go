@@ -16,13 +16,17 @@ const (
 	// formatNDJSON streams one JSON object per line as results finish;
 	// only the campaign endpoint negotiates it (see negotiateStream).
 	formatNDJSON
+	// formatBinary is the binary wire format (internal/wire): versioned,
+	// length-prefixed, self-describing column frames under
+	// application/vnd.sg2042.wire — the encode-free hot path.
+	formatBinary
 )
 
 // negotiate picks the response format for an experiment request. The
-// explicit ?format=text|csv|json query parameter wins; otherwise the
-// Accept header's listed types are honoured in order (text/csv,
-// application/json, text/plain); otherwise text — the same bytes
-// cmd/sg2042sim prints.
+// explicit ?format=text|csv|json|binary query parameter wins; otherwise
+// the Accept header's listed types are honoured in order (text/csv,
+// application/json, the wire media type or application/octet-stream,
+// text/plain); otherwise text — the same bytes cmd/sg2042sim prints.
 func negotiate(r *http.Request) (format, error) {
 	switch q := strings.ToLower(r.URL.Query().Get("format")); q {
 	case "text", "txt":
@@ -31,9 +35,11 @@ func negotiate(r *http.Request) (format, error) {
 		return formatCSV, nil
 	case "json":
 		return formatJSON, nil
+	case "binary", "bin", "wire":
+		return formatBinary, nil
 	case "":
 	default:
-		return formatText, fmt.Errorf("unknown format %q (want text, csv or json)", q)
+		return formatText, fmt.Errorf("unknown format %q (want text, csv, json or binary)", q)
 	}
 	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
 		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
@@ -42,6 +48,8 @@ func negotiate(r *http.Request) (format, error) {
 			return formatCSV, nil
 		case "application/json":
 			return formatJSON, nil
+		case wireContentType, "application/octet-stream":
+			return formatBinary, nil
 		case "text/plain":
 			return formatText, nil
 		}

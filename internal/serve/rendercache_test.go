@@ -246,7 +246,7 @@ func TestRenderCacheBounded(t *testing.T) {
 		if _, err := c.get(renderKey{kind: "sweep", variant: fmt.Sprint(i)}, fill); err != nil {
 			t.Fatal(err)
 		}
-		if n := len(c.entries); n > maxRenderEntries {
+		if n := c.size(); n > maxRenderEntries {
 			t.Fatalf("cache grew to %d entries past the %d cap", n, maxRenderEntries)
 		}
 	}

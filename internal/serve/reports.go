@@ -128,13 +128,18 @@ func reportFormat(f format) format {
 	return f
 }
 
-// renderReport produces a report body as text, or as its JSON envelope
-// when the request negotiated JSON (CSV is not a report format and
-// falls back to text).
+// renderReport produces a report body as text, as its JSON envelope
+// when the request negotiated JSON, or as a one-row binary wire frame
+// when it negotiated binary (CSV is not a report format and falls back
+// to text).
 func renderReport(f format, rep reportJSON) ([]byte, string, error) {
-	if f == formatJSON {
+	switch f {
+	case formatJSON:
 		body, err := marshalJSONBody(rep)
 		return body, "application/json", err
+	case formatBinary:
+		body, err := repro.ReportWire(rep.Machine, rep.Report, rep.Output)
+		return body, wireContentType, err
 	}
 	return []byte(rep.Output), "text/plain; charset=utf-8", nil
 }

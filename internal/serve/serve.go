@@ -17,11 +17,13 @@
 //	GET  /v1/roofline/{machine}     roofline report for a machine
 //	GET  /v1/cluster/{machine}      MPI scaling model for a machine
 //	GET  /metrics                   Prometheus-style text metrics
-//	GET  /healthz                   liveness probe
+//	GET  /healthz                   readiness probe (503 until prewarm completes)
+//	GET  /livez                     liveness probe (200 from the first request)
 //
 // The text and CSV bodies are byte-identical to cmd/sg2042sim's stdout
 // for the same experiment and options — the HTTP layer is purely
-// transport, never rendering.
+// transport, never rendering. Binary bodies (?format=binary) are the
+// internal/wire frames, under the same determinism contract.
 package serve
 
 import (
@@ -30,9 +32,14 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro"
 )
+
+// wireContentType is the binary wire format's media type, aliased so
+// the negotiation table stays a constant switch.
+const wireContentType = repro.WireContentType
 
 // Options configures a Server.
 type Options struct {
@@ -40,6 +47,11 @@ type Options struct {
 	// repro.Options: 0 picks GOMAXPROCS, 1 evaluates serially. Output
 	// is identical for every setting.
 	Parallel int
+	// Prewarm declares that the owner will call Server.Prewarm before
+	// the server is ready for traffic: /healthz answers 503 until the
+	// prewarm pass completes (liveness stays on /livez). When false the
+	// server is ready immediately.
+	Prewarm bool
 }
 
 // Server is the HTTP front end of the study engine. It is safe for
@@ -53,6 +65,9 @@ type Server struct {
 	// and gzip forms): the engine is deterministic, so a repeat request
 	// for the same rendering never re-renders — see rendercache.go.
 	rc *renderCache
+	// ready gates /healthz: false from New until the prewarm pass
+	// completes (immediately true when Options.Prewarm is unset).
+	ready atomic.Bool
 }
 
 // New returns a Server around a fresh engine with the paper's study
@@ -66,6 +81,7 @@ func New(opts Options) *Server {
 		mux: http.NewServeMux(),
 		rc:  newRenderCache(),
 	}
+	s.ready.Store(!opts.Prewarm)
 	s.routes()
 	return s
 }
@@ -85,10 +101,31 @@ func (s *Server) routes() {
 	s.handle("GET /v1/roofline/{machine}", "roofline", s.handleRoofline)
 	s.handle("GET /v1/cluster/{machine}", "cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+}
+
+// handleLivez is pure liveness: the process is up and serving requests.
+// It never gates on prewarm, so orchestrators can tell a booting daemon
+// from a dead one.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleHealthz is readiness: 200 "ok" once the server is ready for
+// traffic, 503 "warming" while a requested prewarm pass (Options.
+// Prewarm + Server.Prewarm) is still rendering the corpus. Without
+// prewarm the server is ready from the first request, so existing
+// health checks keep working unchanged.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "warming")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // handle registers h under pattern with per-endpoint metrics.
@@ -154,6 +191,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // renderExperiment produces the exact bytes handleExperiment used to
 // stream per request — the cache fill path.
 func (s *Server) renderExperiment(name string, format format) ([]byte, string, error) {
+	if format == formatBinary {
+		body, err := s.eng.RunBinary(name)
+		return body, wireContentType, err
+	}
 	out, err := s.eng.RunFormat(name, format == formatCSV)
 	if err != nil {
 		return nil, "", err
@@ -260,7 +301,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.eng.CacheStats()
 	rhits, rmisses := s.rc.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(hits, misses, rhits, rmisses))
+	fmt.Fprint(w, s.met.render(hits, misses, rhits, rmisses, s.ready.Load()))
 }
 
 // validExperiment reports whether a canonicalized name is servable —

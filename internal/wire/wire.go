@@ -1,0 +1,404 @@
+// Package wire implements the study's binary wire format — the
+// encode-free serving representation beside text, CSV, JSON and NDJSON.
+// A frame is a self-describing column-oriented table: a four-byte magic
+// and a version byte, then length-prefixed header strings, then the
+// column schema (name + type per column) interleaved with the column
+// data. Every variable-length field carries its own length prefix, so a
+// decoder never scans for delimiters, and every value is written in a
+// fixed canonical form, so encoding is deterministic: one Table has
+// exactly one byte representation, and Encode∘Decode is the identity on
+// encoded bytes (the determinism contract of docs/ARCHITECTURE.md
+// extends to binary responses).
+//
+// Frame layout (integers little-endian, lengths unsigned varints):
+//
+//	offset  field
+//	0       magic "SG42" (4 bytes)
+//	4       version (1 byte, currently 0x01)
+//	5       kind   — uvarint length + UTF-8 bytes ("figure", "scaling", ...)
+//	        title  — uvarint length + UTF-8 bytes
+//	        nrows  — uvarint
+//	        ncols  — uvarint
+//	        ncols × column:
+//	          name — uvarint length + UTF-8 bytes
+//	          type — 1 byte (1=string, 2=float64, 3=int64)
+//	          nrows × value:
+//	            string  — uvarint length + UTF-8 bytes
+//	            float64 — 8 bytes, IEEE-754 bit pattern, little-endian
+//	            int64   — 8 bytes, two's complement, little-endian
+//
+// Multiple frames concatenate: each frame is self-delimiting, so "all
+// experiments" is simply the per-experiment frames in the paper's
+// order. Version rules: the version byte bumps on any layout change; a
+// decoder rejects versions it does not know, and within one version the
+// layout never changes shape (new column types extend the type byte).
+// docs/PERFORMANCE.md documents the format for clients.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Magic opens every frame.
+const Magic = "SG42"
+
+// Version is the current frame version.
+const Version = 1
+
+// ContentType is the media type binary responses are served under.
+const ContentType = "application/vnd.sg2042.wire"
+
+// ColType is the type tag of one column.
+type ColType uint8
+
+// Column types. The tags are wire-stable: new types append, existing
+// values never renumber.
+const (
+	String  ColType = 1
+	Float64 ColType = 2
+	Int64   ColType = 3
+)
+
+func (t ColType) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	}
+	return fmt.Sprintf("coltype%d", uint8(t))
+}
+
+// Column is one typed column: exactly one of the value slices is used,
+// selected by Type, and every column of a table holds the same number
+// of values.
+type Column struct {
+	Name string
+	Type ColType
+	// Strings holds the values of a String column.
+	Strings []string
+	// Floats holds the values of a Float64 column.
+	Floats []float64
+	// Ints holds the values of an Int64 column.
+	Ints []int64
+}
+
+// rows returns the column's value count.
+func (c *Column) rows() int {
+	switch c.Type {
+	case String:
+		return len(c.Strings)
+	case Float64:
+		return len(c.Floats)
+	default:
+		return len(c.Ints)
+	}
+}
+
+// Table is one decoded (or to-be-encoded) frame.
+type Table struct {
+	// Kind names the result family ("figure", "scaling", "kernels",
+	// "table4", "sweep", "campaign", "report").
+	Kind  string
+	Title string
+	// Columns hold the data column-major; all columns are the same
+	// length.
+	Columns []Column
+}
+
+// NumRows returns the table's row count.
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].rows()
+}
+
+// validate checks a table is encodable: known column types and equal
+// column lengths.
+func (t *Table) validate() error {
+	rows := t.NumRows()
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		switch c.Type {
+		case String, Float64, Int64:
+		default:
+			return fmt.Errorf("wire: column %q has unknown type %d", c.Name, c.Type)
+		}
+		if c.rows() != rows {
+			return fmt.Errorf("wire: column %q has %d rows, want %d", c.Name, c.rows(), rows)
+		}
+	}
+	return nil
+}
+
+// size returns the exact encoded frame size, so Append allocates at
+// most once.
+func (t *Table) size() int {
+	n := len(Magic) + 1 // magic + version
+	n += uvarintLen(uint64(len(t.Kind))) + len(t.Kind)
+	n += uvarintLen(uint64(len(t.Title))) + len(t.Title)
+	rows := t.NumRows()
+	n += uvarintLen(uint64(rows))
+	n += uvarintLen(uint64(len(t.Columns)))
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		n += uvarintLen(uint64(len(c.Name))) + len(c.Name) + 1
+		switch c.Type {
+		case String:
+			for _, s := range c.Strings {
+				n += uvarintLen(uint64(len(s))) + len(s)
+			}
+		default:
+			n += 8 * rows
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Append encodes the table as one frame appended to dst and returns the
+// extended slice. The encoding is canonical: minimal varints, fixed
+// 8-byte numerics — one table, one byte representation.
+func Append(dst []byte, t *Table) ([]byte, error) {
+	if err := t.validate(); err != nil {
+		return dst, err
+	}
+	need := t.size()
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, Magic...)
+	dst = append(dst, Version)
+	dst = appendString(dst, t.Kind)
+	dst = appendString(dst, t.Title)
+	rows := t.NumRows()
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Columns)))
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		dst = appendString(dst, c.Name)
+		dst = append(dst, byte(c.Type))
+		switch c.Type {
+		case String:
+			for _, s := range c.Strings {
+				dst = appendString(dst, s)
+			}
+		case Float64:
+			for _, v := range c.Floats {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+		case Int64:
+			for _, v := range c.Ints {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Encode encodes the tables as concatenated frames in one allocation.
+func Encode(tables ...Table) ([]byte, error) {
+	total := 0
+	for i := range tables {
+		total += tables[i].size()
+	}
+	out := make([]byte, 0, total)
+	var err error
+	for i := range tables {
+		if out, err = Append(out, &tables[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a bounds-checked cursor over an encoded frame. Every length
+// it reads is validated against the bytes actually remaining before any
+// allocation is sized from it, so corrupt or adversarial input fails
+// with an error — never a panic or an attacker-sized allocation.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("wire: truncated frame: need %d bytes at offset %d, have %d", n, r.off, r.remaining())
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint at offset %d", r.off)
+	}
+	// Reject non-minimal encodings (0x80 0x00 for zero, say): the frame
+	// format is canonical, so any bytes the decoder accepts must be the
+	// bytes Encode would produce for the decoded value.
+	if n != uvarintLen(v) {
+		return 0, fmt.Errorf("wire: non-minimal varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// length reads a uvarint that prefixes variable-length data and checks
+// it fits the remaining bytes.
+func (r *reader) length() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()) {
+		return 0, fmt.Errorf("wire: length %d exceeds %d remaining bytes at offset %d", v, r.remaining(), r.off)
+	}
+	return int(v), nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.length()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Decode decodes one frame from the front of data, returning the table
+// and the remaining bytes (the next frame, or empty).
+func Decode(data []byte) (Table, []byte, error) {
+	var t Table
+	r := &reader{buf: data}
+	magic, err := r.bytes(len(Magic))
+	if err != nil {
+		return t, nil, err
+	}
+	if string(magic) != Magic {
+		return t, nil, fmt.Errorf("wire: bad magic %q (want %q)", magic, Magic)
+	}
+	ver, err := r.bytes(1)
+	if err != nil {
+		return t, nil, err
+	}
+	if ver[0] != Version {
+		return t, nil, fmt.Errorf("wire: unsupported version %d (decoder speaks %d)", ver[0], Version)
+	}
+	if t.Kind, err = r.string(); err != nil {
+		return t, nil, err
+	}
+	if t.Title, err = r.string(); err != nil {
+		return t, nil, err
+	}
+	nrows, err := r.uvarint()
+	if err != nil {
+		return t, nil, err
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return t, nil, err
+	}
+	// Every row of every column costs at least one encoded byte (8 for
+	// numerics, >=1 for a string length prefix), as does every column
+	// header — cheap a-priori bounds that reject absurd counts before
+	// any slice is sized from them. The division form cannot overflow.
+	rem := uint64(r.remaining())
+	if ncols > rem || (ncols > 0 && nrows > rem/ncols) {
+		return t, nil, fmt.Errorf("wire: frame declares %d cols x %d rows but only %d bytes remain",
+			ncols, nrows, r.remaining())
+	}
+	// A columnless table has no rows (NumRows derives the count from the
+	// columns, so Encode always writes 0 here) — anything else is not a
+	// frame Encode could have produced.
+	if ncols == 0 && nrows != 0 {
+		return t, nil, fmt.Errorf("wire: frame declares %d rows with no columns", nrows)
+	}
+	t.Columns = make([]Column, ncols)
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		if c.Name, err = r.string(); err != nil {
+			return t, nil, err
+		}
+		tb, err := r.bytes(1)
+		if err != nil {
+			return t, nil, err
+		}
+		c.Type = ColType(tb[0])
+		switch c.Type {
+		case String:
+			c.Strings = make([]string, nrows)
+			for j := range c.Strings {
+				if c.Strings[j], err = r.string(); err != nil {
+					return t, nil, err
+				}
+			}
+		case Float64:
+			c.Floats = make([]float64, nrows)
+			for j := range c.Floats {
+				b, err := r.bytes(8)
+				if err != nil {
+					return t, nil, err
+				}
+				c.Floats[j] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			}
+		case Int64:
+			c.Ints = make([]int64, nrows)
+			for j := range c.Ints {
+				b, err := r.bytes(8)
+				if err != nil {
+					return t, nil, err
+				}
+				c.Ints[j] = int64(binary.LittleEndian.Uint64(b))
+			}
+		default:
+			return t, nil, fmt.Errorf("wire: column %q has unknown type %d", c.Name, c.Type)
+		}
+	}
+	return t, r.buf[r.off:], nil
+}
+
+// DecodeAll decodes a concatenation of frames ("all experiments") into
+// its tables. At least one frame must be present.
+func DecodeAll(data []byte) ([]Table, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: empty input")
+	}
+	var tables []Table
+	rest := data
+	for len(rest) > 0 {
+		t, next, err := Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+		rest = next
+	}
+	return tables, nil
+}
