@@ -4,7 +4,7 @@ SERVE_ADDR ?= 127.0.0.1:18042
 # B/op beyond it fail, ns/op only warns (CI timing is noise).
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json verify serve doccheck determinism ci
+.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json verify serve doccheck determinism determinism-dist ci
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,45 @@ determinism:
 	cmp bin/det-scaling-serial.txt bin/det-scaling-parallel.txt
 	@echo "determinism OK: serial == parallel for -exp all and both campaigns (incl. multi-socket)"
 
+# The distributed face of the determinism contract, in two layers.
+# First the fault-injection suite under the race detector: seeded
+# mid-grid worker kills, corrupted streams and warm-restarted caches
+# must all leave the campaign bytes identical to a single process.
+# Then the real binary: two -worker daemons behind a -coordinate
+# daemon serve a campaign byte-identical to a plain daemon — including
+# after one worker is killed outright.
+determinism-dist:
+	@mkdir -p bin
+	$(GO) test -race -count=1 ./internal/fabric/...
+	$(GO) build -o bin/sg2042d ./cmd/sg2042d
+	@set -e; \
+	./bin/sg2042d -addr 127.0.0.1:18143 -worker > bin/dist-w1.log 2>&1 & w1=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18144 -worker > bin/dist-w2.log 2>&1 & w2=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18145 \
+	  -coordinate http://127.0.0.1:18143,http://127.0.0.1:18144 \
+	  > bin/dist-coord.log 2>&1 & co=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18146 > bin/dist-single.log 2>&1 & si=$$!; \
+	trap 'kill $$w1 $$w2 $$co $$si 2>/dev/null || true' EXIT; \
+	for port in 18143 18144 18145 18146; do \
+	  for i in $$(seq 1 20); do \
+	    curl -sf http://127.0.0.1:$$port/healthz > /dev/null && break; \
+	    sleep 0.25; \
+	    if [ $$i = 20 ]; then echo "daemon on $$port never came up"; exit 1; fi; \
+	  done; \
+	done; \
+	curl -sf --data-binary @examples/campaign/spec.json \
+	  http://127.0.0.1:18146/v1/campaign > bin/dist-local.txt; \
+	curl -sf --data-binary @examples/campaign/spec.json \
+	  http://127.0.0.1:18145/v1/campaign > bin/dist-sharded.txt; \
+	cmp bin/dist-local.txt bin/dist-sharded.txt; \
+	kill $$w1; wait $$w1 2>/dev/null || true; \
+	curl -sf --data-binary @examples/scaling/campaign.json \
+	  http://127.0.0.1:18146/v1/campaign > bin/dist-local-degraded.txt; \
+	curl -sf --data-binary @examples/scaling/campaign.json \
+	  http://127.0.0.1:18145/v1/campaign > bin/dist-sharded-degraded.txt; \
+	cmp bin/dist-local-degraded.txt bin/dist-sharded-degraded.txt; \
+	echo "determinism-dist OK: sharded == single-process, with and without a dead worker"
+
 # Build sg2042d and smoke-test it: start the daemon, hit one experiment
 # endpoint through the example client, then shut the daemon down.
 serve:
@@ -106,7 +145,8 @@ serve:
 
 # Everything the CI workflow runs, reproducible in one local command:
 # tier-1 verify, doc references, the race detector, the riscv64
-# cross-build, the byte-level determinism check, the daemon smoke test
-# and both regression gates (engine benchmarks and the serving SLO).
-ci: verify doccheck race cross determinism serve bench-compare bench-http
+# cross-build, the byte-level determinism checks (single-process and
+# distributed), the daemon smoke test and both regression gates
+# (engine benchmarks and the serving SLO).
+ci: verify doccheck race cross determinism determinism-dist serve bench-compare bench-http
 	@echo "ci OK"

@@ -68,10 +68,36 @@ func (e *Engine) CampaignFormat(spec CampaignSpec, csv bool) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return FormatCampaignResult(res, csv), nil
+}
+
+// FormatCampaignResult renders an already-evaluated campaign as text or
+// CSV — the same bytes CampaignFormat produces. The distributed
+// coordinator (internal/fabric) uses it to render a result assembled
+// from worker shards; because the points are bit-identical to a local
+// evaluation, so is the rendering.
+func FormatCampaignResult(res CampaignResult, csv bool) string {
 	if csv {
-		return report.CampaignCSV(res), nil
+		return report.CampaignCSV(res)
 	}
-	return report.CampaignText(res), nil
+	return report.CampaignText(res)
+}
+
+// CampaignPoints evaluates only the selected grid points of spec (by
+// index into the expanded grid), calling emit once per point in
+// completion order — the shard-scoped API the distributed fabric's
+// workers serve. Each point is bit-identical to the same point of a
+// full Campaign: same memoized cache, same configuration-seeded noise.
+func (e *Engine) CampaignPoints(spec CampaignSpec, indices []int, emit func(CampaignPoint) error) error {
+	return e.st.CampaignPoints(spec, indices, emit)
+}
+
+// AssembleCampaignResult builds a CampaignResult from the full grid of
+// already-evaluated points (point i at index i) — the coordinator's
+// final step after gathering shards. The ranked summaries are computed
+// exactly as Campaign computes them.
+func AssembleCampaignResult(spec CampaignSpec, points []CampaignPoint) (CampaignResult, error) {
+	return core.AssembleCampaign(spec, points)
 }
 
 // RunCampaign is the one-shot form of Engine.CampaignFormat: a fresh

@@ -9,6 +9,11 @@
 //	sg2042d -addr 127.0.0.1:9000    # bind elsewhere
 //	sg2042d -parallel 8             # engine worker bound (same bytes)
 //	sg2042d -prewarm                # render the full corpus before ready
+//	sg2042d -worker                 # also serve the fabric shard API
+//	sg2042d -coordinate http://w1:8042,http://w2:8042
+//	                                # shard /v1/campaign over a worker fleet
+//	sg2042d -restore cache.snap     # boot with a warm suite cache
+//	sg2042d -snapshot cache.snap    # write the cache on graceful shutdown
 //
 // Endpoints:
 //
@@ -31,6 +36,15 @@
 // completes, so a load balancer only routes to a warm instance. The
 // listener is up throughout, and /livez answers 200.
 //
+// Distributed campaigns: -worker additionally mounts the fabric's
+// shard-scoped endpoint (POST /v1/fabric/points); -coordinate runs
+// POST /v1/campaign through a coordinator that shards the grid over
+// the listed workers, byte-identical to a single process and
+// resilient to worker loss (README has a quickstart). -restore loads a
+// suite-cache snapshot at boot — a restarted worker answers its shard
+// from cache — and -snapshot writes one on graceful shutdown; the
+// format is documented in docs/PERFORMANCE.md.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to five seconds.
 package main
@@ -45,9 +59,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/serve"
 )
 
@@ -67,6 +83,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	addr := fs.String("addr", ":8042", "address to listen on")
 	parallel := fs.Int("parallel", 0, "worker pool size for the study engine (0 = GOMAXPROCS, 1 = serial); responses are identical for every setting")
 	prewarm := fs.Bool("prewarm", false, "render the preset corpus at boot; /healthz stays 503 until it completes")
+	worker := fs.Bool("worker", false, "serve the fabric shard API (POST /v1/fabric/points) beside the ordinary surface")
+	coordinate := fs.String("coordinate", "", "comma-separated worker base URLs; campaigns shard over them instead of evaluating locally")
+	restorePath := fs.String("restore", "", "suite-cache snapshot to load at boot (boot fails if it does not decode)")
+	snapshotPath := fs.String("snapshot", "", "write a suite-cache snapshot here on graceful shutdown")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -78,13 +98,51 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		fs.Usage()
 		return 2
 	}
+	var targets []string
+	if *coordinate != "" {
+		if *worker {
+			fmt.Fprintln(stderr, "sg2042d: -worker and -coordinate are mutually exclusive (a coordinator fronts workers, it is not one)")
+			return 2
+		}
+		for _, t := range strings.Split(*coordinate, ",") {
+			targets = append(targets, strings.TrimSpace(t))
+		}
+		// Fail a bad fleet list at boot, not on the first campaign.
+		if _, err := fabric.NewCoordinator(targets, nil, nil); err != nil {
+			fmt.Fprintln(stderr, "sg2042d:", err)
+			return 2
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "sg2042d:", err)
 		return 1
 	}
-	s := serve.New(serve.Options{Parallel: *parallel, Prewarm: *prewarm})
+	s := serve.New(serve.Options{
+		Parallel:   *parallel,
+		Prewarm:    *prewarm,
+		Worker:     *worker,
+		Coordinate: targets,
+	})
+	if *restorePath != "" {
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "sg2042d: restore:", err)
+			ln.Close()
+			return 1
+		}
+		n, err := s.Engine().RestoreCache(data)
+		if err != nil {
+			// A snapshot that does not decode must fail the boot loudly —
+			// never serve cold pretending to be warm, never install a
+			// partial cache.
+			fmt.Fprintln(stderr, "sg2042d: restore:", err)
+			ln.Close()
+			return 1
+		}
+		fmt.Fprintf(stdout, "sg2042d: restored %d cache entries from %s\n", n, *restorePath)
+	}
 	srv := &http.Server{
 		Handler: s.Handler(),
 		// A network-facing daemon must not let slow or stalled clients
@@ -138,6 +196,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 			fmt.Fprintln(stderr, "sg2042d: shutdown:", err)
 			return 1
 		}
+		if *snapshotPath != "" {
+			// In-flight requests have drained, so the cache is quiescent:
+			// the snapshot is complete and the next boot's -restore makes
+			// every configuration this life evaluated a cache hit.
+			if err := writeSnapshot(s, *snapshotPath, stdout); err != nil {
+				fmt.Fprintln(stderr, "sg2042d: snapshot:", err)
+				return 1
+			}
+		}
 	}
 	return 0
+}
+
+// writeSnapshot serializes the engine's suite cache to path.
+func writeSnapshot(s *serve.Server, path string, stdout io.Writer) error {
+	data, err := s.Engine().SnapshotCache()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sg2042d: snapshot: wrote %d bytes to %s\n", len(data), path)
+	return nil
 }

@@ -15,6 +15,13 @@
 // prewarms it (-prewarm), and load-tests over real TCP — the one-shot
 // CI form that needs no daemon management.
 //
+// -addr also accepts a comma-separated list of base URLs — a
+// coordinator plus its workers, or a whole fleet of daemons. Each
+// load target then runs against every listed daemon: per-daemon rows
+// are reported as name@i (i is the position in the -addr list), and
+// an aggregate row — merged latencies, summed requests and errors —
+// keeps the plain, stable name the CI baseline matches on.
+//
 // The report's gate metric is errors/op with a zero baseline: any
 // non-200, short read or undecodable binary frame in CI fails the gate
 // outright, while ns/op percentiles are recorded warn-only (runner
@@ -91,7 +98,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sg2042load", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	addr := fs.String("addr", "", "base URL of a running daemon (e.g. http://127.0.0.1:8080); empty self-hosts an in-process server on an ephemeral port")
+	addr := fs.String("addr", "", "comma-separated base URLs of running daemons (e.g. http://127.0.0.1:8080); empty self-hosts an in-process server on an ephemeral port")
 	conc := fs.Int("c", 8, "concurrent workers per target")
 	dur := fs.Duration("d", 2*time.Second, "load duration per target")
 	out := fs.String("o", "BENCH_http.json", "output report file")
@@ -105,8 +112,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	base := strings.TrimRight(*addr, "/")
-	if base == "" {
+	var bases []string
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimRight(strings.TrimSpace(a), "/")
+		if a != "" {
+			bases = append(bases, a)
+		}
+	}
+	if *addr != "" && len(bases) == 0 {
+		fmt.Fprintln(stderr, "sg2042load: -addr holds no base URLs")
+		return 2
+	}
+	if len(bases) == 0 {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(stderr, "sg2042load: listen: %v\n", err)
@@ -126,22 +143,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
 		defer hs.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(stdout, "sg2042load: self-hosting on %s\n", base)
+		bases = []string{"http://" + ln.Addr().String()}
+		fmt.Fprintf(stdout, "sg2042load: self-hosting on %s\n", bases[0])
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	targets := defaultTargets()
 	report := benchReport{Bench: "http-load", Benchtime: dur.String()}
 	failed := false
+	printRow := func(name string, res loadResult, bm benchResult) {
+		fmt.Fprintf(stdout, "sg2042load: %-28s %7d reqs %6.0f rps p50 %8.0fns p99 %8.0fns errors %d\n",
+			name, res.requests, bm.Metrics["rps"], bm.Metrics["p50-ns"], bm.Metrics["p99-ns"], res.errors)
+	}
 	for _, tg := range targets {
-		res := loadTarget(client, base, tg, *conc, *dur)
-		bm := summarize(tg, res)
+		// Each daemon gets its own measured run; the aggregate row —
+		// merged latencies, summed counts — keeps the plain benchmark
+		// name, so single-daemon baselines stay comparable and a fleet
+		// run adds per-daemon rows beside them.
+		var merged loadResult
+		for bi, base := range bases {
+			res := loadTarget(client, base, tg, *conc, *dur)
+			if len(bases) > 1 {
+				name := fmt.Sprintf("%s@%d", tg.name, bi)
+				bm := summarizeName(name, res)
+				report.Benchmarks = append(report.Benchmarks, bm)
+				printRow(name, res, bm)
+			}
+			merged.requests += res.requests
+			merged.errors += res.errors
+			merged.latencies = append(merged.latencies, res.latencies...)
+			merged.elapsed += res.elapsed
+		}
+		bm := summarizeName(tg.name, merged)
 		report.Benchmarks = append(report.Benchmarks, bm)
-		line := fmt.Sprintf("sg2042load: %-28s %7d reqs %6.0f rps p50 %8.0fns p99 %8.0fns errors %d",
-			tg.name, res.requests, bm.Metrics["rps"], bm.Metrics["p50-ns"], bm.Metrics["p99-ns"], res.errors)
-		fmt.Fprintln(stdout, line)
-		if res.errors > 0 {
+		printRow(tg.name, merged, bm)
+		if merged.errors > 0 {
 			failed = true
 		}
 	}
@@ -249,10 +285,10 @@ func truncate(b []byte) string {
 	return string(b)
 }
 
-// summarize folds one load run into a benchmark row of cmd/benchjson's
-// report schema: mean ns/op plus p50/p95/p99 latency, throughput and
-// the gated errors/op.
-func summarize(tg target, res loadResult) benchResult {
+// summarizeName folds one load run into a benchmark row of
+// cmd/benchjson's report schema: mean ns/op plus p50/p95/p99 latency,
+// throughput and the gated errors/op.
+func summarizeName(name string, res loadResult) benchResult {
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 	metrics := map[string]float64{
 		"ns/op":     0,
@@ -276,7 +312,7 @@ func summarize(tg target, res loadResult) benchResult {
 	}
 	return benchResult{
 		Package:    "repro/cmd/sg2042load",
-		Name:       tg.name,
+		Name:       name,
 		Iterations: res.requests,
 		Metrics:    metrics,
 	}

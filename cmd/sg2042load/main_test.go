@@ -2,11 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/serve"
 )
 
 // The self-hosted end-to-end path: spin up the in-process server, apply
@@ -111,5 +115,72 @@ func TestReportSchemaMatchesBenchjson(t *testing.T) {
 		if !strings.Contains(string(data), key) {
 			t.Errorf("serialized report missing %s:\n%s", key, data)
 		}
+	}
+}
+
+// The multi-target path: two daemons behind one comma-separated -addr
+// produce per-daemon rows (name@i) plus an aggregate row under the
+// plain benchmark name, whose iteration count is the sum — the
+// aggregate is what the CI baseline compares, so its name must not
+// change with fleet size.
+func TestRunMultiTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load burst in -short mode")
+	}
+	s1 := httptest.NewServer(serve.New(serve.Options{Parallel: 2}))
+	defer s1.Close()
+	s2 := httptest.NewServer(serve.New(serve.Options{Parallel: 2}))
+	defer s2.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_http.json")
+	var stdout, stderr strings.Builder
+	args := []string{"-addr", s1.URL + ", " + s2.URL, "-c", "2", "-d", "60ms", "-o", out}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	byName := make(map[string]benchResult)
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, tg := range defaultTargets() {
+		agg, ok := byName[tg.name]
+		if !ok {
+			t.Errorf("report missing aggregate row %s", tg.name)
+			continue
+		}
+		var sum int64
+		for i := 0; i < 2; i++ {
+			per, ok := byName[fmt.Sprintf("%s@%d", tg.name, i)]
+			if !ok {
+				t.Errorf("report missing per-daemon row %s@%d", tg.name, i)
+				continue
+			}
+			sum += per.Iterations
+			if per.Metrics["errors/op"] != 0 {
+				t.Errorf("%s@%d: errors/op = %g, want 0", tg.name, i, per.Metrics["errors/op"])
+			}
+		}
+		if agg.Iterations != sum {
+			t.Errorf("%s: aggregate iterations %d != per-daemon sum %d", tg.name, agg.Iterations, sum)
+		}
+		if agg.Metrics["p99-ns"] <= 0 || agg.Metrics["p50-ns"] <= 0 {
+			t.Errorf("%s: aggregate percentiles missing", tg.name)
+		}
+	}
+}
+
+// An -addr list that collapses to nothing is a usage error.
+func TestRunEmptyTargetList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-addr", " , "}, &stdout, &stderr); code != 2 {
+		t.Errorf("empty target list exited %d, want 2", code)
 	}
 }

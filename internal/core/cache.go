@@ -12,6 +12,7 @@ package core
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/autovec"
 	"repro/internal/machine"
@@ -117,6 +118,10 @@ type suiteEntry struct {
 	once sync.Once
 	ms   []Measurement
 	err  error
+	// done flips (atomically, after ms/err are written inside once) when
+	// the entry's evaluation has completed; the snapshot walk reads it to
+	// skip entries still in flight without blocking on them.
+	done atomic.Bool
 }
 
 // shardFor mixes the key's discriminating fields with FNV-1a. The model
@@ -164,6 +169,62 @@ func (c *suiteCache) entry(k suiteKey) *suiteEntry {
 		s.hits++
 	}
 	return e
+}
+
+// snapshotEntry is one completed, successful cache entry — the unit the
+// warm-cache snapshot (snapshot.go) serializes.
+type snapshotEntry struct {
+	key suiteKey
+	ms  []Measurement
+}
+
+// snapshotEntries collects every completed, successful entry. Entries
+// whose evaluation is still in flight (or failed) are skipped: the
+// walk holds only the shard mutexes, never an entry's once, so a
+// snapshot during live traffic cannot deadlock or block evaluation.
+func (c *suiteCache) snapshotEntries() []snapshotEntry {
+	var out []snapshotEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if !e.done.Load() || e.err != nil {
+				continue
+			}
+			ms := make([]Measurement, len(e.ms))
+			copy(ms, e.ms)
+			out = append(out, snapshotEntry{key: k, ms: ms})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// install seeds the cache with an already-evaluated entry (a restored
+// snapshot). An existing entry for the key is never overwritten —
+// whatever is cached was evaluated (or restored) first and is
+// bit-identical anyway. The entry's once is consumed so a later
+// RunSuite lookup serves it as an ordinary hit instead of
+// re-evaluating over it. Installs count toward neither hits nor
+// misses: the counters keep meaning "lookups served vs evaluated".
+func (c *suiteCache) install(k suiteKey, ms []Measurement) bool {
+	e := &suiteEntry{}
+	e.once.Do(func() {
+		e.ms = make([]Measurement, len(ms))
+		copy(e.ms, ms)
+	})
+	e.done.Store(true)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[suiteKey]*suiteEntry)
+	}
+	if _, ok := s.entries[k]; ok {
+		return false
+	}
+	s.entries[k] = e
+	return true
 }
 
 // stats sums the per-shard counters.

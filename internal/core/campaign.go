@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/autovec"
@@ -219,6 +220,23 @@ func (s CampaignSpec) expand() ([]campaignCase, error) {
 		}
 	}
 	return cases, nil
+}
+
+// Fingerprints returns the derived machine fingerprint of every grid
+// point, in grid order. The distributed fabric (internal/fabric) keys
+// its consistent-hash shard assignment on these, so every point of one
+// derived machine lands on the same worker and each shard owns a
+// stable slice of the suite cache.
+func (s CampaignSpec) Fingerprints() ([]uint64, error) {
+	cases, err := s.expand()
+	if err != nil {
+		return nil, err
+	}
+	fps := make([]uint64, len(cases))
+	for i, c := range cases {
+		fps[i] = c.m.Fingerprint()
+	}
+	return fps, nil
 }
 
 // Title renders the campaign's deterministic heading.
@@ -454,6 +472,89 @@ func (st *Study) Campaign(spec CampaignSpec, emit func(CampaignPoint) error) (Ca
 		return CampaignResult{}, emitErr
 	}
 
+	res := CampaignResult{Title: spec.Title(), Points: points}
+	res.Ranked = rankByMeanRatio(points)
+	res.BestByClass = bestByClass(points)
+	res.Pareto = paretoFront(points)
+	return res, nil
+}
+
+// CampaignPoints evaluates only the selected grid points of spec — the
+// shard-scoped form the distributed fabric's workers serve. Indices
+// index the expanded grid (spec.Points()); they must be in range and
+// unique. Points fan out over the study's worker pool into the shared
+// memoized suite cache exactly like a full Campaign, and emit is called
+// once per point in completion order (serialized — never concurrently).
+// Delivery order is unspecified by design: the coordinator reorders
+// into grid order, so each evaluated point must be bit-identical to the
+// same point of a single-process campaign, which it is — same cache,
+// same seeding. An emit error aborts the remaining evaluations.
+func (st *Study) CampaignPoints(spec CampaignSpec, indices []int, emit func(CampaignPoint) error) error {
+	cases, err := spec.expand()
+	if err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(cases) {
+			return fmt.Errorf("core: campaign point %d out of range (grid has %d points)", i, len(cases))
+		}
+		if seen[i] {
+			return fmt.Errorf("core: campaign point %d requested twice", i)
+		}
+		seen[i] = true
+	}
+	var mu sync.Mutex
+	var emitErr error
+	err = par.ForEach(len(indices), st.Workers, func(k int) error {
+		mu.Lock()
+		failed := emitErr != nil
+		mu.Unlock()
+		if failed {
+			return errCampaignAborted
+		}
+		p, err := st.evalCampaignPoint(indices[k], cases[indices[k]])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if emitErr != nil {
+			return errCampaignAborted
+		}
+		if emit != nil {
+			if emitErr = emit(p); emitErr != nil {
+				return emitErr
+			}
+		}
+		return nil
+	})
+	if errors.Is(err, errCampaignAborted) {
+		mu.Lock()
+		defer mu.Unlock()
+		return emitErr
+	}
+	return err
+}
+
+// AssembleCampaign builds a CampaignResult from already-evaluated
+// points — the coordinator's final step after gathering a sharded
+// grid. The points must be the full grid in grid order (point i at
+// index i); the ranked summaries are then computed exactly as Campaign
+// computes them, so an assembled result renders byte-identically to a
+// single-process one.
+func AssembleCampaign(spec CampaignSpec, points []CampaignPoint) (CampaignResult, error) {
+	if err := spec.Validate(); err != nil {
+		return CampaignResult{}, err
+	}
+	if n := spec.Points(); len(points) != n {
+		return CampaignResult{}, fmt.Errorf("core: assembling campaign from %d points, grid has %d", len(points), n)
+	}
+	for i := range points {
+		if points[i].Index != i {
+			return CampaignResult{}, fmt.Errorf("core: campaign point at position %d has index %d", i, points[i].Index)
+		}
+	}
 	res := CampaignResult{Title: spec.Title(), Points: points}
 	res.Ranked = rankByMeanRatio(points)
 	res.BestByClass = bestByClass(points)

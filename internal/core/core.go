@@ -90,7 +90,10 @@ func (st *Study) RunSuite(cfg perfmodel.Config) ([]Measurement, error) {
 		return st.runSuiteUncached(cfg)
 	}
 	e := st.cache.entry(st.suiteKeyFor(cfg))
-	e.once.Do(func() { e.ms, e.err = st.runSuiteUncached(cfg) })
+	e.once.Do(func() {
+		e.ms, e.err = st.runSuiteUncached(cfg)
+		e.done.Store(true)
+	})
 	if e.err != nil {
 		return nil, e.err
 	}

@@ -1,0 +1,303 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// DefaultPointTimeout is the per-frame watchdog: how long the
+// coordinator waits for a worker's next point before declaring it
+// hung. It is generous — a point is milliseconds of model evaluation —
+// because firing it costs re-evaluating the worker's outstanding
+// shard elsewhere.
+const DefaultPointTimeout = 60 * time.Second
+
+// AllWorkersDownError reports a campaign that cannot complete because
+// every worker has been excluded. Failures maps each worker to why it
+// was excluded. The HTTP layer answers it with 502 Bad Gateway.
+type AllWorkersDownError struct {
+	Failures map[string]string
+}
+
+func (e *AllWorkersDownError) Error() string {
+	parts := make([]string, 0, len(e.Failures))
+	for t := range e.Failures {
+		parts = append(parts, t)
+	}
+	sort.Strings(parts)
+	for i, t := range parts {
+		parts[i] = fmt.Sprintf("%s: %s", t, e.Failures[t])
+	}
+	return "fabric: all workers down (" + strings.Join(parts, "; ") + ")"
+}
+
+// Coordinator shards campaigns over a fixed set of workers. It is
+// stateless across campaigns: each Run re-expands the grid, assigns
+// points by consistent hash on the machine fingerprint, and excludes
+// failing workers for the duration of that run only.
+type Coordinator struct {
+	targets []string
+	ring    *Ring
+	reg     *repro.MachineRegistry
+	client  *http.Client
+
+	// PointTimeout overrides DefaultPointTimeout (tests shrink it).
+	PointTimeout time.Duration
+}
+
+// NewCoordinator builds a coordinator over worker base URLs
+// ("http://host:port"). nil reg means the default registry; nil client
+// means http.DefaultClient.
+func NewCoordinator(targets []string, reg *repro.MachineRegistry, client *http.Client) (*Coordinator, error) {
+	ring, err := NewRing(targets)
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = repro.DefaultMachineRegistry()
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Coordinator{
+		targets: append([]string(nil), targets...),
+		ring:    ring,
+		reg:     reg,
+		client:  client,
+	}, nil
+}
+
+// Targets returns the coordinator's worker list.
+func (c *Coordinator) Targets() []string { return append([]string(nil), c.targets...) }
+
+// workerMsg is one event from a request goroutine: an evaluated point,
+// or the request's end (err nil on a clean stream end).
+type workerMsg struct {
+	reqID  int
+	target string
+	done   bool
+	err    error
+	point  repro.CampaignPoint
+}
+
+// Run evaluates the campaign described by specJSON (the verbatim
+// client spec; the same bytes are forwarded to workers) across the
+// fleet, calling emit once per point in grid order — exactly-once,
+// duplicates and late arrivals discarded — and returns the assembled
+// result. A worker that errors, stalls, or ends its stream with
+// points missing is excluded and its outstanding points re-dispatched
+// to the survivors; Run fails with *AllWorkersDownError only when no
+// worker remains.
+func (c *Coordinator) Run(ctx context.Context, specJSON []byte, emit func(repro.CampaignPoint) error) (repro.CampaignResult, error) {
+	spec, err := repro.CampaignSpecFromJSON(specJSON, c.reg)
+	if err != nil {
+		return repro.CampaignResult{}, err
+	}
+	fps, err := spec.Fingerprints()
+	if err != nil {
+		return repro.CampaignResult{}, err
+	}
+	n := len(fps)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		msgs        = make(chan workerMsg, 16)
+		excluded    = map[string]bool{}
+		failures    = map[string]string{}
+		outstanding = map[int]map[int]bool{} // reqID -> unreceived indices
+		reqTargets  = map[int]string{}
+		nextReq     = 0
+		points      = make([]repro.CampaignPoint, n)
+		have        = make([]bool, n)
+		received    = 0
+		nextEmit    = 0
+	)
+
+	dispatch := func(target string, indices []int) {
+		nextReq++
+		id := nextReq
+		set := make(map[int]bool, len(indices))
+		for _, i := range indices {
+			set[i] = true
+		}
+		outstanding[id] = set
+		reqTargets[id] = target
+		go c.runRequest(ctx, id, target, specJSON, indices, msgs)
+	}
+
+	// assign maps each index to its ring owner among the survivors,
+	// dispatching one request per owner; it fails only when the ring is
+	// fully excluded.
+	assign := func(indices []int) error {
+		byTarget := map[string][]int{}
+		for _, i := range indices {
+			owner, err := c.ring.Owner(fps[i], excluded)
+			if err != nil {
+				return &AllWorkersDownError{Failures: failures}
+			}
+			byTarget[owner] = append(byTarget[owner], i)
+		}
+		for target, idxs := range byTarget {
+			dispatch(target, idxs)
+		}
+		return nil
+	}
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if err := assign(all); err != nil {
+		return repro.CampaignResult{}, err
+	}
+
+	for received < n {
+		var m workerMsg
+		select {
+		case <-ctx.Done():
+			return repro.CampaignResult{}, ctx.Err()
+		case m = <-msgs:
+		}
+		set, known := outstanding[m.reqID]
+		if !known {
+			continue // a late message from a request already retired
+		}
+		if !m.done {
+			i := m.point.Index
+			if i < 0 || i >= n || !set[i] || have[i] {
+				// Not a point this request owes, or a duplicate of one
+				// already received: discard. (A worker sending indices
+				// it was never asked for is misbehaving, but the grid
+				// stays exactly-once either way.)
+				continue
+			}
+			delete(set, i)
+			points[i] = m.point
+			have[i] = true
+			received++
+			for nextEmit < n && have[nextEmit] {
+				if emit != nil {
+					if err := emit(points[nextEmit]); err != nil {
+						return repro.CampaignResult{}, err
+					}
+				}
+				nextEmit++
+			}
+			continue
+		}
+		// Request ended. Clean end with nothing outstanding: retire it.
+		// Anything else — transport error, decode error, timeout, or a
+		// clean end that still owes points — excludes the worker and
+		// re-dispatches what it owed.
+		delete(outstanding, m.reqID)
+		target := reqTargets[m.reqID]
+		delete(reqTargets, m.reqID)
+		if m.err == nil && len(set) == 0 {
+			continue
+		}
+		excluded[target] = true
+		if m.err != nil {
+			failures[target] = m.err.Error()
+		} else {
+			failures[target] = fmt.Sprintf("stream ended with %d points missing", len(set))
+		}
+		missing := make([]int, 0, len(set))
+		for i := range set {
+			missing = append(missing, i)
+		}
+		sort.Ints(missing)
+		if err := assign(missing); err != nil {
+			return repro.CampaignResult{}, err
+		}
+	}
+
+	return repro.AssembleCampaignResult(spec, points)
+}
+
+// runRequest performs one shard request, forwarding each decoded point
+// and finally a done message. A per-frame watchdog cancels the request
+// if the worker goes longer than PointTimeout without producing a
+// frame.
+func (c *Coordinator) runRequest(ctx context.Context, id int, target string, specJSON []byte, indices []int, msgs chan<- workerMsg) {
+	send := func(m workerMsg) bool {
+		select {
+		case msgs <- m:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	fail := func(err error) {
+		send(workerMsg{reqID: id, target: target, done: true, err: err})
+	}
+
+	body, err := json.Marshal(pointsRequest{Spec: specJSON, Points: indices})
+	if err != nil {
+		fail(err)
+		return
+	}
+	timeout := c.PointTimeout
+	if timeout <= 0 {
+		timeout = DefaultPointTimeout
+	}
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchdog := time.AfterFunc(timeout, cancel)
+	defer watchdog.Stop()
+
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, target+PointsPath, bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fail(fmt.Errorf("worker answered %s: %s", resp.Status, strings.TrimSpace(string(msg))))
+		return
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		fail(fmt.Errorf("worker answered content type %q, want %q", ct, ContentType))
+		return
+	}
+
+	br := bufio.NewReader(resp.Body)
+	for {
+		t, err := readFrame(br)
+		if err == io.EOF {
+			send(workerMsg{reqID: id, target: target, done: true})
+			return
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+		watchdog.Reset(timeout)
+		p, err := decodePoint(t)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if !send(workerMsg{reqID: id, target: target, point: p}) {
+			return
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// fakeWorker answers the points endpoint by replaying pre-evaluated
+// points through a script — the tool for protocol-abuse tests a real
+// worker would never fail.
+func fakeWorker(t *testing.T, points []repro.CampaignPoint, script func(req pointsRequest, send func(repro.CampaignPoint))) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req pointsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("fake worker: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		flusher, _ := w.(http.Flusher)
+		script(req, func(p repro.CampaignPoint) {
+			tab, err := encodePoint(p)
+			if err != nil {
+				t.Errorf("fake worker: %v", err)
+				return
+			}
+			if err := writeFrame(w, tab); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
+	}))
+}
+
+// TestDuplicateAndUnownedFramesDiscarded: a worker that repeats points
+// and volunteers points it was never assigned must not break
+// exactly-once emission or the assembled result.
+func TestDuplicateAndUnownedFramesDiscarded(t *testing.T) {
+	spec := testSpec(t)
+	points := evalPoints(t, spec)
+
+	srv := fakeWorker(t, points, func(req pointsRequest, send func(repro.CampaignPoint)) {
+		for _, i := range req.Points {
+			send(points[i])
+			send(points[i]) // duplicate of an owed point: must be discarded
+		}
+		// A point nobody asked this request for: must be discarded too.
+		for i := range points {
+			owned := false
+			for _, j := range req.Points {
+				if i == j {
+					owned = true
+				}
+			}
+			if !owned {
+				send(points[i])
+				break
+			}
+		}
+	})
+	defer srv.Close()
+
+	coord, err := NewCoordinator([]string{srv.URL}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []int
+	res, err := coord.Run(context.Background(), testSpecJSON, func(p repro.CampaignPoint) error {
+		emitted = append(emitted, p.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range emitted {
+		if idx != i {
+			t.Fatalf("emission %v is not exactly-once grid order", emitted)
+		}
+	}
+	if len(emitted) != len(points) {
+		t.Fatalf("emitted %d points, want %d", len(emitted), len(points))
+	}
+	if !reflect.DeepEqual(res.Points, points) {
+		t.Fatal("assembled points differ from reference")
+	}
+}
+
+// TestStalledWorkerTimesOut: a worker that stops producing frames
+// trips the per-point watchdog and loses its shard to a survivor.
+func TestStalledWorkerTimesOut(t *testing.T) {
+	spec := testSpec(t)
+	points := evalPoints(t, spec)
+
+	stall := make(chan struct{})
+	stalled := fakeWorker(t, points, func(req pointsRequest, send func(repro.CampaignPoint)) {
+		send(points[req.Points[0]])
+		<-stall // one point, then silence
+	})
+	defer stalled.Close()
+	defer close(stall) // unblock the handler before Close waits on it
+	healthy := fakeWorker(t, points, func(req pointsRequest, send func(repro.CampaignPoint)) {
+		for _, i := range req.Points {
+			send(points[i])
+		}
+	})
+	defer healthy.Close()
+
+	coord, err := NewCoordinator([]string{stalled.URL, healthy.URL}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.PointTimeout = 200 * time.Millisecond
+	start := time.Now()
+	res, err := coord.Run(context.Background(), testSpecJSON, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(points) {
+		t.Fatalf("assembled %d points, want %d", len(res.Points), len(points))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+}
+
+// TestEmitErrorAborts: an emit failure cancels the run and surfaces
+// as-is.
+func TestEmitErrorAborts(t *testing.T) {
+	points := evalPoints(t, testSpec(t))
+	srv := fakeWorker(t, points, func(req pointsRequest, send func(repro.CampaignPoint)) {
+		for _, i := range req.Points {
+			send(points[i])
+		}
+	})
+	defer srv.Close()
+	coord, err := NewCoordinator([]string{srv.URL}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errTestAbort("stream consumer gone")
+	_, err = coord.Run(context.Background(), testSpecJSON, func(p repro.CampaignPoint) error {
+		if p.Index == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+}
+
+type errTestAbort string
+
+func (e errTestAbort) Error() string { return string(e) }
+
+// TestCoordinatorRejectsBadSpec: spec errors surface before any worker
+// is contacted.
+func TestCoordinatorRejectsBadSpec(t *testing.T) {
+	coord, err := NewCoordinator([]string{"http://unreachable.invalid"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Run(context.Background(), []byte(`{"machines": ["NoSuch"]}`), nil); err == nil {
+		t.Fatal("unknown machine accepted")
+	} else if _, ok := err.(*repro.UnknownMachineError); !ok {
+		t.Fatalf("err = %T, want *repro.UnknownMachineError", err)
+	}
+	if _, err := coord.Run(context.Background(), []byte(`{nope`), nil); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Package fabric is the distributed campaign tier: a coordinator that
+// shards a campaign grid over worker processes and streams the result
+// back bit-identical to a single-process run.
+//
+// The pieces:
+//
+//   - Ring (ring.go): a consistent-hash ring over worker base URLs,
+//     keyed on each grid point's machine Fingerprint(). Points sharing
+//     a machine variant land on the same worker, so its config-keyed
+//     suite cache concentrates exactly the variants it owns — and a
+//     worker restarted from a cache snapshot (core.RestoreCache) is
+//     warm for its own shard.
+//
+//   - The point codec (point.go): one wire frame per evaluated
+//     CampaignPoint, length-prefixed for incremental stream decoding.
+//     Float64 fields travel as IEEE-754 bit patterns, so a point
+//     decoded from a worker is bit-identical to one evaluated locally.
+//
+//   - Worker (worker.go): the HTTP handler behind sg2042d -worker. It
+//     answers POST /v1/fabric/points — a shard-scoped campaign API:
+//     the client's campaign spec plus the grid indices this worker
+//     owns — streaming one flushed frame per point as evaluation
+//     completes.
+//
+//   - Coordinator (coordinator.go): expands the grid, assigns points
+//     by ring, fans requests out, and emits points in grid order
+//     through the same in-order machinery a local campaign uses. A
+//     worker that dies, stalls past PointTimeout, or misbehaves is
+//     excluded and its outstanding points re-dispatched to survivors;
+//     the campaign completes as long as one worker lives, and fails
+//     with *AllWorkersDownError once none do.
+//
+// Determinism contract, extended across the network: the coordinator
+// assembles the full grid and renders through the exact code paths a
+// single process uses, so a sharded campaign's bytes — text, CSV,
+// JSON, NDJSON and binary alike — equal the single-process bytes, for
+// any worker count and under any single-worker failure. The
+// fault-injection harness (faulttest/) and the distributed-determinism
+// CI job hold the contract.
+package fabric
+
+// PointsPath is the worker's shard-scoped campaign endpoint.
+const PointsPath = "/v1/fabric/points"
+
+// ContentType is the media type of a worker's point-frame stream: a
+// sequence of uvarint-length-prefixed wire frames, one per point.
+const ContentType = "application/vnd.sg2042.fabric-frames"

@@ -1,0 +1,172 @@
+// Package faulttest is the fault-injection harness behind the
+// distributed determinism tests: a cluster of real fabric workers on
+// httptest servers, each wrapped in a kill switch that can tear the
+// connection — or corrupt the stream — after a chosen number of
+// frames. Tests arm a switch at a seeded-random frame, run a sharded
+// campaign through a coordinator, and assert the output is
+// byte-identical to a single-process run.
+package faulttest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"repro"
+	"repro/internal/fabric"
+)
+
+// Cluster is a set of fabric workers, each with its own engine (its
+// own suite cache — separate processes in miniature) and its own kill
+// switch.
+type Cluster struct {
+	nodes []*Node
+}
+
+// Node is one worker of a Cluster.
+type Node struct {
+	// Engine is the node's engine; tests reach it to pre-restore
+	// snapshots or read cache counters.
+	Engine *repro.Engine
+	srv    *httptest.Server
+	ks     *killSwitch
+}
+
+// NewCluster starts n workers over the default machine registry.
+func NewCluster(n int) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		eng := repro.NewEngine(repro.Options{})
+		wk := fabric.NewWorker(eng, nil)
+		ks := &killSwitch{}
+		node := &Node{Engine: eng, ks: ks}
+		node.srv = httptest.NewServer(ks.wrap(wk))
+		c.nodes = append(c.nodes, node)
+	}
+	return c
+}
+
+// Targets returns the workers' base URLs, in node order — the
+// coordinator's worker list.
+func (c *Cluster) Targets() []string {
+	ts := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		ts[i] = n.srv.URL
+	}
+	return ts
+}
+
+// Node returns worker i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Len returns the worker count.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Arm makes worker i abort its connection (http.ErrAbortHandler)
+// when it flushes its frames-th frame, counted across all requests the
+// worker has served — delivering strictly fewer than `frames` complete
+// points before dying mid-stream. frames is 1-based: Arm(i, 1) kills
+// the worker at its very first frame.
+func (c *Cluster) Arm(i, frames int) { c.nodes[i].ks.arm(frames, false) }
+
+// Corrupt makes worker i garble the length prefix of its frames-th
+// frame (again counted across requests, 1-based) instead of dying: the
+// bytes keep flowing but the coordinator's stream decoder must reject
+// the frame and re-dispatch the worker's outstanding points.
+func (c *Cluster) Corrupt(i, frames int) { c.nodes[i].ks.arm(frames, true) }
+
+// Kill shuts worker i's server down immediately — connection refused
+// from now on, in-flight requests torn.
+func (c *Cluster) Kill(i int) {
+	c.nodes[i].srv.CloseClientConnections()
+	c.nodes[i].srv.Close()
+}
+
+// Frames reports how many frames worker i has flushed in total.
+func (c *Cluster) Frames(i int) int { return c.nodes[i].ks.frames() }
+
+// Close shuts every worker down.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.srv.Close()
+	}
+}
+
+// killSwitch wraps a worker handler, counting flushed frames across
+// requests and firing an armed fault when the count reaches the
+// trigger.
+type killSwitch struct {
+	mu      sync.Mutex
+	flushes int
+	armAt   int  // 0 = disarmed; 1-based frame number otherwise
+	corrupt bool // garble instead of abort
+}
+
+func (k *killSwitch) arm(frames int, corrupt bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.armAt = frames
+	k.corrupt = corrupt
+}
+
+func (k *killSwitch) frames() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.flushes
+}
+
+func (k *killSwitch) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&killWriter{ResponseWriter: w, ks: k, frameStart: true}, r)
+	})
+}
+
+// killWriter intercepts the worker's frame stream. The worker writes
+// one frame as a length-prefix Write followed by a body Write, then
+// flushes once — so the flush count is the delivered-frame count, and
+// the first Write after a flush is the next frame's length prefix.
+type killWriter struct {
+	http.ResponseWriter
+	ks *killSwitch
+	// frameStart marks the next Write as a frame's length prefix.
+	frameStart bool
+}
+
+func (kw *killWriter) Write(p []byte) (int, error) {
+	k := kw.ks
+	k.mu.Lock()
+	garble := k.armAt > 0 && k.corrupt && k.flushes+1 == k.armAt && kw.frameStart
+	k.mu.Unlock()
+	kw.frameStart = false
+	if garble {
+		// An all-0xFF over-long uvarint where the frame's length prefix
+		// belongs: the coordinator's stream decoder must reject it
+		// before ever treating the following bytes as a frame.
+		bad := make([]byte, len(p))
+		for i := range bad {
+			bad[i] = 0xFF
+		}
+		return kw.ResponseWriter.Write(bad)
+	}
+	return kw.ResponseWriter.Write(p)
+}
+
+func (kw *killWriter) Flush() {
+	k := kw.ks
+	k.mu.Lock()
+	die := k.armAt > 0 && !k.corrupt && k.flushes+1 == k.armAt
+	if !die {
+		k.flushes++
+	}
+	k.mu.Unlock()
+	if die {
+		// Tear the connection before the armed frame leaves the
+		// server's buffer: the coordinator sees a dead worker
+		// mid-stream, strictly short of this frame's point.
+		panic(http.ErrAbortHandler)
+	}
+	if f, ok := kw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	kw.frameStart = true
+}

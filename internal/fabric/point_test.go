@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var testSpecJSON = []byte(`{
+	"machines": ["SG2042", "SG2044"],
+	"axes": [{"axis": "vector", "values": [128, 256]}],
+	"threads": [0, 8],
+	"precisions": ["f32", "f64"]
+}`)
+
+func testSpec(t *testing.T) repro.CampaignSpec {
+	t.Helper()
+	spec, err := repro.CampaignSpecFromJSON(testSpecJSON, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func evalPoints(t *testing.T, spec repro.CampaignSpec) []repro.CampaignPoint {
+	t.Helper()
+	res, err := repro.NewEngine(repro.Options{}).Campaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Points
+}
+
+// TestPointCodecRoundTrip: decode(encode(p)) is bit-identical for
+// every point of a real campaign grid.
+func TestPointCodecRoundTrip(t *testing.T) {
+	for _, p := range evalPoints(t, testSpec(t)) {
+		tab, err := encodePoint(p)
+		if err != nil {
+			t.Fatalf("point %d: %v", p.Index, err)
+		}
+		got, err := decodePoint(tab)
+		if err != nil {
+			t.Fatalf("point %d: %v", p.Index, err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("point %d not bit-identical across the codec", p.Index)
+		}
+	}
+}
+
+// TestFrameStreamRoundTrip: points written as a length-prefixed stream
+// read back in order, with a clean EOF at the end and a truncation
+// error — not EOF — on a cut stream.
+func TestFrameStreamRoundTrip(t *testing.T) {
+	points := evalPoints(t, testSpec(t))[:4]
+	var buf bytes.Buffer
+	for _, p := range points {
+		tab, err := encodePoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(&buf, tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range points {
+		tab, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := decodePoint(tab)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d differs after stream round-trip", i)
+		}
+	}
+	if _, err := readFrame(br); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+
+	cut := bufio.NewReader(bytes.NewReader(stream[:len(stream)-3]))
+	var err error
+	for err == nil {
+		_, err = readFrame(cut)
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("cut stream = %v, want truncation error", err)
+	}
+}
+
+func TestReadFrameRejectsHostileLengths(t *testing.T) {
+	// Over-long uvarint.
+	overlong := bytes.Repeat([]byte{0xFF}, 10)
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(overlong))); err == nil || err == io.EOF {
+		t.Fatalf("over-long uvarint = %v, want error", err)
+	}
+	// Declared length beyond the cap: refused before allocation.
+	huge := []byte{0x81, 0x80, 0x80, 0x80, 0x08} // 1<<31 + 1
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(huge))); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("huge length = %v, want out-of-range error", err)
+	}
+	// Zero length.
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{0x00}))); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("zero length = %v, want out-of-range error", err)
+	}
+}
+
+// mixKey spreads sequential integers over the full 64-bit space, like
+// the well-mixed machine fingerprints real campaigns key on.
+func mixKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	targets := []string{"http://a", "http://b", "http://c"}
+	r1, err := NewRing(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"http://c", "http://a", "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for key := uint64(0); key < 4096; key++ {
+		h := mixKey(key)
+		a, err := r1.Owner(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r2.Owner(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("ring assignment depends on target order: %q vs %q", a, b)
+		}
+		counts[a]++
+	}
+	for _, target := range targets {
+		if counts[target] == 0 {
+			t.Errorf("ring never assigned anything to %s (balance: %v)", target, counts)
+		}
+	}
+}
+
+// TestRingExclusionMovesOnlyOrphans: excluding one worker must not
+// move any key owned by a survivor.
+func TestRingExclusionMovesOnlyOrphans(t *testing.T) {
+	targets := []string{"http://a", "http://b", "http://c"}
+	r, err := NewRing(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := map[string]bool{"http://b": true}
+	moved := 0
+	for key := uint64(0); key < 4096; key++ {
+		h := mixKey(key)
+		before, _ := r.Owner(h, nil)
+		after, err := r.Owner(h, excluded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after == "http://b" {
+			t.Fatal("excluded worker still owns a key")
+		}
+		if before != "http://b" && after != before {
+			t.Fatalf("survivor-owned key moved from %s to %s", before, after)
+		}
+		if before == "http://b" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test never exercised an orphaned key")
+	}
+	if _, err := r.Owner(0, map[string]bool{
+		"http://a": true, "http://b": true, "http://c": true,
+	}); err == nil {
+		t.Fatal("fully-excluded ring returned an owner")
+	}
+}
+
+func TestRingRejectsBadTargets(t *testing.T) {
+	for _, targets := range [][]string{
+		nil,
+		{},
+		{""},
+		{"http://a", "http://a"},
+	} {
+		if _, err := NewRing(targets); err == nil {
+			t.Errorf("NewRing(%q) did not error", targets)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro"
+)
+
+// pointsRequest is the body of POST /v1/fabric/points: the client's
+// campaign spec, verbatim, plus the grid indices this worker should
+// evaluate. The worker re-expands the spec itself — the grid is a pure
+// function of the spec, so coordinator and worker agree on what each
+// index means without ever shipping expanded machines.
+type pointsRequest struct {
+	Spec   json.RawMessage `json:"spec"`
+	Points []int           `json:"points"`
+}
+
+// Worker serves the shard-scoped campaign API. It wraps the same
+// engine the node's ordinary serving surface uses, so shard points
+// memoize into — and warm-restart from — the one suite cache.
+type Worker struct {
+	eng *repro.Engine
+	reg *repro.MachineRegistry
+}
+
+// NewWorker wraps an engine and registry (nil reg means the default
+// registry) as a shard worker.
+func NewWorker(eng *repro.Engine, reg *repro.MachineRegistry) *Worker {
+	if reg == nil {
+		reg = repro.DefaultMachineRegistry()
+	}
+	return &Worker{eng: eng, reg: reg}
+}
+
+// ServeHTTP answers POST /v1/fabric/points, streaming one
+// length-prefixed frame per evaluated point, flushed as soon as the
+// point completes (completion order, not grid order — the coordinator
+// owns ordering). Spec and index validation happen before the first
+// frame, so protocol errors are clean JSON with a real status code; a
+// failure after streaming starts tears the stream, which the
+// coordinator treats like a dead worker.
+func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		workerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req pointsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		workerError(w, http.StatusBadRequest, fmt.Errorf("decoding points request: %w", err))
+		return
+	}
+	if len(req.Spec) == 0 {
+		workerError(w, http.StatusBadRequest, fmt.Errorf("points request has no spec"))
+		return
+	}
+	spec, err := repro.CampaignSpecFromJSON(req.Spec, wk.reg)
+	if err != nil {
+		status := http.StatusBadRequest
+		var unknown *repro.UnknownMachineError
+		if errors.As(err, &unknown) {
+			status = http.StatusNotFound
+		}
+		workerError(w, status, err)
+		return
+	}
+	n := spec.Points()
+	if len(req.Points) == 0 {
+		workerError(w, http.StatusBadRequest, fmt.Errorf("points request selects no points"))
+		return
+	}
+	seen := make(map[int]bool, len(req.Points))
+	for _, i := range req.Points {
+		if i < 0 || i >= n {
+			workerError(w, http.StatusBadRequest,
+				fmt.Errorf("point %d out of range (grid has %d points)", i, n))
+			return
+		}
+		if seen[i] {
+			workerError(w, http.StatusBadRequest, fmt.Errorf("point %d requested twice", i))
+			return
+		}
+		seen[i] = true
+	}
+
+	w.Header().Set("Content-Type", ContentType)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	err = wk.eng.CampaignPoints(spec, req.Points, func(p repro.CampaignPoint) error {
+		t, err := encodePoint(p)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(w, t); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// The stream is already open: tear the connection so the
+		// coordinator sees a hard failure, not a clean short stream.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// Register mounts the worker's endpoint on a mux.
+func (wk *Worker) Register(mux *http.ServeMux) {
+	mux.Handle(PointsPath, wk)
+}
+
+// workerError answers a pre-stream failure as the same JSON error
+// envelope the ordinary serving surface uses.
+func workerError(w http.ResponseWriter, status int, err error) {
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(map[string]string{"error": err.Error()})
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/fabric"
 )
 
 // campaignJSON is the non-streaming JSON envelope; Output carries the
@@ -138,22 +139,28 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.coordErr != nil {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("coordinator misconfigured: %w", s.coordErr))
+		return
+	}
 	// One expansion for everything downstream (metrics, the JSON
 	// envelope): the spec validated above, so Points is just the count.
 	points := spec.Points()
 	if format == formatNDJSON {
-		s.campaignNDJSON(w, r, spec, points)
+		s.campaignNDJSON(w, r, spec, data, points)
 		return
 	}
 	ent, err := s.rc.get(campaignRenderKey(spec, format), func() ([]byte, string, error) {
-		if format == formatBinary {
-			body, err := s.eng.CampaignBinary(spec)
-			return body, wireContentType, err
-		}
-		out, err := s.eng.CampaignFormat(spec, format == formatCSV)
+		res, err := s.runCampaign(r, spec, data, nil)
 		if err != nil {
 			return nil, "", err
 		}
+		if format == formatBinary {
+			body, err := repro.CampaignResultWire(res)
+			return body, wireContentType, err
+		}
+		out := repro.FormatCampaignResult(res, format == formatCSV)
 		switch format {
 		case formatJSON:
 			body, err := marshalJSONBody(campaignJSON{
@@ -168,11 +175,35 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, campaignErrorStatus(err), err)
 		return
 	}
 	s.met.addCampaign(points, false)
 	serveRendered(w, r, ent)
+}
+
+// runCampaign evaluates a campaign through whichever tier the server
+// runs on: the local engine, or — under Options.Coordinate — the
+// distributed fabric, forwarding the client's spec bytes verbatim to
+// the workers. Both paths call emit once per point in grid order and
+// return the same assembled result, so everything rendered downstream
+// is byte-identical across tiers.
+func (s *Server) runCampaign(r *http.Request, spec repro.CampaignSpec, raw []byte, emit func(repro.CampaignPoint) error) (repro.CampaignResult, error) {
+	if s.coord != nil {
+		return s.coord.Run(r.Context(), raw, emit)
+	}
+	return s.eng.CampaignStream(spec, emit)
+}
+
+// campaignErrorStatus maps a campaign evaluation failure to its HTTP
+// status: a fleet with no live workers is an upstream failure (502);
+// anything else stays a plain 500.
+func campaignErrorStatus(err error) int {
+	var down *fabric.AllWorkersDownError
+	if errors.As(err, &down) {
+		return http.StatusBadGateway
+	}
+	return http.StatusInternalServerError
 }
 
 // campaignNDJSON serves the streaming form. The first request for a
@@ -181,11 +212,11 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // render cache; repeat requests (and concurrent requests that lost the
 // singleflight race) serve the cached body, byte-identical to the
 // stream.
-func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec repro.CampaignSpec, points int) {
+func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec repro.CampaignSpec, raw []byte, points int) {
 	streamed := false
 	ent, err := s.rc.get(campaignRenderKey(spec, formatNDJSON), func() ([]byte, string, error) {
 		streamed = true
-		body, err := s.streamCampaign(w, spec)
+		body, err := s.streamCampaign(w, r, spec, raw)
 		return body, "application/x-ndjson", err
 	})
 	if streamed {
@@ -197,7 +228,7 @@ func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec rep
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, campaignErrorStatus(err), err)
 		return
 	}
 	s.met.addCampaign(points, true)
@@ -207,13 +238,15 @@ func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec rep
 }
 
 // streamCampaign writes the live NDJSON stream and returns the complete
-// body for the render cache.
-func (s *Server) streamCampaign(w http.ResponseWriter, spec repro.CampaignSpec) ([]byte, error) {
+// body for the render cache. Under Options.Coordinate the points come
+// off the fabric — evaluated across the fleet, emitted here in grid
+// order — and the lines are byte-identical to the local stream.
+func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, spec repro.CampaignSpec, raw []byte) ([]byte, error) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	var buf bytes.Buffer
 	enc := json.NewEncoder(io.MultiWriter(w, &buf))
-	res, err := s.eng.CampaignStream(spec, func(p repro.CampaignPoint) error {
+	res, err := s.runCampaign(r, spec, raw, func(p repro.CampaignPoint) error {
 		if err := enc.Encode(campaignPointLine(p)); err != nil {
 			return err
 		}
@@ -223,6 +256,13 @@ func (s *Server) streamCampaign(w http.ResponseWriter, spec repro.CampaignSpec) 
 		return nil
 	})
 	if err != nil {
+		if buf.Len() == 0 {
+			// Nothing has streamed, so the status line is still ours:
+			// answer a real error (502 for a dead fleet) instead of an
+			// empty 200 stream.
+			writeError(w, campaignErrorStatus(err), err)
+			return nil, err
+		}
 		// The stream is already underway with a 200 status; a terminal
 		// error line is the only way left to tell the client the grid
 		// is truncated. The body is not cached (the fill error path).

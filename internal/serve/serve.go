@@ -19,6 +19,12 @@
 //	GET  /metrics                   Prometheus-style text metrics
 //	GET  /healthz                   readiness probe (503 until prewarm completes)
 //	GET  /livez                     liveness probe (200 from the first request)
+//	POST /v1/fabric/points          shard-scoped campaign points (Options.Worker)
+//
+// With Options.Coordinate the campaign endpoint shards its grid over a
+// fleet of workers through internal/fabric; every format's bytes stay
+// identical to a single-process run (the distributed determinism
+// contract — docs/ARCHITECTURE.md).
 //
 // The text and CSV bodies are byte-identical to cmd/sg2042sim's stdout
 // for the same experiment and options — the HTTP layer is purely
@@ -35,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"repro"
+	"repro/internal/fabric"
 )
 
 // wireContentType is the binary wire format's media type, aliased so
@@ -52,6 +59,18 @@ type Options struct {
 	// prewarm pass completes (liveness stays on /livez). When false the
 	// server is ready immediately.
 	Prewarm bool
+	// Worker mounts the distributed fabric's shard-scoped campaign
+	// endpoint (POST /v1/fabric/points) beside the ordinary surface,
+	// backed by the same engine — shard evaluations memoize into, and
+	// warm-restart from, the one suite cache.
+	Worker bool
+	// Coordinate, when non-empty, runs POST /v1/campaign through a
+	// fabric coordinator over these worker base URLs instead of the
+	// local engine. Every other endpoint still serves locally. The
+	// targets must be non-empty and unique (cmd/sg2042d validates them
+	// at boot); an invalid list surfaces as an error on every campaign
+	// request.
+	Coordinate []string
 }
 
 // Server is the HTTP front end of the study engine. It is safe for
@@ -68,6 +87,13 @@ type Server struct {
 	// ready gates /healthz: false from New until the prewarm pass
 	// completes (immediately true when Options.Prewarm is unset).
 	ready atomic.Bool
+	// wk is the fabric worker endpoint (Options.Worker); coord runs
+	// campaigns through the distributed fabric (Options.Coordinate).
+	// coordErr holds a target-list validation failure, answered on
+	// every campaign request.
+	wk       *fabric.Worker
+	coord    *fabric.Coordinator
+	coordErr error
 }
 
 // New returns a Server around a fresh engine with the paper's study
@@ -82,6 +108,12 @@ func New(opts Options) *Server {
 		rc:  newRenderCache(),
 	}
 	s.ready.Store(!opts.Prewarm)
+	if opts.Worker {
+		s.wk = fabric.NewWorker(s.eng, s.reg)
+	}
+	if len(opts.Coordinate) > 0 {
+		s.coord, s.coordErr = fabric.NewCoordinator(opts.Coordinate, s.reg, nil)
+	}
 	s.routes()
 	return s
 }
@@ -100,6 +132,9 @@ func (s *Server) routes() {
 	s.handle("POST /v1/campaign", "campaign", s.handleCampaign)
 	s.handle("GET /v1/roofline/{machine}", "roofline", s.handleRoofline)
 	s.handle("GET /v1/cluster/{machine}", "cluster", s.handleCluster)
+	if s.wk != nil {
+		s.handle("POST "+fabric.PointsPath, "fabric-points", s.wk.ServeHTTP)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)

@@ -159,6 +159,13 @@ func (e *Engine) CampaignBinary(spec CampaignSpec) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return CampaignResultWire(res)
+}
+
+// CampaignResultWire encodes an already-evaluated campaign as one
+// binary frame — the bytes CampaignBinary produces. The distributed
+// coordinator uses it to serve ?format=binary from an assembled result.
+func CampaignResultWire(res CampaignResult) ([]byte, error) {
 	t := report.CampaignTable(res)
 	return wire.Encode(t)
 }
