@@ -4,7 +4,7 @@ SERVE_ADDR ?= 127.0.0.1:18042
 # B/op beyond it fail, ns/op only warns (CI timing is noise).
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json verify serve doccheck determinism determinism-dist ci
+.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json profile verify serve doccheck determinism determinism-dist ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,19 @@ bench-http:
 # to the HTTP surface or the target list.
 bench-http-json:
 	$(GO) run ./cmd/sg2042load -c 8 -d 2s -prewarm -o BENCH_http.json
+
+# CPU and heap profiles of the planner's headline path: a cold engine
+# evaluating and rendering the 1024-point colliding campaign grid
+# (BenchmarkCampaignPlanCold). The raw pprof files land in bin/ (CI
+# uploads them as an artifact) and a flat top-15 of each is printed so
+# a regression's hot spot is visible in the build log itself.
+profile:
+	@mkdir -p bin
+	$(GO) test -run xxx -bench BenchmarkCampaignPlanCold -benchtime 20x \
+	  -cpuprofile bin/campaign-cpu.pprof -memprofile bin/campaign-heap.pprof \
+	  -o bin/repro-profile.test .
+	$(GO) tool pprof -top -nodecount 15 bin/repro-profile.test bin/campaign-cpu.pprof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space bin/repro-profile.test bin/campaign-heap.pprof
 
 verify: build vet test
 

@@ -226,6 +226,71 @@ func BenchmarkCampaignEngineServing(b *testing.B) {
 	}
 }
 
+// benchPlanSpec is a 1024-point grid (2 bases x 16 derived variants x
+// 8 threads x 2 placements x 2 precisions) with deliberate dedup
+// collisions: threads 0, 64 and 96 all resolve to full occupancy on the
+// 64-core machines, so a quarter of the grid fans out from shared
+// evaluations — the shape the campaign planner is built for.
+func benchPlanSpec() CampaignSpec {
+	return CampaignSpec{
+		Bases: []*Machine{SG2042(), SG2044()},
+		Axes: []CampaignAxis{
+			{Axis: SweepVector, Values: []float64{128, 256}},
+			{Axis: SweepNUMA, Values: []float64{1, 4}},
+			{Axis: SweepClock, Values: []float64{1.0, 1.5, 2.0, 2.5}},
+		},
+		Threads:    []int{0, 8, 16, 24, 32, 48, 64, 96},
+		Placements: []Policy{Block, CyclicNUMA},
+		Precs:      []Precision{F32, F64},
+	}
+}
+
+// BenchmarkCampaignPlanCold: a cold engine evaluating and rendering the
+// 1024-point colliding grid — the planner's headline number: derivation
+// caching, cross-point dedup and the odometer all on the cold path.
+func BenchmarkCampaignPlanCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCampaign(benchPlanSpec(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignPlanWarm: a warm engine re-answering the 1024-point
+// grid — plan-cache hit, suite-cache hits, fan-out and rendering only.
+func BenchmarkCampaignPlanWarm(b *testing.B) {
+	eng := NewEngine(Options{})
+	if _, err := eng.CampaignFormat(benchPlanSpec(), false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CampaignFormat(benchPlanSpec(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignPlanValidate: the cheap surface — validating a
+// 1024-point spec and counting its grid — which the odometer keeps flat
+// in grid size (no materialized case slice).
+func BenchmarkCampaignPlanValidate(b *testing.B) {
+	spec := benchPlanSpec()
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := spec.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if spec.Points() != 1024 {
+			b.Fatal("grid size changed")
+		}
+	}
+}
+
 // --- real host execution of representative kernels -----------------------
 
 func benchHostKernel(b *testing.B, name string, n int, p prec.Precision) {

@@ -56,6 +56,7 @@ type target struct {
 	path   string // path + query, joined to the base URL
 	body   string // POST body, if any
 	binary bool   // validate the response as wire frames
+	ndjson bool   // validate the response as an NDJSON point stream
 }
 
 // defaultTargets is the served corpus cross-section the gate watches:
@@ -80,6 +81,8 @@ func defaultTargets() []target {
 		{name: "sweep-cores-json", method: "POST", path: "/v1/sweep?format=json", body: sweepBody},
 		{name: "sweep-cores-binary", method: "POST", path: "/v1/sweep?format=binary", body: sweepBody, binary: true},
 		{name: "campaign-clock-json", method: "POST", path: "/v1/campaign?format=json", body: campaignBody},
+		{name: "campaign-ndjson", method: "POST", path: "/v1/campaign?format=ndjson", body: campaignBody, ndjson: true},
+		{name: "campaign-binary", method: "POST", path: "/v1/campaign?format=binary", body: campaignBody, binary: true},
 	}
 }
 
@@ -272,6 +275,38 @@ func doRequest(client *http.Client, base string, tg target) error {
 		}
 		if _, err := repro.DecodeWire(data); err != nil {
 			return fmt.Errorf("%s: %w", tg.path, err)
+		}
+	}
+	if tg.ndjson {
+		if err := validateNDJSON(data); err != nil {
+			return fmt.Errorf("%s: %w", tg.path, err)
+		}
+	}
+	return nil
+}
+
+// validateNDJSON checks an NDJSON campaign body: every line is a JSON
+// object, every line but the last is a point line (has "point"), and
+// the final line is the terminal summary.
+func validateNDJSON(data []byte) error {
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		return fmt.Errorf("ndjson body has %d lines, want points plus a summary", len(lines))
+	}
+	for i, line := range lines {
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			return fmt.Errorf("ndjson line %d: %w", i, err)
+		}
+		if _, isErr := obj["error"]; isErr {
+			return fmt.Errorf("ndjson line %d is a terminal error line: %s", i, truncate([]byte(line)))
+		}
+		if i == len(lines)-1 {
+			if _, ok := obj["summary"]; !ok {
+				return fmt.Errorf("ndjson final line lacks a summary: %s", truncate([]byte(line)))
+			}
+		} else if _, ok := obj["point"]; !ok {
+			return fmt.Errorf("ndjson line %d lacks a point index: %s", i, truncate([]byte(line)))
 		}
 	}
 	return nil

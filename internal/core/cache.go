@@ -64,6 +64,13 @@ func machineFingerprint(m *machine.Machine) uint64 {
 // suiteKeyFor canonicalizes cfg (Runs clamps at 1 like the evaluation
 // does).
 func (st *Study) suiteKeyFor(cfg perfmodel.Config) suiteKey {
+	return st.suiteKeyFP(cfg, machineFingerprint(cfg.Machine))
+}
+
+// suiteKeyFP is suiteKeyFor with the machine fingerprint supplied by a
+// caller that has already computed it — the campaign planner hashes
+// each derived machine once and keys every point's lookups off that.
+func (st *Study) suiteKeyFP(cfg perfmodel.Config, fp uint64) suiteKey {
 	label := ""
 	if cfg.Machine != nil {
 		label = cfg.Machine.Label
@@ -75,7 +82,7 @@ func (st *Study) suiteKeyFor(cfg perfmodel.Config) suiteKey {
 	return suiteKey{
 		model:      st.Model,
 		machine:    label,
-		machineFP:  machineFingerprint(cfg.Machine),
+		machineFP:  fp,
 		threads:    cfg.Threads,
 		placement:  cfg.Placement,
 		prec:       cfg.Prec,
@@ -158,7 +165,9 @@ func (c *suiteCache) entry(k suiteKey) *suiteEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.entries == nil {
-		s.entries = make(map[suiteKey]*suiteEntry)
+		// Sized so a typical engine's working set (a few dozen configs
+		// spread over 16 shards) never grows the map.
+		s.entries = make(map[suiteKey]*suiteEntry, 8)
 	}
 	e, ok := s.entries[k]
 	if !ok {

@@ -19,6 +19,15 @@ package core
 // internal/par writing into their own slots, and a grid point whose
 // derivation chain matches a single-axis sweep point lands on the same
 // cache entry. Serial, parallel and cached campaigns are bit-identical.
+//
+// Execution goes through the compiled plan (plan.go): the spec is
+// validated and its machines derived once, the grid is decoded from
+// point indices instead of materialized, and points that resolve to
+// the same evaluation — same derived machine, same clamped threads
+// against both variant and base, same placement and precision —
+// evaluate once and fan out in grid order. Deduplication is an
+// execution strategy only: every emitted point carries exactly the
+// bytes the naive per-point path produces.
 
 import (
 	"errors"
@@ -47,9 +56,12 @@ type AxisValues struct {
 
 // MaxCampaignPoints bounds the expanded grid so a network client cannot
 // request an unbounded fan-out. It is deliberately larger than
-// MaxSweepPoints — campaigns are the scale surface — but still small
-// enough that a full cold grid stays interactive.
-const MaxCampaignPoints = 512
+// MaxSweepPoints — campaigns are the scale surface — and since the
+// planner stopped materializing the grid (points decode arithmetically
+// from their index and deduplicate before evaluation) the bound guards
+// evaluation work, not expansion memory, so it sits far above the old
+// materialized limit of 512.
+const MaxCampaignPoints = 8192
 
 // CampaignSpec selects a multi-axis what-if campaign: several base
 // machines, several swept hardware axes (cross-product), and several
@@ -90,151 +102,41 @@ func (s CampaignSpec) normalized() CampaignSpec {
 	return s
 }
 
-// campaignCase is one expanded grid point's inputs: the derived machine,
-// its base, and the software configuration.
-type campaignCase struct {
-	base    *machine.Machine
-	m       *machine.Machine
-	values  []float64 // axis values applied, aligned with spec.Axes
-	threads int       // requested; 0 = full occupancy
-	pol     placement.Policy
-	p       prec.Precision
-}
-
 // Validate checks the spec and runs every derivation, so a bad request
 // fails before any suite evaluation — the same boundary discipline as
-// machine JSON specs and sweeps.
+// machine JSON specs and sweeps. The compiled plan is memoized, so
+// validating and then evaluating a spec plans it once.
 func (s CampaignSpec) Validate() error {
-	_, err := s.expand()
+	_, err := planFor(s)
 	return err
 }
 
 // Points returns the size of the expanded grid (0 when the spec is
 // invalid).
 func (s CampaignSpec) Points() int {
-	cases, err := s.expand()
+	plan, err := planFor(s)
 	if err != nil {
 		return 0
 	}
-	return len(cases)
-}
-
-// expand validates the spec and builds every grid point, deriving each
-// point's machine. Expansion order is the determinism anchor: bases in
-// order, axis values in odometer order (last axis fastest), then
-// threads, placements, precisions.
-func (s CampaignSpec) expand() ([]campaignCase, error) {
-	s = s.normalized()
-	if len(s.Bases) == 0 {
-		return nil, fmt.Errorf("core: campaign has no base machines")
-	}
-	seen := make(map[string]bool, len(s.Bases))
-	for _, b := range s.Bases {
-		if b == nil {
-			return nil, fmt.Errorf("core: campaign has a nil base machine")
-		}
-		if err := b.Validate(); err != nil {
-			return nil, err
-		}
-		key := strings.ToLower(b.Label)
-		if seen[key] {
-			return nil, fmt.Errorf("core: campaign base %q listed twice", b.Label)
-		}
-		seen[key] = true
-	}
-	combos := 1
-	seenAxis := make(map[SweepAxis]bool, len(s.Axes))
-	for _, ax := range s.Axes {
-		switch ax.Axis {
-		case SweepCores, SweepClock, SweepVector, SweepNUMA, SweepSockets, SweepNodes:
-		default:
-			return nil, fmt.Errorf("core: unknown campaign axis %q (want one of %s)",
-				ax.Axis, joinAxes())
-		}
-		if seenAxis[ax.Axis] {
-			return nil, fmt.Errorf("core: campaign axis %s listed twice", ax.Axis)
-		}
-		seenAxis[ax.Axis] = true
-		if len(ax.Values) == 0 {
-			return nil, fmt.Errorf("core: campaign axis %s has no values", ax.Axis)
-		}
-		combos *= len(ax.Values)
-	}
-	for _, t := range s.Threads {
-		if t < 0 {
-			return nil, fmt.Errorf("core: campaign threads %d < 0", t)
-		}
-	}
-	for _, pol := range s.Placements {
-		switch pol {
-		case placement.Block, placement.CyclicNUMA, placement.ClusterCyclic:
-		default:
-			return nil, fmt.Errorf("core: unknown campaign placement %v", pol)
-		}
-	}
-	for _, p := range s.Precs {
-		switch p {
-		case prec.F32, prec.F64:
-		default:
-			return nil, fmt.Errorf("core: unknown campaign precision %v", p)
-		}
-	}
-	total := len(s.Bases) * combos * len(s.Threads) * len(s.Placements) * len(s.Precs)
-	if total > MaxCampaignPoints {
-		return nil, fmt.Errorf("core: campaign expands to %d points, max %d", total, MaxCampaignPoints)
-	}
-
-	cases := make([]campaignCase, 0, total)
-	values := make([]float64, len(s.Axes))
-	for _, base := range s.Bases {
-		var walk func(i int, m *machine.Machine) error
-		walk = func(i int, m *machine.Machine) error {
-			if i == len(s.Axes) {
-				applied := append([]float64(nil), values...)
-				for _, t := range s.Threads {
-					for _, pol := range s.Placements {
-						for _, p := range s.Precs {
-							cases = append(cases, campaignCase{
-								base: base, m: m, values: applied,
-								threads: t, pol: pol, p: p,
-							})
-						}
-					}
-				}
-				return nil
-			}
-			for _, v := range s.Axes[i].Values {
-				variant, err := deriveAxis(m, s.Axes[i].Axis, v)
-				if err != nil {
-					return err
-				}
-				values[i] = v
-				if err := walk(i+1, variant); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		if err := walk(0, base); err != nil {
-			return nil, err
-		}
-	}
-	return cases, nil
+	return plan.n
 }
 
 // Fingerprints returns the derived machine fingerprint of every grid
 // point, in grid order. The distributed fabric (internal/fabric) keys
 // its consistent-hash shard assignment on these, so every point of one
 // derived machine lands on the same worker and each shard owns a
-// stable slice of the suite cache.
+// stable slice of the suite cache. The fingerprints come straight off
+// the compiled plan — one hash per unique derived machine, decoded to
+// points arithmetically, never one per point.
 func (s CampaignSpec) Fingerprints() ([]uint64, error) {
-	cases, err := s.expand()
+	plan, err := planFor(s)
 	if err != nil {
 		return nil, err
 	}
-	fps := make([]uint64, len(cases))
-	for i, c := range cases {
-		fps[i] = c.m.Fingerprint()
+	fps := make([]uint64, plan.n)
+	soft := plan.softPerCombo()
+	for i := range fps {
+		fps[i] = plan.combos[i/soft].fp
 	}
 	return fps, nil
 }
@@ -353,40 +255,71 @@ func campaignConfig(m *machine.Machine, threads int, pol placement.Policy, p pre
 	}
 }
 
-// evalCampaignPoint measures one grid point and its base under the same
-// software configuration, both through the memoized suite cache.
-func (st *Study) evalCampaignPoint(i int, c campaignCase) (CampaignPoint, error) {
-	cfg := campaignConfig(c.m, c.threads, c.pol, c.p)
-	ms, err := st.RunSuite(cfg)
+// evalUniq measures one deduplicated evaluation unit — a grid point
+// and its base under the same software configuration, both through the
+// memoized suite cache — and builds the point template every grid
+// point of the unit shares (Index is patched per point at fan-out; the
+// Values slice and ByClass map are shared read-only).
+//
+// The aggregation is the positional form of the Ratios/ClassSummaries
+// pipeline the naive path used: ratios and per-class groups are read
+// off measurement positions (suite order, the order the map-based path
+// iterated in anyway), so every float operation happens on the same
+// values in the same order and the template is bit-identical — without
+// the two name-keyed maps and per-class append-grown slices per point.
+func (st *Study) evalUniq(plan *campaignPlan, u planUniq) (CampaignPoint, error) {
+	pc := &plan.configs[u.cfg]
+	bc := &plan.configs[u.baseCfg]
+	cfg := campaignConfig(pc.m, pc.threads, pc.pol, pc.p)
+	ms, err := st.runSuiteShared(cfg, st.suiteKeyFP(cfg, pc.fp))
 	if err != nil {
 		return CampaignPoint{}, err
 	}
-	base, err := st.RunSuite(campaignConfig(c.base, c.threads, c.pol, c.p))
+	bcfg := campaignConfig(bc.m, bc.threads, bc.pol, bc.p)
+	base, err := st.runSuiteShared(bcfg, st.suiteKeyFP(bcfg, bc.fp))
 	if err != nil {
 		return CampaignPoint{}, err
 	}
-	ratios, err := Ratios(base, ms)
-	if err != nil {
-		return CampaignPoint{}, err
-	}
+	cb := &plan.combos[u.combo]
 	p := CampaignPoint{
-		Index: i, Base: c.base.Label, Machine: c.m.Label, Values: c.values,
-		Threads: cfg.Threads, Placement: c.pol, Prec: c.p, Cores: c.m.Cores,
-		ByClass: make(map[kernels.Class]CampaignCell),
+		Index: -1, Base: bc.m.Label, Machine: pc.m.Label, Values: cb.values,
+		Threads: cfg.Threads, Placement: pc.pol, Prec: pc.p, Cores: pc.m.Cores,
+		ByClass: make(map[kernels.Class]CampaignCell, len(kernels.Classes)),
 	}
-	perClass := make(map[kernels.Class][]float64)
-	for _, m := range ms {
-		p.TotalSeconds += m.Seconds
-		perClass[m.Class] = append(perClass[m.Class], m.Seconds)
+	// Scratch lives in stack arrays (the suite is 64 kernels; a custom
+	// subset larger than that falls back to the heap) — the per-point
+	// ratio and per-class slices were the naive path's hottest allocs.
+	var ratiosArr, secsArr, ratsArr [64]float64
+	ratios := ratiosArr[:0]
+	if len(ms) > len(ratiosArr) {
+		ratios = make([]float64, 0, len(ms))
 	}
-	byClass := ClassSummaries(ratios)
+	for i := range ms {
+		if ms[i].Seconds <= 0 {
+			return CampaignPoint{}, fmt.Errorf("core: kernel %s has non-positive time", ms[i].Kernel)
+		}
+		ratios = append(ratios, base[i].Seconds/ms[i].Seconds)
+		p.TotalSeconds += ms[i].Seconds
+	}
+	pos := classPositions()
 	sum, n := 0.0, 0
-	for _, class := range kernels.Classes {
-		secs, ok := perClass[class]
-		if !ok {
+	for ci, class := range kernels.Classes {
+		idxs := pos[ci]
+		if len(idxs) == 0 {
 			continue
 		}
-		cell := CampaignCell{Seconds: stats.Mean(secs), Ratio: byClass[class]}
+		secs, rats := secsArr[:0], ratsArr[:0]
+		for _, k := range idxs {
+			if k >= len(ms) {
+				continue
+			}
+			secs = append(secs, ms[k].Seconds)
+			rats = append(rats, ratios[k])
+		}
+		if len(secs) == 0 {
+			continue
+		}
+		cell := CampaignCell{Seconds: stats.Mean(secs), Ratio: stats.Summarize(rats)}
 		p.ByClass[class] = cell
 		sum += cell.Ratio.Mean
 		n++
@@ -406,54 +339,64 @@ func (st *Study) evalCampaignPoint(i int, c campaignCase) (CampaignPoint, error)
 // the completion order. An emit error aborts the campaign after the
 // in-flight evaluations drain.
 func (st *Study) Campaign(spec CampaignSpec, emit func(CampaignPoint) error) (CampaignResult, error) {
-	cases, err := spec.expand()
+	plan, err := planFor(spec)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	n := len(cases)
-	points := make([]CampaignPoint, n)
-	ready := make([]chan struct{}, n)
+	plan.dedup()
+	n := plan.n
+	nu := len(plan.uniqs)
+	// Workers evaluate deduplicated units, not grid points: colliding
+	// points (same derived machine, same clamped threads against variant
+	// and base, same placement/precision) share one evaluation and fan
+	// out by index below. templates and ready are sized to the units.
+	templates := make([]CampaignPoint, nu)
+	ready := make([]chan struct{}, nu)
 	for i := range ready {
 		ready[i] = make(chan struct{})
 	}
 	// An emit failure (a disconnected streaming client) flips aborted;
-	// workers check it before each point so the rest of the grid is
+	// workers check it before each unit so the rest of the grid is
 	// cancelled through par's first-error path instead of evaluated for
 	// nobody.
 	var aborted atomic.Bool
 	evalDone := make(chan error, 1)
 	go func() {
-		evalDone <- par.ForEach(n, st.Workers, func(i int) error {
+		evalDone <- par.ForEach(nu, st.Workers, func(u int) error {
 			if aborted.Load() {
 				return errCampaignAborted
 			}
-			p, err := st.evalCampaignPoint(i, cases[i])
+			p, err := st.evalUniq(plan, plan.uniqs[u])
 			if err != nil {
 				return err
 			}
-			points[i] = p
-			close(ready[i])
+			templates[u] = p
+			close(ready[u])
 			return nil
 		})
 	}()
 
+	points := make([]CampaignPoint, n)
 	var emitErr error
 	pending := evalDone
 	for i := 0; i < n && emitErr == nil; i++ {
+		u := plan.pointUniq[i]
 		if pending != nil {
 			select {
-			case <-ready[i]:
+			case <-ready[u]:
 			case err := <-evalDone:
 				pending = nil
 				if err != nil {
 					return CampaignResult{}, err
 				}
-				// Evaluation finished cleanly: every slot is ready.
-				<-ready[i]
+				// Evaluation finished cleanly: every unit is ready.
+				<-ready[u]
 			}
 		} else {
-			<-ready[i]
+			<-ready[u]
 		}
+		points[i] = templates[u]
+		points[i].Index = i
 		if emit != nil {
 			if emitErr = emit(points[i]); emitErr != nil {
 				aborted.Store(true)
@@ -490,30 +433,45 @@ func (st *Study) Campaign(spec CampaignSpec, emit func(CampaignPoint) error) (Ca
 // same point of a single-process campaign, which it is — same cache,
 // same seeding. An emit error aborts the remaining evaluations.
 func (st *Study) CampaignPoints(spec CampaignSpec, indices []int, emit func(CampaignPoint) error) error {
-	cases, err := spec.expand()
+	plan, err := planFor(spec)
 	if err != nil {
 		return err
 	}
+	plan.dedup()
 	seen := make(map[int]bool, len(indices))
 	for _, i := range indices {
-		if i < 0 || i >= len(cases) {
-			return fmt.Errorf("core: campaign point %d out of range (grid has %d points)", i, len(cases))
+		if i < 0 || i >= plan.n {
+			return fmt.Errorf("core: campaign point %d out of range (grid has %d points)", i, plan.n)
 		}
 		if seen[i] {
 			return fmt.Errorf("core: campaign point %d requested twice", i)
 		}
 		seen[i] = true
 	}
+	// Group the requested indices by evaluation unit (first-occurrence
+	// order) so colliding points in one shard evaluate once; each unit's
+	// points emit together under the mutex, which preserves the contract
+	// — emission is serialized, completion-ordered, unspecified.
+	groups := make(map[int32][]int)
+	var order []int32
+	for _, i := range indices {
+		u := plan.pointUniq[i]
+		if _, ok := groups[u]; !ok {
+			order = append(order, u)
+		}
+		groups[u] = append(groups[u], i)
+	}
 	var mu sync.Mutex
 	var emitErr error
-	err = par.ForEach(len(indices), st.Workers, func(k int) error {
+	err = par.ForEach(len(order), st.Workers, func(k int) error {
 		mu.Lock()
 		failed := emitErr != nil
 		mu.Unlock()
 		if failed {
 			return errCampaignAborted
 		}
-		p, err := st.evalCampaignPoint(indices[k], cases[indices[k]])
+		u := order[k]
+		p, err := st.evalUniq(plan, plan.uniqs[u])
 		if err != nil {
 			return err
 		}
@@ -523,8 +481,11 @@ func (st *Study) CampaignPoints(spec CampaignSpec, indices []int, emit func(Camp
 			return errCampaignAborted
 		}
 		if emit != nil {
-			if emitErr = emit(p); emitErr != nil {
-				return emitErr
+			for _, i := range groups[u] {
+				p.Index = i
+				if emitErr = emit(p); emitErr != nil {
+					return emitErr
+				}
 			}
 		}
 		return nil

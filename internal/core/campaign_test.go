@@ -189,8 +189,8 @@ func TestCampaignValidation(t *testing.T) {
 			Axes: []AxisValues{{Axis: SweepVector, Values: []float64{256}}}}, "no vector unit"},
 		{"oversized grid", CampaignSpec{Bases: []*machine.Machine{sg},
 			Axes: []AxisValues{
-				{Axis: SweepCores, Values: manyValues(32)},
-				{Axis: SweepClock, Values: manyValues(32)},
+				{Axis: SweepCores, Values: manyValues(96)},
+				{Axis: SweepClock, Values: manyValues(96)},
 			}}, "max"},
 	}
 	for _, tc := range cases {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/autovec"
 	"repro/internal/kernels"
@@ -102,12 +103,39 @@ func (st *Study) RunSuite(cfg perfmodel.Config) ([]Measurement, error) {
 	return out, nil
 }
 
+// runSuiteShared is RunSuite without the defensive copy-out: it returns
+// the cache's own measurement slice, which the caller must treat as
+// read-only. The campaign planner reads each configuration's
+// measurements positionally (suite order) without mutating them, so the
+// per-point 64-measurement copies RunSuite pays are pure waste there.
+// key must be st.suiteKeyFor(cfg) (or suiteKeyFP with the machine's
+// fingerprint).
+func (st *Study) runSuiteShared(cfg perfmodel.Config, key suiteKey) ([]Measurement, error) {
+	if st.NoCache || st.cache == nil {
+		return st.runSuiteUncached(cfg)
+	}
+	e := st.cache.entry(key)
+	e.once.Do(func() {
+		e.ms, e.err = st.runSuiteUncached(cfg)
+		e.done.Store(true)
+	})
+	return e.ms, e.err
+}
+
+// breakdownPool recycles the per-configuration Breakdown buffer: the
+// model's intermediate terms are consumed immediately into Measurements
+// and never escape a single runSuiteUncached call.
+var breakdownPool = sync.Pool{
+	New: func() any { b := make([]perfmodel.Breakdown, 0, 64); return &b },
+}
+
 func (st *Study) runSuiteUncached(cfg perfmodel.Config) ([]Measurement, error) {
 	specs := suite.All()
-	// Batched evaluation: one evaluation context per configuration, so
-	// the placement/sharing analysis runs once instead of once per
-	// kernel. SuiteTimes is bit-identical to per-kernel KernelTime.
-	bds, err := st.Model.SuiteTimes(specs, cfg)
+	// Compiled evaluation: one plan per configuration, so the
+	// placement/sharing analysis and the per-spec invariants are
+	// resolved once instead of once per kernel. The planned path is
+	// bit-identical to per-kernel KernelTime.
+	plan, err := st.Model.SuitePlan(specs, cfg)
 	if err != nil {
 		label := "<nil machine>"
 		if cfg.Machine != nil {
@@ -115,20 +143,40 @@ func (st *Study) runSuiteUncached(cfg perfmodel.Config) ([]Measurement, error) {
 		}
 		return nil, fmt.Errorf("core: suite on %s: %w", label, err)
 	}
+	buf := breakdownPool.Get().(*[]perfmodel.Breakdown)
+	bds := plan.Times(*buf)
 	out := make([]Measurement, len(specs))
-	rng := rand.New(rand.NewSource(st.Seed ^ configSeed(cfg)))
 	runs := st.Runs
 	if runs < 1 {
 		runs = 1
 	}
-	for i := range specs {
-		sum := 0.0
-		for r := 0; r < runs; r++ {
-			sum += bds[i].Seconds * (1 + st.Noise*rng.NormFloat64())
+	seed := st.Seed ^ configSeed(cfg)
+	if draws := noiseDraws(seed, len(specs)*runs); draws != nil {
+		// Cached draws: the same values a freshly seeded generator
+		// produces, consumed in the same order (kernel-major).
+		k := 0
+		for i := range specs {
+			sum := 0.0
+			for r := 0; r < runs; r++ {
+				sum += bds[i].Seconds * (1 + st.Noise*draws[k])
+				k++
+			}
+			out[i] = Measurement{Kernel: specs[i].Name, Class: specs[i].Class,
+				Seconds: sum / float64(runs)}
 		}
-		out[i] = Measurement{Kernel: specs[i].Name, Class: specs[i].Class,
-			Seconds: sum / float64(runs)}
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		for i := range specs {
+			sum := 0.0
+			for r := 0; r < runs; r++ {
+				sum += bds[i].Seconds * (1 + st.Noise*rng.NormFloat64())
+			}
+			out[i] = Measurement{Kernel: specs[i].Name, Class: specs[i].Class,
+				Seconds: sum / float64(runs)}
+		}
 	}
+	*buf = bds
+	breakdownPool.Put(buf)
 	return out, nil
 }
 

@@ -1,0 +1,75 @@
+package core
+
+// Measurement-noise draw memoization. runSuiteUncached's noise draws
+// are a pure function of the stream's seed (Seed ^ configSeed(cfg)):
+// the same configuration always consumes the same NormFloat64 sequence
+// in the same order, whatever the Study's Noise or Runs settings (Noise
+// scales a draw, Runs takes a prefix). Seeding math/rand's generator is
+// the expensive part — the lagged-Fibonacci state derivation costs more
+// than the draws themselves — and a campaign-heavy process replays the
+// same few dozen seeds on every cold engine, so the draws are cached
+// process-wide by seed. A cached replay multiplies the identical draw
+// values in the identical order, so results stay bit-identical to a
+// freshly seeded generator; the caller falls back to one when the cache
+// is full.
+
+import (
+	"math/rand"
+	"sync"
+)
+
+const (
+	// maxNoiseSeeds bounds the cache: distinct seeds come from distinct
+	// (machine label, software config) pairs, so a serving process sees
+	// a bounded working set and an adversarial one cannot grow the
+	// cache past ~maxNoiseSeeds * maxNoiseDraws floats.
+	maxNoiseSeeds = 1024
+	// maxNoiseDraws bounds one stream (a full suite at default Runs is
+	// 320 draws; anything past this falls back to a fresh generator).
+	maxNoiseDraws = 1 << 14
+)
+
+// noiseStream is one seed's draw prefix, extended on demand.
+type noiseStream struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	draws []float64
+}
+
+var noiseStreams struct {
+	mu sync.Mutex
+	m  map[int64]*noiseStream
+}
+
+// noiseDraws returns the first n NormFloat64 draws of the seeded
+// stream, or nil when the request cannot be served from the cache (the
+// caller seeds a fresh generator). The returned slice is shared and
+// read-only; extending a stream never moves bytes under a prior
+// caller's view.
+func noiseDraws(seed int64, n int) []float64 {
+	if n > maxNoiseDraws {
+		return nil
+	}
+	noiseStreams.mu.Lock()
+	s, ok := noiseStreams.m[seed]
+	if !ok {
+		if len(noiseStreams.m) >= maxNoiseSeeds {
+			noiseStreams.mu.Unlock()
+			return nil
+		}
+		if noiseStreams.m == nil {
+			noiseStreams.m = make(map[int64]*noiseStream)
+		}
+		s = &noiseStream{rng: rand.New(rand.NewSource(seed))}
+		noiseStreams.m[seed] = s
+	}
+	noiseStreams.mu.Unlock()
+
+	s.mu.Lock()
+	for len(s.draws) < n {
+		s.draws = append(s.draws, s.rng.NormFloat64())
+	}
+	d := s.draws[:n:n]
+	s.mu.Unlock()
+	return d
+}

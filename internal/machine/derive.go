@@ -35,21 +35,23 @@ func (m *Machine) WithCores(n int) (*Machine, error) {
 		return nil, fmt.Errorf("machine %s: %d cores do not divide across %d packages (derive sockets or nodes instead)",
 			m.Label, n, pk)
 	}
-	v := m.Clone()
-	v.Cores = n
-	if n < m.NUMARegions {
-		v.NUMARegions = 1
-		v.MemCtrlPerNUMA = m.MemCtrlPerNUMA * m.NUMARegions
-	}
-	v.NUMARegionOf = make([]int, n)
-	for c := range v.NUMARegionOf {
-		v.NUMARegionOf[c] = c * v.NUMARegions / n
-	}
-	v.Label = fmt.Sprintf("%s/c%d", m.Label, n)
-	if err := v.Validate(); err != nil {
-		return nil, err
-	}
-	return v, nil
+	return derived(m, opCores, uint64(n), func() (*Machine, error) {
+		v := m.Clone()
+		v.Cores = n
+		if n < m.NUMARegions {
+			v.NUMARegions = 1
+			v.MemCtrlPerNUMA = m.MemCtrlPerNUMA * m.NUMARegions
+		}
+		v.NUMARegionOf = make([]int, n)
+		for c := range v.NUMARegionOf {
+			v.NUMARegionOf[c] = c * v.NUMARegions / n
+		}
+		v.Label = fmt.Sprintf("%s/c%d", m.Label, n)
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
 }
 
 // WithClock returns a copy of m clocked at hz. Bandwidths are left
@@ -60,13 +62,15 @@ func (m *Machine) WithClock(hz float64) (*Machine, error) {
 	if hz <= 0 || math.IsNaN(hz) || math.IsInf(hz, 0) {
 		return nil, fmt.Errorf("machine %s: cannot derive variant clocked at %v Hz", m.Label, hz)
 	}
-	v := m.Clone()
-	v.ClockHz = hz
-	v.Label = fmt.Sprintf("%s/%gGHz", m.Label, hz/1e9)
-	if err := v.Validate(); err != nil {
-		return nil, err
-	}
-	return v, nil
+	return derived(m, opClock, math.Float64bits(hz), func() (*Machine, error) {
+		v := m.Clone()
+		v.ClockHz = hz
+		v.Label = fmt.Sprintf("%s/%gGHz", m.Label, hz/1e9)
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
 }
 
 // WithVectorBits returns a copy of m with the vector register width set
@@ -81,13 +85,15 @@ func (m *Machine) WithVectorBits(bits int) (*Machine, error) {
 	if bits < 8 {
 		return nil, fmt.Errorf("machine %s: cannot derive %d-bit vector variant", m.Label, bits)
 	}
-	v := m.Clone()
-	v.Vector.WidthBits = bits
-	v.Label = fmt.Sprintf("%s/v%d", m.Label, bits)
-	if err := v.Validate(); err != nil {
-		return nil, err
-	}
-	return v, nil
+	return derived(m, opVector, uint64(bits), func() (*Machine, error) {
+		v := m.Clone()
+		v.Vector.WidthBits = bits
+		v.Label = fmt.Sprintf("%s/v%d", m.Label, bits)
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
 }
 
 // WithNUMARegions returns a copy of m with n NUMA regions. The total
@@ -111,18 +117,20 @@ func (m *Machine) WithNUMARegions(n int) (*Machine, error) {
 		return nil, fmt.Errorf("machine %s: %d NUMA regions do not divide across %d packages",
 			m.Label, n, pk)
 	}
-	v := m.Clone()
-	v.NUMARegions = n
-	v.MemCtrlPerNUMA = total / n
-	v.NUMARegionOf = make([]int, m.Cores)
-	for c := range v.NUMARegionOf {
-		v.NUMARegionOf[c] = c * n / m.Cores
-	}
-	v.Label = fmt.Sprintf("%s/n%d", m.Label, n)
-	if err := v.Validate(); err != nil {
-		return nil, err
-	}
-	return v, nil
+	return derived(m, opNUMA, uint64(n), func() (*Machine, error) {
+		v := m.Clone()
+		v.NUMARegions = n
+		v.MemCtrlPerNUMA = total / n
+		v.NUMARegionOf = make([]int, m.Cores)
+		for c := range v.NUMARegionOf {
+			v.NUMARegionOf[c] = c * n / m.Cores
+		}
+		v.Label = fmt.Sprintf("%s/n%d", m.Label, n)
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
 }
 
 // Default inter-socket and inter-node link parameters, applied when a
@@ -153,24 +161,26 @@ func (m *Machine) WithSockets(n int) (*Machine, error) {
 		return nil, fmt.Errorf("machine %s: %d sockets of %d cores exceed %d cores",
 			m.Label, n, cp, MaxCores)
 	}
-	v := m.Clone()
-	v.Sockets = n
-	v.Cores = cp * n * m.NodeCount()
-	v.NUMARegions = rp * n * m.NodeCount()
-	v.NUMARegionOf = replicatePackages(m.NUMARegionOf[:cp], rp, v.Cores)
-	if n > 1 {
-		if v.XSocketBW == 0 {
-			v.XSocketBW = 0.5 * float64(m.MemCtrlPerNUMA) * m.CtrlBW * float64(rp)
+	return derived(m, opSockets, uint64(n), func() (*Machine, error) {
+		v := m.Clone()
+		v.Sockets = n
+		v.Cores = cp * n * m.NodeCount()
+		v.NUMARegions = rp * n * m.NodeCount()
+		v.NUMARegionOf = replicatePackages(m.NUMARegionOf[:cp], rp, v.Cores)
+		if n > 1 {
+			if v.XSocketBW == 0 {
+				v.XSocketBW = 0.5 * float64(m.MemCtrlPerNUMA) * m.CtrlBW * float64(rp)
+			}
+			if v.XSocketLatencyNs == 0 {
+				v.XSocketLatencyNs = 1.5 * m.MemLatencyNs
+			}
 		}
-		if v.XSocketLatencyNs == 0 {
-			v.XSocketLatencyNs = 1.5 * m.MemLatencyNs
+		v.Label = fmt.Sprintf("%s/s%d", m.Label, n)
+		if err := v.Validate(); err != nil {
+			return nil, err
 		}
-	}
-	v.Label = fmt.Sprintf("%s/s%d", m.Label, n)
-	if err := v.Validate(); err != nil {
-		return nil, err
-	}
-	return v, nil
+		return v, nil
+	})
 }
 
 // WithNodes returns a copy of m fused across n nodes: the base's
@@ -188,24 +198,26 @@ func (m *Machine) WithNodes(n int) (*Machine, error) {
 		return nil, fmt.Errorf("machine %s: %d nodes of %d cores exceed %d cores",
 			m.Label, n, cpn, MaxCores)
 	}
-	v := m.Clone()
-	v.Nodes = n
-	v.Cores = cpn * n
-	v.NUMARegions = rpn * n
-	v.NUMARegionOf = replicatePackages(m.NUMARegionOf[:cpn], rpn, v.Cores)
-	if n > 1 {
-		if v.NodeBW == 0 {
-			v.NodeBW = defaultNodeBW
+	return derived(m, opNodes, uint64(n), func() (*Machine, error) {
+		v := m.Clone()
+		v.Nodes = n
+		v.Cores = cpn * n
+		v.NUMARegions = rpn * n
+		v.NUMARegionOf = replicatePackages(m.NUMARegionOf[:cpn], rpn, v.Cores)
+		if n > 1 {
+			if v.NodeBW == 0 {
+				v.NodeBW = defaultNodeBW
+			}
+			if v.NodeLatencyNs == 0 {
+				v.NodeLatencyNs = defaultNodeLatencyNs
+			}
 		}
-		if v.NodeLatencyNs == 0 {
-			v.NodeLatencyNs = defaultNodeLatencyNs
+		v.Label = fmt.Sprintf("%s/node%d", m.Label, n)
+		if err := v.Validate(); err != nil {
+			return nil, err
 		}
-	}
-	v.Label = fmt.Sprintf("%s/node%d", m.Label, n)
-	if err := v.Validate(); err != nil {
-		return nil, err
-	}
-	return v, nil
+		return v, nil
+	})
 }
 
 // replicatePackages tiles one package's region pattern (regions spanning

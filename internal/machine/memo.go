@@ -1,0 +1,73 @@
+package machine
+
+// Derivation memoization. The What-if helpers (derive.go) deep-copy
+// the base, rebuild its topology maps, re-render the label and
+// re-validate on every call — and campaign grids, sweeps and the
+// distributed fabric's workers re-derive the same handful of variants
+// over and over (a thread axis alone revisits each derived machine once
+// per software configuration). The memo keys on the base machine's
+// full-parameter fingerprint (the same trust the study engine's suite
+// cache places in it), the operation, and the argument's bit pattern,
+// and stores a private clone: hits are served as fresh clones, so the
+// API contract is unchanged — every call still returns a machine the
+// caller owns outright and may mutate freely.
+//
+// Errors are not cached: they are rare, cheap to recompute (the
+// argument checks run before the memo is consulted), and keeping them
+// out means the cache holds only validated machines.
+
+import "sync"
+
+// deriveOp names one derivation helper in the memo key.
+type deriveOp uint8
+
+const (
+	opCores deriveOp = iota
+	opClock
+	opVector
+	opNUMA
+	opSockets
+	opNodes
+)
+
+type deriveKey struct {
+	fp   uint64 // base machine fingerprint (full parameter set)
+	op   deriveOp
+	bits uint64 // argument: integer value or Float64bits
+}
+
+// maxDerived bounds the memo. Distinct keys come from distinct (base,
+// axis, value) triples — a bounded working set in any real process —
+// and past the bound new derivations simply build per call.
+const maxDerived = 4096
+
+var deriveMemo struct {
+	mu sync.Mutex
+	m  map[deriveKey]*Machine
+}
+
+// derived memoizes one derivation: a hit returns a clone of the cached
+// variant; a miss builds it, stores a private clone, and returns the
+// built machine. The caller always owns the returned pointer.
+func derived(m *Machine, op deriveOp, bits uint64, build func() (*Machine, error)) (*Machine, error) {
+	k := deriveKey{fp: m.Fingerprint(), op: op, bits: bits}
+	deriveMemo.mu.Lock()
+	v, ok := deriveMemo.m[k]
+	deriveMemo.mu.Unlock()
+	if ok {
+		return v.Clone(), nil
+	}
+	built, err := build()
+	if err != nil {
+		return nil, err
+	}
+	deriveMemo.mu.Lock()
+	if deriveMemo.m == nil {
+		deriveMemo.m = make(map[deriveKey]*Machine)
+	}
+	if len(deriveMemo.m) < maxDerived {
+		deriveMemo.m[k] = built.Clone()
+	}
+	deriveMemo.mu.Unlock()
+	return built, nil
+}

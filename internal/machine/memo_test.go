@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDeriveMemoConcurrent hammers the derivation memo from many
+// goroutines (run under -race) and checks the ownership contract: every
+// call returns a machine equal to a fresh derivation, and mutating one
+// returned machine never leaks into another call's result or into the
+// cached copy.
+func TestDeriveMemoConcurrent(t *testing.T) {
+	base := SG2042()
+	want, err := base.WithVectorBits(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const iters = 50
+	results := make([][]*Machine, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v, err := SG2042().WithVectorBits(256)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Scribble over the returned machine: if the memo handed
+				// out shared state, the race detector or the equality
+				// checks below will catch it.
+				v.ClockHz = float64(g*1000 + i)
+				v.NUMARegionOf[0] = g
+				results[g] = append(results[g], v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// A post-scribble call still returns the pristine variant.
+	got, err := base.WithVectorBits(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("memoized derivation diverged: fingerprint %x, want %x",
+			got.Fingerprint(), want.Fingerprint())
+	}
+	for g := range results {
+		for i, v := range results[g] {
+			if v.ClockHz != float64(g*1000+i) || v.NUMARegionOf[0] != g {
+				t.Fatalf("goroutine %d call %d: returned machine shares state", g, i)
+			}
+		}
+	}
+}
+
+// TestDeriveMemoDistinctKeys checks that different arguments and
+// different bases never collide in the memo.
+func TestDeriveMemoDistinctKeys(t *testing.T) {
+	sg := SG2042()
+	v128, err := sg.WithVectorBits(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v256, err := sg.WithVectorBits(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v128.Vector.WidthBits != 128 || v256.Vector.WidthBits != 256 {
+		t.Fatalf("vector derivations collided: %d / %d",
+			v128.Vector.WidthBits, v256.Vector.WidthBits)
+	}
+	if v128.Label == v256.Label {
+		t.Fatalf("labels collided: %s", v128.Label)
+	}
+	// Same op+argument on a different base must not hit the SG2042 entry.
+	other, err := SG2044().WithVectorBits(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Label == v256.Label {
+		t.Fatalf("cross-base collision: %s", other.Label)
+	}
+	// Errors stay uncached and never poison later calls.
+	if _, err := VisionFiveV2().WithVectorBits(256); err == nil {
+		t.Fatal("vectorless widen: want error")
+	}
+	again, err := sg.WithVectorBits(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Vector.WidthBits != 256 {
+		t.Fatalf("post-error derivation wrong: %d bits", again.Vector.WidthBits)
+	}
+}

@@ -96,13 +96,14 @@ func (m *Model) KernelTime(spec kernels.Spec, cfg Config) (Breakdown, error) {
 	return m.kernelTime(ctx, spec), nil
 }
 
-// trafficPerIter returns bytes moved per innermost iteration. The
-// DRAM-served share of stores pays write-allocate + write-back (2x);
-// cache-resident stores don't.
-func trafficPerIter(spec kernels.Spec, p prec.Precision, dramShare float64) float64 {
+// trafficPerIterPre returns bytes moved per innermost iteration, from
+// the kernel's precomputed access counts. The DRAM-served share of
+// stores pays write-allocate + write-back (2x); cache-resident stores
+// don't.
+func trafficPerIterPre(pre *specPre, p prec.Precision, dramShare float64) float64 {
 	fb := float64(p.Bytes())
-	loads := spec.Loop.LoadsPerIter()*fb + spec.Loop.IntLoadsPerIter()*8
-	stores := spec.Loop.StoresPerIter()*fb + spec.Loop.IntStoresPerIter()*8
+	loads := pre.loadsF*fb + pre.loadsI*8
+	stores := pre.storesF*fb + pre.storesI*8
 	stores *= 1 + dramShare
 	return loads + stores
 }
@@ -117,9 +118,8 @@ func (m *Model) patternEfficiency(p ir.Pattern) float64 {
 
 // latencyTerm charges latency-bound access streams (indirect/random)
 // that bandwidth numbers do not capture, divided by the core's MLP.
-func (m *Model) latencyTerm(ctx *evalCtx, spec kernels.Spec, served string,
+func (m *Model) latencyTerm(ctx *evalCtx, dom ir.Pattern, served string,
 	itersPerThread float64) float64 {
-	dom := spec.Loop.DominantPattern()
 	if dom != ir.Indirect && dom != ir.Random {
 		return 0
 	}
@@ -142,19 +142,13 @@ func (m *Model) latencyTerm(ctx *evalCtx, spec kernels.Spec, served string,
 // atomicTerm serialises contended atomic updates: kernels whose atomic
 // target is a single shared location (Broadcast store) degrade with
 // threads; distributed atomics only pay the RMW cost.
-func (m *Model) atomicTerm(ctx *evalCtx, spec kernels.Spec, n, threads int) float64 {
-	if !spec.Loop.Features.Has(ir.Atomic) {
+func (m *Model) atomicTerm(ctx *evalCtx, pre *specPre, threads int) float64 {
+	if !pre.atomic {
 		return 0
 	}
-	iters := spec.Iters(n)
+	iters := pre.iters
 	rmw := ctx.rmwSec
-	contended := false
-	for _, a := range spec.Loop.Accesses {
-		if a.Kind == ir.Store && a.Pattern == ir.Broadcast {
-			contended = true
-		}
-	}
-	if contended {
+	if pre.contended {
 		// Every update serialises on one cache line; contention adds
 		// cross-thread line bouncing that grows with sharers.
 		factor := 1 + m.Cal.AtomicContention*float64(threads-1)

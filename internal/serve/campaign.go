@@ -240,16 +240,27 @@ func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec rep
 // streamCampaign writes the live NDJSON stream and returns the complete
 // body for the render cache. Under Options.Coordinate the points come
 // off the fabric — evaluated across the fleet, emitted here in grid
-// order — and the lines are byte-identical to the local stream.
+// order — and the lines are byte-identical to the local stream. Point
+// lines go through the pooled append encoder (ndjson.go) — byte-for-byte
+// what json.Encoder produced, without a reflection walk and interface
+// boxing per line — while the one-off summary line stays on
+// encoding/json.
 func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, spec repro.CampaignSpec, raw []byte) ([]byte, error) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	var buf bytes.Buffer
-	enc := json.NewEncoder(io.MultiWriter(w, &buf))
+	line := lineBufPool.Get().(*[]byte)
+	defer func() { *line = (*line)[:0]; lineBufPool.Put(line) }()
 	res, err := s.runCampaign(r, spec, raw, func(p repro.CampaignPoint) error {
-		if err := enc.Encode(campaignPointLine(p)); err != nil {
+		b, err := appendCampaignPoint((*line)[:0], p)
+		if err != nil {
 			return err
 		}
+		*line = b[:0]
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		buf.Write(b)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -271,7 +282,7 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, spec rep
 		}{err.Error()})
 		return nil, err
 	}
-	if err := enc.Encode(campaignSummaryLine(res)); err != nil {
+	if err := json.NewEncoder(io.MultiWriter(w, &buf)).Encode(campaignSummaryLine(res)); err != nil {
 		return nil, err
 	}
 	if flusher != nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -129,7 +130,7 @@ func TestCampaignErrorSplit(t *testing.T) {
 		{"bad precision", "", `{"machines": ["SG2042"], "precisions": ["f16"]}`, http.StatusBadRequest},
 		{"underivable grid", "", `{"machines": ["V2"], "axes": [{"axis": "vector", "values": [256]}]}`, http.StatusBadRequest},
 		{"oversized grid", "", `{"machines": ["SG2042"], "axes": [{"axis": "clock", "values": [` +
-			strings.TrimSuffix(strings.Repeat("1,", 600), ",") + `]}]}`, http.StatusBadRequest},
+			strings.TrimSuffix(strings.Repeat("1,", 8200), ",") + `]}]}`, http.StatusBadRequest},
 		{"unknown machine", "", `{"machines": ["SG9999"]}`, http.StatusNotFound},
 		{"unknown format", "?format=yaml", campaignBody, http.StatusBadRequest},
 	}
@@ -267,5 +268,81 @@ func TestCampaignCachedHitAllocs(t *testing.T) {
 	// only if the hit path regresses to re-rendering.
 	if avg > 400 {
 		t.Errorf("cached campaign hit allocates %.0f per request, want <= 400", avg)
+	}
+}
+
+// collidingCampaignBody is a grid that collides on purpose: the
+// duplicated clock value yields two combos sharing one derived machine,
+// and threads 0 and 64 both resolve to full occupancy on the 64-core
+// SG2042 — four grid points, one unique evaluation.
+const collidingCampaignBody = `{
+  "machines": ["SG2042"],
+  "axes": [{"axis": "clock", "values": [2.0, 2.0]}],
+  "threads": [0, 64]
+}`
+
+// TestCampaignNDJSONDedupIdenticalLines: over HTTP, colliding grid
+// points stream as identical NDJSON lines except for their grid index —
+// cross-point deduplication never shows in the bytes.
+func TestCampaignNDJSONDedupIdenticalLines(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Parallel: 4}))
+	defer ts.Close()
+	status, _, body := postCampaign(t, ts, "?format=ndjson", collidingCampaignBody, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("stream has %d lines, want 4 points + summary", len(lines))
+	}
+	normalize := func(line string, i int) string {
+		prefix := fmt.Sprintf(`{"point":%d,`, i)
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("line %d lacks its index prefix: %s", i, line)
+		}
+		return strings.TrimPrefix(line, prefix)
+	}
+	want := normalize(lines[0], 0)
+	for i := 1; i < 4; i++ {
+		if got := normalize(lines[i], i); got != want {
+			t.Errorf("colliding point %d line differs:\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestDistributedCampaignDedupByteIdentical: a colliding grid sharded
+// over a two-worker fleet — including a degraded fleet that lost a
+// worker — serves byte-for-byte what a single local server serves, in
+// both the text and streaming forms.
+func TestDistributedCampaignDedupByteIdentical(t *testing.T) {
+	local := httptest.NewServer(New(Options{Parallel: 4}).Handler())
+	defer local.Close()
+	coord, workers := newFleet(t, 2)
+	for _, query := range []string{"", "?format=ndjson"} {
+		wantStatus, _, want := postCampaign(t, local, query, collidingCampaignBody, "")
+		if wantStatus != http.StatusOK {
+			t.Fatalf("query %q: local status %d: %s", query, wantStatus, want)
+		}
+		status, _, got := postCampaign(t, coord, query, collidingCampaignBody, "")
+		if status != http.StatusOK {
+			t.Fatalf("query %q: coordinator status %d: %s", query, status, got)
+		}
+		if got != want {
+			t.Errorf("query %q: distributed colliding-grid body differs from local", query)
+		}
+	}
+	// Degrade the fleet and re-ask through a fresh coordinator (the
+	// first one has the renderings cached): still byte-identical.
+	workers[0].CloseClientConnections()
+	workers[0].Close()
+	coord2 := httptest.NewServer(New(Options{Coordinate: []string{workers[0].URL, workers[1].URL}}).Handler())
+	defer coord2.Close()
+	_, _, want := postCampaign(t, local, "", collidingCampaignBody, "")
+	status, _, got := postCampaign(t, coord2, "", collidingCampaignBody, "")
+	if status != http.StatusOK {
+		t.Fatalf("degraded fleet: status %d: %s", status, got)
+	}
+	if got != want {
+		t.Error("degraded-fleet colliding-grid body differs from local")
 	}
 }
