@@ -4,7 +4,10 @@ SERVE_ADDR ?= 127.0.0.1:18042
 # B/op beyond it fail, ns/op only warns (CI timing is noise).
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json profile verify serve doccheck determinism determinism-dist ci
+.PHONY: build vet test race cross bench bench-json bench-compare bench-http bench-http-json profile verify serve doccheck determinism determinism-dist determinism-chaos fuzz-smoke ci
+
+# Per-fuzzer budget for the fuzz-smoke gate.
+FUZZTIME ?= 10s
 
 build:
 	$(GO) build ./...
@@ -139,6 +142,89 @@ determinism-dist:
 	cmp bin/dist-local-degraded.txt bin/dist-sharded-degraded.txt; \
 	echo "determinism-dist OK: sharded == single-process, with and without a dead worker"
 
+# The self-healing chaos gate, in two layers. First the fault-injection
+# and replica suites under the race detector, swept over three fault
+# schedules (FABRIC_FAULT_SEED picks the victims and frames). Then the
+# real binary: a three-worker fleet behind a -replicas 2 coordinator
+# with a fast prober; worker 1 is killed (campaign must stay
+# byte-identical to a single process), restarted on its old port
+# (prober revives it, peers snapshot-warm it — all visible in the
+# coordinator's /metrics and in the worker's own request counters), and
+# finally left as the sole survivor serving an entire campaign alone
+# under degraded quorum. Every phase uses a distinct spec so the
+# coordinator's render cache never replays a previous phase's bytes.
+determinism-chaos:
+	@mkdir -p bin
+	@set -e; for seed in 1 42 1337; do \
+	  echo "== fault schedule seed $$seed =="; \
+	  FABRIC_FAULT_SEED=$$seed $(GO) test -race -count=1 ./internal/fabric/... ./internal/serve; \
+	done
+	$(GO) build -o bin/sg2042d ./cmd/sg2042d
+	@set -e; \
+	./bin/sg2042d -addr 127.0.0.1:18153 -worker > bin/chaos-w1.log 2>&1 & w1=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18154 -worker > bin/chaos-w2.log 2>&1 & w2=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18155 -worker > bin/chaos-w3.log 2>&1 & w3=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18156 \
+	  -coordinate http://127.0.0.1:18153,http://127.0.0.1:18154,http://127.0.0.1:18155 \
+	  -replicas 2 -probe-interval 100ms -probe-timeout 1s -probe-backoff 500ms \
+	  > bin/chaos-coord.log 2>&1 & co=$$!; \
+	./bin/sg2042d -addr 127.0.0.1:18157 > bin/chaos-single.log 2>&1 & si=$$!; \
+	trap 'kill $$w1 $$w2 $$w3 $$co $$si 2>/dev/null || true' EXIT; \
+	for port in 18153 18154 18155 18156 18157; do \
+	  for i in $$(seq 1 40); do \
+	    curl -sf http://127.0.0.1:$$port/healthz > /dev/null && break; \
+	    sleep 0.25; \
+	    if [ $$i = 40 ]; then echo "daemon on $$port never came up"; exit 1; fi; \
+	  done; \
+	done; \
+	metric() { curl -s http://127.0.0.1:$$1/metrics | awk -v m="$$2" 'index($$0, m) == 1 { print $$NF; exit }'; }; \
+	waitmetric() { \
+	  for i in $$(seq 1 100); do \
+	    v=$$(metric $$1 "$$2"); [ -n "$$v" ] && [ "$$v" -ge "$$3" ] && return 0; \
+	    sleep 0.2; \
+	  done; \
+	  echo "timed out waiting for $$2 >= $$3 on :$$1 (last: $$v)"; return 1; \
+	}; \
+	diffphase() { \
+	  curl -sf --data-binary @$$1 http://127.0.0.1:18157/v1/campaign > bin/chaos-local-$$2.txt; \
+	  curl -sf --data-binary @$$1 http://127.0.0.1:18156/v1/campaign > bin/chaos-fleet-$$2.txt; \
+	  cmp bin/chaos-local-$$2.txt bin/chaos-fleet-$$2.txt; \
+	}; \
+	echo "phase 1: full replicated fleet"; \
+	diffphase examples/campaign/spec.json full; \
+	echo "phase 2: worker 1 killed"; \
+	kill $$w1; wait $$w1 2>/dev/null || true; \
+	waitmetric 18156 sg2042d_fabric_probe_deaths_total 1; \
+	diffphase examples/scaling/campaign.json degraded; \
+	echo "phase 3: worker 1 restarted on its old port"; \
+	./bin/sg2042d -addr 127.0.0.1:18153 -worker > bin/chaos-w1b.log 2>&1 & w1=$$!; \
+	waitmetric 18156 sg2042d_fabric_probe_revivals_total 1; \
+	waitmetric 18156 sg2042d_fabric_warm_joins_total 1; \
+	diffphase examples/chaos/rejoin.json rejoined; \
+	waitmetric 18153 'sg2042d_requests_total{endpoint="fabric-warm"}' 1; \
+	waitmetric 18153 'sg2042d_requests_total{endpoint="fabric-healthz"}' 1; \
+	echo "phase 4: restarted worker as sole survivor (degraded quorum)"; \
+	kill $$w2 $$w3; wait $$w2 $$w3 2>/dev/null || true; \
+	waitmetric 18156 sg2042d_fabric_probe_deaths_total 3; \
+	diffphase examples/chaos/solo.json solo; \
+	waitmetric 18153 'sg2042d_requests_total{endpoint="fabric-points"}' 1; \
+	q=$$(metric 18156 sg2042d_fabric_quarantines_total); \
+	if [ "$$q" != "0" ]; then echo "honest fleet was quarantined ($$q)"; exit 1; fi; \
+	echo "determinism-chaos OK: kill/restart/rejoin and solo-survivor phases all byte-identical, rejoined worker served again, no spurious quarantine"
+
+# Run every committed fuzzer for a short budget (FUZZTIME each) — the
+# smoke layer between unit tests and a real fuzzing campaign. Patterns
+# are anchored: internal/core and internal/serve each have two fuzzers,
+# and go test -fuzz refuses to run more than one match.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzCampaignSpecFromJSON$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzAppendJSONString$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzAppendJSONFloat$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzFromJSON$$' -fuzztime $(FUZZTIME) ./internal/machine
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzCampaignGridOrder$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzRestoreCache$$' -fuzztime $(FUZZTIME) ./internal/core
+
 # Build sg2042d and smoke-test it: start the daemon, hit one experiment
 # endpoint through the example client, then shut the daemon down.
 serve:
@@ -158,8 +244,9 @@ serve:
 
 # Everything the CI workflow runs, reproducible in one local command:
 # tier-1 verify, doc references, the race detector, the riscv64
-# cross-build, the byte-level determinism checks (single-process and
-# distributed), the daemon smoke test and both regression gates
-# (engine benchmarks and the serving SLO).
-ci: verify doccheck race cross determinism determinism-dist serve bench-compare bench-http
+# cross-build, the byte-level determinism checks (single-process,
+# distributed, and the self-healing chaos phases), the daemon smoke
+# test, the fuzzer smoke pass and both regression gates (engine
+# benchmarks and the serving SLO).
+ci: verify doccheck race cross determinism determinism-dist determinism-chaos serve fuzz-smoke bench-compare bench-http
 	@echo "ci OK"

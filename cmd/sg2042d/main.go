@@ -12,6 +12,10 @@
 //	sg2042d -worker                 # also serve the fabric shard API
 //	sg2042d -coordinate http://w1:8042,http://w2:8042
 //	                                # shard /v1/campaign over a worker fleet
+//	sg2042d -coordinate ... -replicas 2
+//	                                # cross-check each shard on 2 workers
+//	sg2042d -coordinate ... -probe-interval 500ms
+//	                                # faster worker death/rejoin detection
 //	sg2042d -restore cache.snap     # boot with a warm suite cache
 //	sg2042d -snapshot cache.snap    # write the cache on graceful shutdown
 //
@@ -37,10 +41,16 @@
 // listener is up throughout, and /livez answers 200.
 //
 // Distributed campaigns: -worker additionally mounts the fabric's
-// shard-scoped endpoint (POST /v1/fabric/points); -coordinate runs
-// POST /v1/campaign through a coordinator that shards the grid over
-// the listed workers, byte-identical to a single process and
-// resilient to worker loss (README has a quickstart). -restore loads a
+// shard-scoped endpoints (points, healthz, snapshot, warm); -coordinate
+// runs POST /v1/campaign through a coordinator that shards the grid
+// over the listed workers, byte-identical to a single process and
+// resilient to worker loss (README has a quickstart). The coordinator
+// health-probes every worker (-probe-interval/-probe-timeout/
+// -probe-backoff): a dead worker leaves the ring, a recovered one
+// rejoins mid-campaign and is snapshot-warmed from its ring peers — no
+// coordinator restart. -replicas N cross-checks each shard on N
+// workers, byte-comparing frames and quarantining any worker whose
+// bytes diverge from quorum (visible in /metrics). -restore loads a
 // suite-cache snapshot at boot — a restarted worker answers its shard
 // from cache — and -snapshot writes one on graceful shutdown; the
 // format is documented in docs/PERFORMANCE.md.
@@ -85,6 +95,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	prewarm := fs.Bool("prewarm", false, "render the preset corpus at boot; /healthz stays 503 until it completes")
 	worker := fs.Bool("worker", false, "serve the fabric shard API (POST /v1/fabric/points) beside the ordinary surface")
 	coordinate := fs.String("coordinate", "", "comma-separated worker base URLs; campaigns shard over them instead of evaluating locally")
+	replicas := fs.Int("replicas", 1, "dispatch each campaign shard to N ring-successor workers and byte-compare their frames; divergent workers are quarantined (1 = no replication; needs -coordinate)")
+	probeInterval := fs.Duration("probe-interval", fabric.DefaultProbeInterval, "how often the coordinator health-probes each worker (needs -coordinate)")
+	probeTimeout := fs.Duration("probe-timeout", fabric.DefaultProbeTimeout, "per-probe timeout before a worker counts as failed")
+	probeBackoff := fs.Duration("probe-backoff", fabric.DefaultProbeBackoff, "cap on the probe delay to a dead worker (doubles from -probe-interval up to this)")
 	restorePath := fs.String("restore", "", "suite-cache snapshot to load at boot (boot fails if it does not decode)")
 	snapshotPath := fs.String("snapshot", "", "write a suite-cache snapshot here on graceful shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +127,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 			return 2
 		}
 	}
+	if *replicas < 1 {
+		fmt.Fprintln(stderr, "sg2042d: -replicas must be at least 1")
+		return 2
+	}
+	if *replicas > 1 && *coordinate == "" {
+		fmt.Fprintln(stderr, "sg2042d: -replicas needs -coordinate (replication is a coordinator feature)")
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -124,7 +146,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		Prewarm:    *prewarm,
 		Worker:     *worker,
 		Coordinate: targets,
+		Replicas:   *replicas,
 	})
+	if len(targets) > 0 {
+		// Health probing makes the fleet self-healing: a worker that dies
+		// leaves the ring, one that recovers rejoins it (snapshot-warmed
+		// from its peers) — all without a coordinator restart.
+		s.StartFabricProber(ctx, fabric.ProbeConfig{
+			Interval: *probeInterval,
+			Timeout:  *probeTimeout,
+			Backoff:  *probeBackoff,
+		})
+	}
 	if *restorePath != "" {
 		data, err := os.ReadFile(*restorePath)
 		if err != nil {

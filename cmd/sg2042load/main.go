@@ -107,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("o", "BENCH_http.json", "output report file")
 	parallel := fs.Int("parallel", 0, "self-hosted engine parallelism (0 = GOMAXPROCS)")
 	prewarm := fs.Bool("prewarm", false, "prewarm the self-hosted server's full corpus before applying load")
+	wait := fs.Duration("wait", 0, "poll each -addr daemon's /livez until it answers 200 (or this long elapses) before applying load — fleet choreography in scripts/CI")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,6 +126,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *addr != "" && len(bases) == 0 {
 		fmt.Fprintln(stderr, "sg2042load: -addr holds no base URLs")
 		return 2
+	}
+	if *wait > 0 && len(bases) > 0 {
+		if err := awaitLive(bases, *wait); err != nil {
+			fmt.Fprintf(stderr, "sg2042load: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "sg2042load: all %d daemons live\n", len(bases))
 	}
 	if len(bases) == 0 {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -201,6 +209,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// awaitLive polls every base URL's /livez until each answers 200 or
+// the budget runs out — so a script can launch a fleet and point
+// sg2042load at it without hand-rolled sleep loops.
+func awaitLive(bases []string, budget time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(budget)
+	for _, base := range bases {
+		for {
+			resp, err := client.Get(base + "/livez")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				if err != nil {
+					return fmt.Errorf("daemon %s not live after %s: %v", base, budget, err)
+				}
+				return fmt.Errorf("daemon %s not live after %s", base, budget)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
 }
 
 // loadTarget hammers one target with conc workers for at least dur,

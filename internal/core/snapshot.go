@@ -66,9 +66,28 @@ const (
 // output is deterministic: entries are sorted by their canonical key,
 // so two snapshots of the same cache state are byte-identical.
 func (st *Study) SnapshotCache() ([]byte, error) {
+	return st.SnapshotCacheIf(nil)
+}
+
+// SnapshotCacheIf is SnapshotCache restricted to entries whose machine
+// fingerprint keep accepts (nil keeps everything). The distributed
+// fabric's snapshot shipping uses it to carve a worker's cache down to
+// one ring arc: a peer answers GET /v1/fabric/snapshot?arc=... with
+// exactly the entries whose fingerprints the arc owns, so a rejoining
+// worker pulls its slice of the key space and nothing else.
+func (st *Study) SnapshotCacheIf(keep func(machineFP uint64) bool) ([]byte, error) {
 	var entries []snapshotEntry
 	if st.cache != nil {
 		entries = st.cache.snapshotEntries()
+	}
+	if keep != nil {
+		kept := entries[:0]
+		for _, e := range entries {
+			if keep(e.key.machineFP) {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
 	}
 	sortSnapshotEntries(entries)
 	tables := make([]wire.Table, 0, 1+2*len(entries))

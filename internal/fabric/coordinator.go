@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -22,9 +23,17 @@ import (
 // shard elsewhere.
 const DefaultPointTimeout = 60 * time.Second
 
+// warmTimeout bounds one warm-join shipment (the POST to the joining
+// worker, which in turn pulls from its peers).
+const warmTimeout = 60 * time.Second
+
+// warmRetryDelay spaces retried warm shipments.
+const warmRetryDelay = 250 * time.Millisecond
+
 // AllWorkersDownError reports a campaign that cannot complete because
 // every worker has been excluded. Failures maps each worker to why it
-// was excluded. The HTTP layer answers it with 502 Bad Gateway.
+// was excluded. The HTTP layer answers it with 502 Bad Gateway and a
+// Retry-After hint — the fleet may heal.
 type AllWorkersDownError struct {
 	Failures map[string]string
 }
@@ -41,25 +50,72 @@ func (e *AllWorkersDownError) Error() string {
 	return "fabric: all workers down (" + strings.Join(parts, "; ") + ")"
 }
 
-// Coordinator shards campaigns over a fixed set of workers. It is
-// stateless across campaigns: each Run re-expands the grid, assigns
-// points by consistent hash on the machine fingerprint, and excludes
-// failing workers for the duration of that run only.
+// ReplicaMismatchError reports a point whose replica votes diverged
+// with no way left to break the tie: no quorum agreed on the frame
+// bytes and every eligible tiebreaker worker is already spent. Votes
+// maps each voter to its frame digest, so the operator can see who
+// disagreed with whom.
+type ReplicaMismatchError struct {
+	Index int
+	Votes map[string]string
+}
+
+func (e *ReplicaMismatchError) Error() string {
+	parts := make([]string, 0, len(e.Votes))
+	for t := range e.Votes {
+		parts = append(parts, t)
+	}
+	sort.Strings(parts)
+	for i, t := range parts {
+		parts[i] = fmt.Sprintf("%s=%s", t, e.Votes[t])
+	}
+	return fmt.Sprintf("fabric: replica mismatch at point %d unresolvable (%s)",
+		e.Index, strings.Join(parts, ", "))
+}
+
+// FabricStats is a point-in-time view of the coordinator's self-healing
+// machinery, rendered into /metrics.
+type FabricStats struct {
+	ProbeDeaths   uint64 // live→dead transitions observed by the prober
+	ProbeRevivals uint64 // dead→live transitions (rejoins)
+	WarmJoins     uint64 // warm-join shipments completed
+	WarmInstalled uint64 // cache entries installed across all warm-joins
+	WarmErrors    uint64 // failed shipments plus per-peer pull failures
+	Quarantines   uint64 // workers quarantined by the replica cross-check
+	Members       []MemberStatus
+}
+
+// Coordinator shards campaigns over a dynamic fleet of workers. Fleet
+// state lives in a Membership shared with the health prober, so a
+// worker that dies mid-campaign is excluded, and one that recovers —
+// or is added — takes its arcs back without a coordinator restart.
+// Campaign state itself stays per-Run: each Run re-expands the grid,
+// assigns points by consistent hash on the machine fingerprint, and
+// holds its own exactly-once bookkeeping.
 type Coordinator struct {
-	targets []string
-	ring    *Ring
-	reg     *repro.MachineRegistry
-	client  *http.Client
+	mem    *Membership
+	reg    *repro.MachineRegistry
+	client *http.Client
 
 	// PointTimeout overrides DefaultPointTimeout (tests shrink it).
 	PointTimeout time.Duration
+
+	// Replicas is how many ring-successor workers each point is
+	// dispatched to (<=1 means no replication). With N > 1 the
+	// coordinator byte-compares the replicas' frames and emits on
+	// quorum (N/2+1); a worker whose bytes diverge is quarantined.
+	Replicas int
+
+	mu     sync.Mutex
+	prober *Prober
+	stats  FabricStats // Members filled in by Stats()
 }
 
 // NewCoordinator builds a coordinator over worker base URLs
 // ("http://host:port"). nil reg means the default registry; nil client
 // means http.DefaultClient.
 func NewCoordinator(targets []string, reg *repro.MachineRegistry, client *http.Client) (*Coordinator, error) {
-	ring, err := NewRing(targets)
+	mem, err := NewMembership(targets)
 	if err != nil {
 		return nil, err
 	}
@@ -70,34 +126,215 @@ func NewCoordinator(targets []string, reg *repro.MachineRegistry, client *http.C
 		client = http.DefaultClient
 	}
 	return &Coordinator{
-		targets: append([]string(nil), targets...),
-		ring:    ring,
-		reg:     reg,
-		client:  client,
+		mem:    mem,
+		reg:    reg,
+		client: client,
 	}, nil
 }
 
-// Targets returns the coordinator's worker list.
-func (c *Coordinator) Targets() []string { return append([]string(nil), c.targets...) }
+// Targets returns the coordinator's worker list (live or not).
+func (c *Coordinator) Targets() []string { return c.mem.Targets() }
 
-// workerMsg is one event from a request goroutine: an evaluated point,
-// or the request's end (err nil on a clean stream end).
+// Membership exposes the fleet state (status surfaces, tests).
+func (c *Coordinator) Membership() *Membership { return c.mem }
+
+// Stats snapshots the self-healing counters and per-member state.
+func (c *Coordinator) Stats() FabricStats {
+	c.mu.Lock()
+	s := c.stats
+	c.mu.Unlock()
+	s.Members = c.mem.Status()
+	return s
+}
+
+// StartProber launches health probing over the fleet: every worker is
+// probed on cfg's cadence, dying and reviving in the shared Membership,
+// with a warm-join shipment fired on every revival. Call StopProber
+// (or cancel ctx) to stop.
+func (c *Coordinator) StartProber(ctx context.Context, cfg ProbeConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prober != nil {
+		return
+	}
+	c.prober = NewProber(c.mem, cfg, nil, c.onProbeTransition)
+	c.prober.Start(ctx)
+}
+
+// StopProber stops the health prober and waits for its loops to exit.
+func (c *Coordinator) StopProber() {
+	c.mu.Lock()
+	p := c.prober
+	c.mu.Unlock()
+	if p != nil {
+		p.Stop()
+	}
+}
+
+// AddWorker joins a new worker to a running fleet: the ring is rebuilt
+// (only arcs the newcomer's vnodes capture move), the prober starts
+// watching it, and a warm-join shipment warms it for the arcs it just
+// took over. Campaigns dispatched after the join route to it; in-flight
+// campaigns finish on their existing assignments.
+func (c *Coordinator) AddWorker(target string) error {
+	if err := c.mem.Add(target); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	p := c.prober
+	c.mu.Unlock()
+	if p != nil {
+		p.Watch(target)
+	}
+	go c.shipWarm(target)
+	return nil
+}
+
+// onProbeTransition is the prober's callback: bookkeeping on death,
+// bookkeeping plus async snapshot shipping on revival.
+func (c *Coordinator) onProbeTransition(target string, live bool) {
+	c.mu.Lock()
+	if live {
+		c.stats.ProbeRevivals++
+	} else {
+		c.stats.ProbeDeaths++
+	}
+	c.mu.Unlock()
+	if live {
+		go c.shipWarm(target)
+	}
+}
+
+// warmAttempts bounds how many times a warm shipment is retried when
+// the POST itself fails or the worker reached none of its peers; each
+// failed attempt counts in WarmErrors.
+const warmAttempts = 3
+
+// shipWarm tells a (re)joined worker to pull its arcs' suite-cache
+// entries from its live peers: POST /v1/fabric/warm with the peer list
+// and the FormatArcs encoding of the arcs the ring routes to the
+// worker. The shipment is retried a bounded number of times if it
+// fails outright or the worker reached no peer at all (the edge fires
+// once per revival, so a transient pull failure would otherwise leave
+// the worker cold for good). Residual failure is non-fatal — a worker
+// that could not warm serves its shard cold, bit-identically, just
+// slower — but every failed shipment and every per-peer pull failure
+// the worker reports is counted in WarmErrors so degraded warmth is
+// observable.
+func (c *Coordinator) shipWarm(target string) {
+	arcs := c.mem.Ring().Arcs(target)
+	var peers []string
+	for _, t := range c.mem.Live() {
+		if t != target {
+			peers = append(peers, t)
+		}
+	}
+	if len(arcs) == 0 || len(peers) == 0 {
+		return
+	}
+	wreq := warmRequest{Peers: peers, Arc: FormatArcs(arcs)}
+	for attempt := 0; attempt < warmAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(warmRetryDelay)
+		}
+		wr, err := c.postWarm(target, wreq)
+		c.mu.Lock()
+		if err != nil {
+			c.stats.WarmErrors++
+			c.mu.Unlock()
+			continue
+		}
+		c.stats.WarmErrors += uint64(len(wr.Errors))
+		if wr.Peers == 0 {
+			// The worker answered but reached no peer — likely a
+			// transient fleet hiccup; try the whole shipment again.
+			c.mu.Unlock()
+			continue
+		}
+		c.stats.WarmJoins++
+		c.stats.WarmInstalled += uint64(wr.Installed)
+		c.mu.Unlock()
+		return
+	}
+}
+
+// postWarm performs one warm-join POST and decodes the worker's report.
+func (c *Coordinator) postWarm(target string, wreq warmRequest) (warmResponse, error) {
+	var wr warmResponse
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		return wr, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), warmTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+WarmPath, bytes.NewReader(body))
+	if err != nil {
+		return wr, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return wr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return wr, fmt.Errorf("fabric: warm shipment to %s answered %s", target, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return wr, err
+	}
+	return wr, nil
+}
+
+// replicas returns the effective replica factor.
+func (c *Coordinator) replicas() int {
+	if c.Replicas < 1 {
+		return 1
+	}
+	return c.Replicas
+}
+
+// workerMsg is one event from a request goroutine: an evaluated point
+// (with its raw frame bytes, for the replica cross-check), or the
+// request's end (err nil on a clean stream end).
 type workerMsg struct {
 	reqID  int
 	target string
 	done   bool
 	err    error
 	point  repro.CampaignPoint
+	frame  []byte
+}
+
+// replicaVote is one worker's answer for one grid index.
+type replicaVote struct {
+	frame []byte
+	point repro.CampaignPoint
 }
 
 // Run evaluates the campaign described by specJSON (the verbatim
 // client spec; the same bytes are forwarded to workers) across the
 // fleet, calling emit once per point in grid order — exactly-once,
 // duplicates and late arrivals discarded — and returns the assembled
-// result. A worker that errors, stalls, or ends its stream with
-// points missing is excluded and its outstanding points re-dispatched
-// to the survivors; Run fails with *AllWorkersDownError only when no
-// worker remains.
+// result.
+//
+// With Replicas == 1 each point goes to its ring owner; a worker that
+// errors, stalls, or ends its stream with points missing is excluded
+// for the rest of the run and its outstanding points re-dispatched.
+// Re-dispatch consults the live Membership, so a worker the prober has
+// revived since its failure takes its arcs back mid-campaign. Run
+// fails with *AllWorkersDownError only when no worker remains.
+//
+// With Replicas == N > 1 each point goes to its N distinct ring
+// successors; the coordinator byte-compares the replicas' frames and
+// emits once a quorum (N/2+1) agrees. A worker whose bytes diverge
+// from quorum is quarantined: marked sticky-dead in the Membership,
+// its in-flight requests retired, its votes discarded, and its load
+// re-dispatched. Divergence with no quorum and no tiebreaker worker
+// left fails the run with *ReplicaMismatchError. When the surviving
+// fleet is smaller than N, unanimous agreement among the reachable
+// replicas is accepted at this degraded quorum — but divergence never
+// is.
 func (c *Coordinator) Run(ctx context.Context, specJSON []byte, emit func(repro.CampaignPoint) error) (repro.CampaignResult, error) {
 	spec, err := repro.CampaignSpecFromJSON(specJSON, c.reg)
 	if err != nil {
@@ -108,22 +345,45 @@ func (c *Coordinator) Run(ctx context.Context, specJSON []byte, emit func(repro.
 		return repro.CampaignResult{}, err
 	}
 	n := len(fps)
+	replicas := c.replicas()
+	quorum := replicas/2 + 1
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
 		msgs        = make(chan workerMsg, 16)
-		excluded    = map[string]bool{}
-		failures    = map[string]string{}
-		outstanding = map[int]map[int]bool{} // reqID -> unreceived indices
+		runFailed   = map[string]int{}    // target -> membership epoch at run-local failure
+		failures    = map[string]string{} // target -> why it was excluded
+		outstanding = map[int]map[int]bool{}
 		reqTargets  = map[int]string{}
 		nextReq     = 0
+		assigned    = make([]map[string]bool, n) // index -> targets asked to vote
+		votes       = make([]map[string]replicaVote, n)
 		points      = make([]repro.CampaignPoint, n)
+		decidedFr   = make([][]byte, n) // winning frame bytes once decided
 		have        = make([]bool, n)
 		received    = 0
 		nextEmit    = 0
 	)
+	for i := range assigned {
+		assigned[i] = map[string]bool{}
+		votes[i] = map[string]replicaVote{}
+	}
+
+	// exclusion merges the fleet's dead set with this run's local
+	// failures — except failures whose worker the prober has revived
+	// since (epoch bumped), which are forgiven so the revived worker
+	// rejoins mid-campaign.
+	exclusion := func() map[string]bool {
+		exc := c.mem.DeadSet()
+		for t, ep := range runFailed {
+			if c.mem.Epoch(t) == ep {
+				exc[t] = true
+			}
+		}
+		return exc
+	}
 
 	dispatch := func(target string, indices []int) {
 		nextReq++
@@ -137,20 +397,183 @@ func (c *Coordinator) Run(ctx context.Context, specJSON []byte, emit func(repro.
 		go c.runRequest(ctx, id, target, specJSON, indices, msgs)
 	}
 
-	// assign maps each index to its ring owner among the survivors,
-	// dispatching one request per owner; it fails only when the ring is
-	// fully excluded.
+	// assign tops each index up to its replica set: the first
+	// `replicas` distinct live owners in ring order, skipping targets
+	// already asked. It fails only when an index has no reachable
+	// owner and no banked vote.
 	assign := func(indices []int) error {
+		exc := exclusion()
+		ring := c.mem.Ring()
 		byTarget := map[string][]int{}
 		for _, i := range indices {
-			owner, err := c.ring.Owner(fps[i], excluded)
-			if err != nil {
+			if have[i] {
+				continue
+			}
+			owners := ring.Owners(fps[i], replicas, exc)
+			if len(owners) == 0 && len(votes[i]) == 0 {
 				return &AllWorkersDownError{Failures: failures}
 			}
-			byTarget[owner] = append(byTarget[owner], i)
+			for _, o := range owners {
+				if assigned[i][o] {
+					continue
+				}
+				assigned[i][o] = true
+				byTarget[o] = append(byTarget[o], i)
+			}
 		}
-		for target, idxs := range byTarget {
-			dispatch(target, idxs)
+		targets := make([]string, 0, len(byTarget))
+		for t := range byTarget {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, t := range targets {
+			dispatch(t, byTarget[t])
+		}
+		return nil
+	}
+
+	var tally func(i int) error
+	var quarantine func(target, reason string) error
+
+	frameDigest := func(frame []byte) string {
+		return fmt.Sprintf("%016x", fnv1a(string(frame)))
+	}
+
+	// decide commits index i to the winning frame, emits any newly
+	// in-order prefix, and quarantines voters that disagreed with the
+	// winner.
+	decide := func(i int, winner string) error {
+		for _, v := range votes[i] {
+			if string(v.frame) == winner {
+				points[i] = v.point
+				break
+			}
+		}
+		decidedFr[i] = []byte(winner)
+		have[i] = true
+		received++
+		for nextEmit < n && have[nextEmit] {
+			if emit != nil {
+				if err := emit(points[nextEmit]); err != nil {
+					return err
+				}
+			}
+			nextEmit++
+		}
+		var losers []string
+		loserDigest := map[string]string{}
+		for t, v := range votes[i] {
+			if string(v.frame) != winner {
+				losers = append(losers, t)
+				loserDigest[t] = frameDigest(v.frame)
+			}
+		}
+		sort.Strings(losers)
+		for _, t := range losers {
+			reason := fmt.Sprintf("replica mismatch: point %d frame %s diverges from quorum %s",
+				i, loserDigest[t], frameDigest([]byte(winner)))
+			if err := quarantine(t, reason); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// tally re-examines index i after its vote set changed: decide on
+	// quorum, wait while a voter is still pending, recruit a
+	// tiebreaker when the votes are in but split, accept a unanimous
+	// undervote only when the fleet has nobody left to ask.
+	tally = func(i int) error {
+		if have[i] || len(votes[i]) == 0 {
+			return nil
+		}
+		counts := map[string]int{}
+		for _, v := range votes[i] {
+			counts[string(v.frame)]++
+		}
+		winner, best := "", 0
+		for f, cnt := range counts {
+			if cnt > best || (cnt == best && f < winner) {
+				winner, best = f, cnt
+			}
+		}
+		if best >= quorum {
+			return decide(i, winner)
+		}
+		exc := exclusion()
+		for t := range assigned[i] {
+			if _, voted := votes[i][t]; !voted && !exc[t] {
+				return nil // a live voter still owes its frame
+			}
+		}
+		// Every asked worker has answered or died. Look for one more
+		// voter beyond the current assignment.
+		for t := range assigned[i] {
+			exc[t] = true
+		}
+		extra := c.mem.Ring().Owners(fps[i], 1, exc)
+		if len(extra) == 0 {
+			if len(counts) == 1 {
+				// Unanimous but under quorum: the surviving fleet is
+				// smaller than the replica factor. Accept.
+				return decide(i, winner)
+			}
+			e := &ReplicaMismatchError{Index: i, Votes: map[string]string{}}
+			for t, v := range votes[i] {
+				e.Votes[t] = frameDigest(v.frame)
+			}
+			return e
+		}
+		assigned[i][extra[0]] = true
+		dispatch(extra[0], []int{i})
+		return nil
+	}
+
+	// quarantine marks a worker sticky-dead fleet-wide, retires its
+	// in-flight requests, strips its votes from undecided indices, and
+	// re-dispatches everything it was still on the hook for.
+	quarantine = func(target, reason string) error {
+		if c.mem.Quarantine(target, reason) {
+			c.mu.Lock()
+			c.stats.Quarantines++
+			c.mu.Unlock()
+		}
+		failures[target] = reason
+		runFailed[target] = c.mem.Epoch(target)
+		var affected []int
+		for id, tgt := range reqTargets {
+			if tgt != target {
+				continue
+			}
+			set := outstanding[id]
+			delete(outstanding, id)
+			delete(reqTargets, id)
+			for i := range set {
+				delete(assigned[i], target)
+				affected = append(affected, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if have[i] {
+				continue
+			}
+			if _, ok := votes[i][target]; ok {
+				delete(votes[i], target)
+				delete(assigned[i], target)
+				affected = append(affected, i)
+			}
+		}
+		if len(affected) == 0 {
+			return nil
+		}
+		sort.Ints(affected)
+		if err := assign(affected); err != nil {
+			return err
+		}
+		for _, i := range affected {
+			if err := tally(i); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -176,50 +599,60 @@ func (c *Coordinator) Run(ctx context.Context, specJSON []byte, emit func(repro.
 		}
 		if !m.done {
 			i := m.point.Index
-			if i < 0 || i >= n || !set[i] || have[i] {
-				// Not a point this request owes, or a duplicate of one
-				// already received: discard. (A worker sending indices
-				// it was never asked for is misbehaving, but the grid
-				// stays exactly-once either way.)
+			if i < 0 || i >= n || !set[i] {
+				// Not a point this request owes: discard. (A worker
+				// sending indices it was never asked for is
+				// misbehaving, but the grid stays exactly-once.)
 				continue
 			}
 			delete(set, i)
-			points[i] = m.point
-			have[i] = true
-			received++
-			for nextEmit < n && have[nextEmit] {
-				if emit != nil {
-					if err := emit(points[nextEmit]); err != nil {
+			if have[i] {
+				// A replica vote arriving after the index was already
+				// decided still gets cross-checked: agreeing is
+				// redundant, diverging is quarantine.
+				if !bytes.Equal(m.frame, decidedFr[i]) {
+					reason := fmt.Sprintf("replica mismatch: point %d frame %s diverges from quorum %s",
+						i, frameDigest(m.frame), frameDigest(decidedFr[i]))
+					if err := quarantine(m.target, reason); err != nil {
 						return repro.CampaignResult{}, err
 					}
 				}
-				nextEmit++
+				continue
+			}
+			votes[i][m.target] = replicaVote{frame: m.frame, point: m.point}
+			if err := tally(i); err != nil {
+				return repro.CampaignResult{}, err
 			}
 			continue
 		}
 		// Request ended. Clean end with nothing outstanding: retire it.
 		// Anything else — transport error, decode error, timeout, or a
-		// clean end that still owes points — excludes the worker and
-		// re-dispatches what it owed.
+		// clean end that still owes points — excludes the worker for
+		// this run and re-dispatches what it owed.
 		delete(outstanding, m.reqID)
-		target := reqTargets[m.reqID]
 		delete(reqTargets, m.reqID)
 		if m.err == nil && len(set) == 0 {
 			continue
 		}
-		excluded[target] = true
+		runFailed[m.target] = c.mem.Epoch(m.target)
 		if m.err != nil {
-			failures[target] = m.err.Error()
+			failures[m.target] = m.err.Error()
 		} else {
-			failures[target] = fmt.Sprintf("stream ended with %d points missing", len(set))
+			failures[m.target] = fmt.Sprintf("stream ended with %d points missing", len(set))
 		}
 		missing := make([]int, 0, len(set))
 		for i := range set {
+			delete(assigned[i], m.target)
 			missing = append(missing, i)
 		}
 		sort.Ints(missing)
 		if err := assign(missing); err != nil {
 			return repro.CampaignResult{}, err
+		}
+		for _, i := range missing {
+			if err := tally(i); err != nil {
+				return repro.CampaignResult{}, err
+			}
 		}
 	}
 
@@ -227,9 +660,9 @@ func (c *Coordinator) Run(ctx context.Context, specJSON []byte, emit func(repro.
 }
 
 // runRequest performs one shard request, forwarding each decoded point
-// and finally a done message. A per-frame watchdog cancels the request
-// if the worker goes longer than PointTimeout without producing a
-// frame.
+// (with its raw frame) and finally a done message. A per-frame
+// watchdog cancels the request if the worker goes longer than
+// PointTimeout without producing a frame.
 func (c *Coordinator) runRequest(ctx context.Context, id int, target string, specJSON []byte, indices []int, msgs chan<- workerMsg) {
 	send := func(m workerMsg) bool {
 		select {
@@ -281,7 +714,7 @@ func (c *Coordinator) runRequest(ctx context.Context, id int, target string, spe
 
 	br := bufio.NewReader(resp.Body)
 	for {
-		t, err := readFrame(br)
+		buf, err := readRawFrame(br)
 		if err == io.EOF {
 			send(workerMsg{reqID: id, target: target, done: true})
 			return
@@ -291,12 +724,17 @@ func (c *Coordinator) runRequest(ctx context.Context, id int, target string, spe
 			return
 		}
 		watchdog.Reset(timeout)
+		t, err := decodeFrame(buf)
+		if err != nil {
+			fail(err)
+			return
+		}
 		p, err := decodePoint(t)
 		if err != nil {
 			fail(err)
 			return
 		}
-		if !send(workerMsg{reqID: id, target: target, point: p}) {
+		if !send(workerMsg{reqID: id, target: target, point: p, frame: buf}) {
 			return
 		}
 	}

@@ -42,6 +42,29 @@ package fabric
 // PointsPath is the worker's shard-scoped campaign endpoint.
 const PointsPath = "/v1/fabric/points"
 
+// HealthPath is the worker's fabric-readiness probe: 200 "ok" when the
+// worker can serve shard traffic. It is distinct from the daemon's own
+// /healthz (which gates on prewarm) — a cold fabric worker is still a
+// correct fabric worker, so membership probes must not flap on warmth.
+const HealthPath = "/v1/fabric/healthz"
+
+// SnapshotPath is the worker's suite-cache snapshot endpoint:
+// GET ?arc=lo-hi,... answers the cache entries whose machine
+// fingerprints fall in the arcs (core snapshot format, arc-filtered);
+// no arc parameter means the full cache. Peers serve a rejoining
+// worker's warm-join pull from here.
+const SnapshotPath = "/v1/fabric/snapshot"
+
+// WarmPath is the worker's warm-join trigger: POST {"peers": [...],
+// "arc": "lo-hi,..."} makes the worker pull its arcs' snapshot from
+// each peer and install the entries into its own suite cache. The
+// coordinator posts it on every rejoin/join transition.
+const WarmPath = "/v1/fabric/warm"
+
 // ContentType is the media type of a worker's point-frame stream: a
 // sequence of uvarint-length-prefixed wire frames, one per point.
 const ContentType = "application/vnd.sg2042.fabric-frames"
+
+// SnapshotContentType is the media type of an arc-filtered suite-cache
+// snapshot (the core snapshot wire format).
+const SnapshotContentType = "application/vnd.sg2042.cache-snapshot"

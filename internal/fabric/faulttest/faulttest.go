@@ -1,13 +1,16 @@
 // Package faulttest is the fault-injection harness behind the
 // distributed determinism tests: a cluster of real fabric workers on
 // httptest servers, each wrapped in a kill switch that can tear the
-// connection — or corrupt the stream — after a chosen number of
-// frames. Tests arm a switch at a seeded-random frame, run a sharded
-// campaign through a coordinator, and assert the output is
-// byte-identical to a single-process run.
+// connection, corrupt the stream, or silently tamper with a frame
+// after a chosen number of frames. Tests arm a switch at a
+// seeded-random frame, run a sharded campaign through a coordinator,
+// and assert the output is byte-identical to a single-process run.
+// Workers can also be killed and restarted on the same address — the
+// self-healing tests' stand-in for a bounced process.
 package faulttest
 
 import (
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -26,32 +29,51 @@ type Cluster struct {
 // Node is one worker of a Cluster.
 type Node struct {
 	// Engine is the node's engine; tests reach it to pre-restore
-	// snapshots or read cache counters.
+	// snapshots or read cache counters. Restart replaces it — a
+	// bounced process starts with a cold cache.
 	Engine *repro.Engine
 	srv    *httptest.Server
 	ks     *killSwitch
+	url    string
+	addr   string
 }
 
-// NewCluster starts n workers over the default machine registry.
+// NewCluster starts n workers over the default machine registry. Each
+// worker serves the full fabric surface — points, healthz, snapshot,
+// warm — with the kill switch wrapping only the points stream, so
+// health probes and snapshot shipping are never garbled by an armed
+// fault.
 func NewCluster(n int) *Cluster {
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
-		eng := repro.NewEngine(repro.Options{})
-		wk := fabric.NewWorker(eng, nil)
-		ks := &killSwitch{}
-		node := &Node{Engine: eng, ks: ks}
-		node.srv = httptest.NewServer(ks.wrap(wk))
+		node := &Node{ks: &killSwitch{}}
+		node.srv = httptest.NewServer(node.buildHandler())
+		node.url = node.srv.URL
+		node.addr = node.srv.Listener.Addr().String()
 		c.nodes = append(c.nodes, node)
 	}
 	return c
 }
 
+// buildHandler gives the node a fresh engine and worker and returns
+// the mux serving them (kill switch on the points path only).
+func (n *Node) buildHandler() http.Handler {
+	n.Engine = repro.NewEngine(repro.Options{})
+	wk := fabric.NewWorker(n.Engine, nil)
+	mux := http.NewServeMux()
+	mux.Handle(fabric.PointsPath, n.ks.wrap(wk))
+	mux.HandleFunc(fabric.HealthPath, wk.ServeHealth)
+	mux.HandleFunc(fabric.SnapshotPath, wk.ServeSnapshot)
+	mux.HandleFunc(fabric.WarmPath, wk.ServeWarm)
+	return mux
+}
+
 // Targets returns the workers' base URLs, in node order — the
-// coordinator's worker list.
+// coordinator's worker list. URLs stay valid across Kill/Restart.
 func (c *Cluster) Targets() []string {
 	ts := make([]string, len(c.nodes))
 	for i, n := range c.nodes {
-		ts[i] = n.srv.URL
+		ts[i] = n.url
 	}
 	return ts
 }
@@ -67,30 +89,69 @@ func (c *Cluster) Len() int { return len(c.nodes) }
 // worker has served — delivering strictly fewer than `frames` complete
 // points before dying mid-stream. frames is 1-based: Arm(i, 1) kills
 // the worker at its very first frame.
-func (c *Cluster) Arm(i, frames int) { c.nodes[i].ks.arm(frames, false) }
+func (c *Cluster) Arm(i, frames int) { c.nodes[i].ks.arm(frames, modeAbort) }
 
 // Corrupt makes worker i garble the length prefix of its frames-th
 // frame (again counted across requests, 1-based) instead of dying: the
 // bytes keep flowing but the coordinator's stream decoder must reject
 // the frame and re-dispatch the worker's outstanding points.
-func (c *Cluster) Corrupt(i, frames int) { c.nodes[i].ks.arm(frames, true) }
+func (c *Cluster) Corrupt(i, frames int) { c.nodes[i].ks.arm(frames, modeCorrupt) }
+
+// Tamper makes worker i flip one bit inside the BODY of its frames-th
+// frame (1-based, counted across requests): the frame stays
+// well-formed and decodes cleanly, but carries a wrong value. A
+// non-replicated coordinator cannot see this fault; the replica
+// cross-check must.
+func (c *Cluster) Tamper(i, frames int) { c.nodes[i].ks.arm(frames, modeTamper) }
 
 // Kill shuts worker i's server down immediately — connection refused
-// from now on, in-flight requests torn.
+// from now on, in-flight requests torn. The node remembers its address
+// so Restart can bring a fresh process up in its place.
 func (c *Cluster) Kill(i int) {
-	c.nodes[i].srv.CloseClientConnections()
-	c.nodes[i].srv.Close()
+	n := c.nodes[i]
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	n.srv = nil
 }
 
-// Frames reports how many frames worker i has flushed in total.
+// Restart brings a killed worker back on its old address with a fresh
+// engine (a bounced process keeps nothing in memory — warmth, if any,
+// must be shipped to it). The kill switch carries over, disarmed or
+// not, and keeps counting frames where it left off.
+func (c *Cluster) Restart(i int) error {
+	n := c.nodes[i]
+	l, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		return err
+	}
+	srv := &httptest.Server{
+		Listener: l,
+		Config:   &http.Server{Handler: n.buildHandler()},
+	}
+	srv.Start()
+	n.srv = srv
+	return nil
+}
+
+// Frames reports how many frames worker i has flushed in total
+// (cumulative across restarts).
 func (c *Cluster) Frames(i int) int { return c.nodes[i].ks.frames() }
 
 // Close shuts every worker down.
 func (c *Cluster) Close() {
 	for _, n := range c.nodes {
-		n.srv.Close()
+		if n.srv != nil {
+			n.srv.Close()
+		}
 	}
 }
+
+// Fault modes a killSwitch can arm.
+const (
+	modeAbort   = iota // tear the connection at the armed frame
+	modeCorrupt        // garble the armed frame's length prefix
+	modeTamper         // flip a bit in the armed frame's body
+)
 
 // killSwitch wraps a worker handler, counting flushed frames across
 // requests and firing an armed fault when the count reaches the
@@ -98,15 +159,15 @@ func (c *Cluster) Close() {
 type killSwitch struct {
 	mu      sync.Mutex
 	flushes int
-	armAt   int  // 0 = disarmed; 1-based frame number otherwise
-	corrupt bool // garble instead of abort
+	armAt   int // 0 = disarmed; 1-based frame number otherwise
+	mode    int
 }
 
-func (k *killSwitch) arm(frames int, corrupt bool) {
+func (k *killSwitch) arm(frames, mode int) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.armAt = frames
-	k.corrupt = corrupt
+	k.mode = mode
 }
 
 func (k *killSwitch) frames() int {
@@ -123,8 +184,9 @@ func (k *killSwitch) wrap(h http.Handler) http.Handler {
 
 // killWriter intercepts the worker's frame stream. The worker writes
 // one frame as a length-prefix Write followed by a body Write, then
-// flushes once — so the flush count is the delivered-frame count, and
-// the first Write after a flush is the next frame's length prefix.
+// flushes once — so the flush count is the delivered-frame count, the
+// first Write after a flush is the next frame's length prefix, and the
+// Write after that is its body.
 type killWriter struct {
 	http.ResponseWriter
 	ks *killSwitch
@@ -135,7 +197,9 @@ type killWriter struct {
 func (kw *killWriter) Write(p []byte) (int, error) {
 	k := kw.ks
 	k.mu.Lock()
-	garble := k.armAt > 0 && k.corrupt && k.flushes+1 == k.armAt && kw.frameStart
+	atArmed := k.armAt > 0 && k.flushes+1 == k.armAt
+	garble := atArmed && k.mode == modeCorrupt && kw.frameStart
+	tamper := atArmed && k.mode == modeTamper && !kw.frameStart
 	k.mu.Unlock()
 	kw.frameStart = false
 	if garble {
@@ -148,13 +212,21 @@ func (kw *killWriter) Write(p []byte) (int, error) {
 		}
 		return kw.ResponseWriter.Write(bad)
 	}
+	if tamper && len(p) > 0 {
+		// Flip the low bit of the frame's last byte — deep in the last
+		// column's float payload, so the frame still parses and the
+		// length prefix still matches. The silent-wrong-answer fault.
+		bad := append([]byte(nil), p...)
+		bad[len(bad)-1] ^= 0x01
+		return kw.ResponseWriter.Write(bad)
+	}
 	return kw.ResponseWriter.Write(p)
 }
 
 func (kw *killWriter) Flush() {
 	k := kw.ks
 	k.mu.Lock()
-	die := k.armAt > 0 && !k.corrupt && k.flushes+1 == k.armAt
+	die := k.armAt > 0 && k.mode == modeAbort && k.flushes+1 == k.armAt
 	if !die {
 		k.flushes++
 	}

@@ -310,24 +310,41 @@ func writeFrame(w io.Writer, t wire.Table) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame. It returns io.EOF exactly
-// at a clean stream end; a length prefix followed by a short body is a
-// truncation error, not EOF.
-func readFrame(br *bufio.Reader) (wire.Table, error) {
+// readRawFrame reads one length-prefixed frame body without decoding
+// it. It returns io.EOF exactly at a clean stream end; a length prefix
+// followed by a short body is a truncation error, not EOF. The replica
+// cross-check compares these raw bytes — two workers that agree on a
+// point agree on its frame, byte for byte, because the encoding is
+// canonical.
+func readRawFrame(br *bufio.Reader) ([]byte, error) {
 	size, err := binary.ReadUvarint(br)
 	if err != nil {
 		if err == io.EOF {
-			return wire.Table{}, io.EOF
+			return nil, io.EOF
 		}
-		return wire.Table{}, fmt.Errorf("fabric: reading frame length: %w", err)
+		return nil, fmt.Errorf("fabric: reading frame length: %w", err)
 	}
 	if size == 0 || size > maxFrameSize {
-		return wire.Table{}, fmt.Errorf("fabric: frame length %d out of range (max %d)", size, maxFrameSize)
+		return nil, fmt.Errorf("fabric: frame length %d out of range (max %d)", size, maxFrameSize)
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return wire.Table{}, fmt.Errorf("fabric: frame truncated: %w", err)
+		return nil, fmt.Errorf("fabric: frame truncated: %w", err)
 	}
+	return buf, nil
+}
+
+// readFrame reads and decodes one length-prefixed frame.
+func readFrame(br *bufio.Reader) (wire.Table, error) {
+	buf, err := readRawFrame(br)
+	if err != nil {
+		return wire.Table{}, err
+	}
+	return decodeFrame(buf)
+}
+
+// decodeFrame rebuilds the wire table from a raw frame body.
+func decodeFrame(buf []byte) (wire.Table, error) {
 	t, rest, err := wire.Decode(buf)
 	if err != nil {
 		return wire.Table{}, fmt.Errorf("fabric: decoding frame: %w", err)

@@ -2,10 +2,15 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"strings"
+	"time"
 
 	"repro"
 )
@@ -26,6 +31,9 @@ type pointsRequest struct {
 type Worker struct {
 	eng *repro.Engine
 	reg *repro.MachineRegistry
+	// client performs warm-join snapshot pulls from peers
+	// (ServeWarm); tests may swap it.
+	client *http.Client
 }
 
 // NewWorker wraps an engine and registry (nil reg means the default
@@ -34,7 +42,13 @@ func NewWorker(eng *repro.Engine, reg *repro.MachineRegistry) *Worker {
 	if reg == nil {
 		reg = repro.DefaultMachineRegistry()
 	}
-	return &Worker{eng: eng, reg: reg}
+	return &Worker{
+		eng: eng,
+		reg: reg,
+		// Snapshot pulls are a few MB of local traffic at worst; a
+		// bounded client keeps a hung peer from wedging a warm-join.
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
 }
 
 // ServeHTTP answers POST /v1/fabric/points, streaming one
@@ -113,9 +127,139 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Register mounts the worker's endpoint on a mux.
+// Register mounts every worker endpoint on a mux.
 func (wk *Worker) Register(mux *http.ServeMux) {
 	mux.Handle(PointsPath, wk)
+	mux.HandleFunc(HealthPath, wk.ServeHealth)
+	mux.HandleFunc(SnapshotPath, wk.ServeSnapshot)
+	mux.HandleFunc(WarmPath, wk.ServeWarm)
+}
+
+// ServeHealth answers the fabric readiness probe. A worker that can
+// run this handler can serve shard traffic, so the answer is
+// unconditionally 200 — warmth is a performance property, not a
+// liveness one.
+func (wk *Worker) ServeHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ServeSnapshot answers GET /v1/fabric/snapshot?arc=lo-hi,...: the
+// worker's suite-cache entries whose machine fingerprints the arcs
+// contain, in the core snapshot wire format. Without an arc parameter
+// the full cache is returned. The body is deterministic for a given
+// cache state (entries sort by canonical key), so two peers holding
+// the same entries ship identical bytes.
+func (wk *Worker) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		workerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	arcs, err := ParseArcs(r.URL.Query().Get("arc"))
+	if err != nil {
+		workerError(w, http.StatusBadRequest, err)
+		return
+	}
+	var keep func(uint64) bool
+	if len(arcs) > 0 {
+		keep = func(fp uint64) bool {
+			for _, a := range arcs {
+				if a.Contains(fp) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	data, err := wk.eng.SnapshotCacheIf(keep)
+	if err != nil {
+		workerError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", SnapshotContentType)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	_, _ = w.Write(data)
+}
+
+// warmRequest is the body of POST /v1/fabric/warm: the peers to pull
+// from and the arcs (FormatArcs encoding) this worker should warm.
+type warmRequest struct {
+	Peers []string `json:"peers"`
+	Arc   string   `json:"arc"`
+}
+
+// warmResponse reports a warm-join pull: entries installed into the
+// cache, peers successfully pulled, and per-peer failures (best
+// effort — a dead peer costs warmth, not correctness).
+type warmResponse struct {
+	Installed int      `json:"installed"`
+	Peers     int      `json:"peers"`
+	Errors    []string `json:"errors,omitempty"`
+}
+
+// ServeWarm answers POST /v1/fabric/warm by pulling the named arcs'
+// snapshot from each peer and installing the entries into the
+// worker's own suite cache (already-cached keys are skipped). Failures
+// against individual peers are reported but not fatal: a warm-join is
+// an optimization, and a worker that could not warm simply evaluates
+// its shard cold, bit-identically.
+func (wk *Worker) ServeWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		workerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req warmRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		workerError(w, http.StatusBadRequest, fmt.Errorf("decoding warm request: %w", err))
+		return
+	}
+	if _, err := ParseArcs(req.Arc); err != nil {
+		workerError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := warmResponse{}
+	for _, peer := range req.Peers {
+		n, err := wk.pullSnapshot(r.Context(), peer, req.Arc)
+		if err != nil {
+			resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", peer, err))
+			continue
+		}
+		resp.Peers++
+		resp.Installed += n
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// pullSnapshot fetches one peer's arc-filtered snapshot and installs
+// it.
+func (wk *Worker) pullSnapshot(ctx context.Context, peer, arc string) (int, error) {
+	u := peer + SnapshotPath
+	if arc != "" {
+		u += "?arc=" + url.QueryEscape(arc)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wk.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("peer answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return wk.eng.RestoreCache(data)
 }
 
 // workerError answers a pre-stream failure as the same JSON error

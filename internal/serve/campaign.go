@@ -175,7 +175,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		writeError(w, campaignErrorStatus(err), err)
+		s.writeCampaignError(w, err)
 		return
 	}
 	s.met.addCampaign(points, false)
@@ -195,16 +195,27 @@ func (s *Server) runCampaign(r *http.Request, spec repro.CampaignSpec, raw []byt
 	return s.eng.CampaignStream(spec, emit)
 }
 
-// campaignErrorStatus maps a campaign evaluation failure to its HTTP
-// status: a fleet with no live workers is an upstream failure (502);
-// anything else stays a plain 500.
-func campaignErrorStatus(err error) int {
+// writeCampaignError answers a campaign evaluation failure. A fleet
+// with no live workers is an upstream failure: 502 with a Retry-After
+// hint (the prober revives workers on their next healthy probe, so the
+// condition is expected to clear) and its own fleet-down counter — an
+// operator alerting on fleet outages should not have to parse generic
+// endpoint error rates. Everything else stays a plain 500.
+func (s *Server) writeCampaignError(w http.ResponseWriter, err error) {
 	var down *fabric.AllWorkersDownError
 	if errors.As(err, &down) {
-		return http.StatusBadGateway
+		s.met.addFleetDown()
+		w.Header().Set("Retry-After", fleetDownRetryAfter)
+		writeError(w, http.StatusBadGateway, err)
+		return
 	}
-	return http.StatusInternalServerError
+	writeError(w, http.StatusInternalServerError, err)
 }
+
+// fleetDownRetryAfter is the Retry-After value (in seconds) sent with
+// fleet-down 502s — a couple of probe intervals, long enough for a
+// bounced worker to be probed back in.
+const fleetDownRetryAfter = "5"
 
 // campaignNDJSON serves the streaming form. The first request for a
 // grid renders live — each point line is written and flushed as the
@@ -228,7 +239,7 @@ func (s *Server) campaignNDJSON(w http.ResponseWriter, r *http.Request, spec rep
 		return
 	}
 	if err != nil {
-		writeError(w, campaignErrorStatus(err), err)
+		s.writeCampaignError(w, err)
 		return
 	}
 	s.met.addCampaign(points, true)
@@ -271,7 +282,7 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, spec rep
 			// Nothing has streamed, so the status line is still ours:
 			// answer a real error (502 for a dead fleet) instead of an
 			// empty 200 stream.
-			writeError(w, campaignErrorStatus(err), err)
+			s.writeCampaignError(w, err)
 			return nil, err
 		}
 		// The stream is already underway with a 200 status; a terminal

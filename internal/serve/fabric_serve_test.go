@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/fabric/faulttest"
 )
 
 // newFleet starts n worker servers (each a full Server with the fabric
@@ -142,4 +145,163 @@ func TestWorkerEndpointMountGated(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("worker GET: status %d, want 405", resp.StatusCode)
 	}
+}
+
+// TestFleetDownRetryAfterAndMetric: the fleet-down 502 carries a
+// Retry-After hint (the prober revives workers, so the condition is
+// expected to clear) and increments its dedicated counter, visible in
+// /metrics.
+func TestFleetDownRetryAfterAndMetric(t *testing.T) {
+	coord, workers := newFleet(t, 2)
+	for _, w := range workers {
+		w.CloseClientConnections()
+		w.Close()
+	}
+	resp, err := http.Post(coord.URL+"/v1/campaign", "application/json", strings.NewReader(campaignBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Errorf("Retry-After = %q, want \"5\"", got)
+	}
+	body := getMetricsBody(t, coord)
+	if !strings.Contains(body, "sg2042d_fabric_fleet_down_total 1") {
+		t.Errorf("metrics lack the fleet-down counter:\n%s", grepMetrics(body, "fleet_down"))
+	}
+}
+
+// TestCoordinatorMetricsExposeFleet: a coordinating server's /metrics
+// reports per-worker up/quarantined gauges and the self-healing
+// counters; a plain server omits the per-worker block but still exports
+// the fleet-down counter at zero.
+func TestCoordinatorMetricsExposeFleet(t *testing.T) {
+	coord, workers := newFleet(t, 2)
+	body := getMetricsBody(t, coord)
+	for _, w := range workers {
+		gauge := `sg2042d_fabric_worker_up{target="` + w.URL + `"} 1`
+		if !strings.Contains(body, gauge) {
+			t.Errorf("metrics lack %s:\n%s", gauge, grepMetrics(body, "worker_up"))
+		}
+	}
+	for _, counter := range []string{
+		"sg2042d_fabric_probe_deaths_total 0",
+		"sg2042d_fabric_probe_revivals_total 0",
+		"sg2042d_fabric_warm_joins_total 0",
+		"sg2042d_fabric_quarantines_total 0",
+	} {
+		if !strings.Contains(body, counter) {
+			t.Errorf("metrics lack %q", counter)
+		}
+	}
+
+	plain := httptest.NewServer(New(Options{}).Handler())
+	defer plain.Close()
+	body = getMetricsBody(t, plain)
+	if strings.Contains(body, "sg2042d_fabric_worker_up") {
+		t.Error("non-coordinating server exports per-worker gauges")
+	}
+	if !strings.Contains(body, "sg2042d_fabric_fleet_down_total 0") {
+		t.Error("non-coordinating server omits the fleet-down counter")
+	}
+}
+
+// TestReplicatedCampaignQuarantineInMetrics is the serving-tier face of
+// the replica acceptance: a coordinator with Replicas: 2 over a fleet
+// where one worker tampers a frame body still answers the exact local
+// bytes, and /metrics reports the quarantine.
+func TestReplicatedCampaignQuarantineInMetrics(t *testing.T) {
+	local := httptest.NewServer(New(Options{Parallel: 4}).Handler())
+	defer local.Close()
+
+	cluster := faulttest.NewCluster(3)
+	defer cluster.Close()
+	cluster.Tamper(0, 1)
+	coord := httptest.NewServer(New(Options{Coordinate: cluster.Targets(), Replicas: 2}).Handler())
+	defer coord.Close()
+
+	_, _, want := postCampaign(t, local, "", campaignBody, "")
+	status, _, got := postCampaign(t, coord, "", campaignBody, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d with a tampering worker under replication: %s", status, got)
+	}
+	if got != want {
+		t.Error("replicated body differs from single-process body despite quorum")
+	}
+
+	body := getMetricsBody(t, coord)
+	if !strings.Contains(body, "sg2042d_fabric_quarantines_total 1") {
+		t.Errorf("metrics lack the quarantine counter:\n%s", grepMetrics(body, "quarantine"))
+	}
+	gauge := `sg2042d_fabric_worker_quarantined{target="` + cluster.Targets()[0] + `"} 1`
+	if !strings.Contains(body, gauge) {
+		t.Errorf("metrics lack %s:\n%s", gauge, grepMetrics(body, "quarantined"))
+	}
+}
+
+// TestWorkerFabricSurfaceMounted: Options.Worker mounts the whole
+// self-healing surface — healthz for the prober, snapshot and warm for
+// peer shipping — and a plain server mounts none of it.
+func TestWorkerFabricSurfaceMounted(t *testing.T) {
+	worker := httptest.NewServer(New(Options{Worker: true}).Handler())
+	defer worker.Close()
+	plain := httptest.NewServer(New(Options{}).Handler())
+	defer plain.Close()
+
+	resp, err := http.Get(worker.URL + "/v1/fabric/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("worker fabric healthz: status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(worker.URL + "/v1/fabric/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("worker fabric snapshot: status %d, want 200", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/fabric/healthz", "/v1/fabric/snapshot"} {
+		resp, err := http.Get(plain.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("plain server %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// getMetricsBody fetches /metrics.
+func getMetricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// grepMetrics filters a metrics body to lines containing substr, for
+// focused failure output.
+func grepMetrics(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
 }

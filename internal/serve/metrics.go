@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fabric"
 )
 
 // metrics is the server's hand-rolled metrics registry: per-endpoint
@@ -28,6 +30,11 @@ type metrics struct {
 	prewarmEntries uint64
 	prewarmErrors  uint64
 	prewarmSeconds float64
+	// fleetDown counts campaign requests refused because every fabric
+	// worker was down (the 502 + Retry-After path) — its own counter,
+	// not folded into generic endpoint errors, so an operator can alert
+	// on fleet outages without parsing error rates.
+	fleetDown uint64
 }
 
 type endpointStats struct {
@@ -60,6 +67,13 @@ func (m *metrics) setPrewarm(entries, errors int, d time.Duration) {
 	m.prewarmSeconds = d.Seconds()
 }
 
+// addFleetDown records one campaign refused with the whole fleet down.
+func (m *metrics) addFleetDown() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleetDown++
+}
+
 // addCampaign records one served campaign response.
 func (m *metrics) addCampaign(points int, streamed bool) {
 	m.mu.Lock()
@@ -86,9 +100,10 @@ func (m *metrics) observe(endpoint string, d time.Duration, status int) {
 }
 
 // render emits the registry in the Prometheus text format, folding in
-// the engine cache and render cache counters and the readiness gauge
-// passed by the caller. Endpoints are sorted so the output is stable.
-func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64, ready bool) string {
+// the engine cache and render cache counters, the readiness gauge, and
+// — when the server coordinates a fabric — the fleet's self-healing
+// stats. Endpoints are sorted so the output is stable.
+func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64, ready bool, fs *fabric.FabricStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -149,6 +164,49 @@ func (m *metrics) render(cacheHits, cacheMisses, renderHits, renderMisses uint64
 	b.WriteString("# HELP sg2042d_campaign_streams_total Campaign responses delivered as NDJSON streams.\n")
 	b.WriteString("# TYPE sg2042d_campaign_streams_total counter\n")
 	fmt.Fprintf(&b, "sg2042d_campaign_streams_total %d\n", m.campaignStreams)
+
+	b.WriteString("# HELP sg2042d_fabric_fleet_down_total Campaign requests refused because every fabric worker was down.\n")
+	b.WriteString("# TYPE sg2042d_fabric_fleet_down_total counter\n")
+	fmt.Fprintf(&b, "sg2042d_fabric_fleet_down_total %d\n", m.fleetDown)
+
+	if fs != nil {
+		b.WriteString("# HELP sg2042d_fabric_probe_deaths_total Worker live-to-dead transitions observed by the health prober.\n")
+		b.WriteString("# TYPE sg2042d_fabric_probe_deaths_total counter\n")
+		fmt.Fprintf(&b, "sg2042d_fabric_probe_deaths_total %d\n", fs.ProbeDeaths)
+		b.WriteString("# HELP sg2042d_fabric_probe_revivals_total Worker dead-to-live transitions (rejoins) observed by the health prober.\n")
+		b.WriteString("# TYPE sg2042d_fabric_probe_revivals_total counter\n")
+		fmt.Fprintf(&b, "sg2042d_fabric_probe_revivals_total %d\n", fs.ProbeRevivals)
+		b.WriteString("# HELP sg2042d_fabric_warm_joins_total Warm-join snapshot shipments completed for (re)joined workers.\n")
+		b.WriteString("# TYPE sg2042d_fabric_warm_joins_total counter\n")
+		fmt.Fprintf(&b, "sg2042d_fabric_warm_joins_total %d\n", fs.WarmJoins)
+		b.WriteString("# HELP sg2042d_fabric_warm_entries_total Suite-cache entries installed across all warm-joins.\n")
+		b.WriteString("# TYPE sg2042d_fabric_warm_entries_total counter\n")
+		fmt.Fprintf(&b, "sg2042d_fabric_warm_entries_total %d\n", fs.WarmInstalled)
+		b.WriteString("# HELP sg2042d_fabric_warm_errors_total Failed warm shipments plus per-peer snapshot pull failures.\n")
+		b.WriteString("# TYPE sg2042d_fabric_warm_errors_total counter\n")
+		fmt.Fprintf(&b, "sg2042d_fabric_warm_errors_total %d\n", fs.WarmErrors)
+		b.WriteString("# HELP sg2042d_fabric_quarantines_total Workers quarantined after diverging from replica quorum.\n")
+		b.WriteString("# TYPE sg2042d_fabric_quarantines_total counter\n")
+		fmt.Fprintf(&b, "sg2042d_fabric_quarantines_total %d\n", fs.Quarantines)
+		b.WriteString("# HELP sg2042d_fabric_worker_up Whether each fabric worker is currently live in the ring.\n")
+		b.WriteString("# TYPE sg2042d_fabric_worker_up gauge\n")
+		for _, ms := range fs.Members {
+			up := 0
+			if ms.Live {
+				up = 1
+			}
+			fmt.Fprintf(&b, "sg2042d_fabric_worker_up{target=%q} %d\n", ms.Target, up)
+		}
+		b.WriteString("# HELP sg2042d_fabric_worker_quarantined Whether each fabric worker is quarantined (sticky-dead until reinstated).\n")
+		b.WriteString("# TYPE sg2042d_fabric_worker_quarantined gauge\n")
+		for _, ms := range fs.Members {
+			q := 0
+			if ms.Quarantined {
+				q = 1
+			}
+			fmt.Fprintf(&b, "sg2042d_fabric_worker_quarantined{target=%q} %d\n", ms.Target, q)
+		}
+	}
 
 	b.WriteString("# HELP sg2042d_prewarm_ready Whether the server is ready for traffic (prewarm complete, or prewarm not requested).\n")
 	b.WriteString("# TYPE sg2042d_prewarm_ready gauge\n")

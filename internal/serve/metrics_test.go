@@ -14,7 +14,7 @@ func TestMetricsRender(t *testing.T) {
 	m.observe("experiment", 5*time.Millisecond, http.StatusNotFound)
 	m.observe("batch", 20*time.Millisecond, http.StatusOK)
 
-	out := m.render(30, 10, 4, 2, true)
+	out := m.render(30, 10, 4, 2, true, nil)
 	for _, want := range []string{
 		`sg2042d_requests_total{endpoint="batch"} 1`,
 		`sg2042d_requests_total{endpoint="experiment"} 2`,
@@ -29,7 +29,7 @@ func TestMetricsRender(t *testing.T) {
 		}
 	}
 	// Endpoint order is sorted, so repeated renders are stable.
-	if out2 := m.render(30, 10, 4, 2, true); out2 != out {
+	if out2 := m.render(30, 10, 4, 2, true, nil); out2 != out {
 		t.Error("render is not deterministic")
 	}
 	// batch sorts before experiment.
@@ -40,7 +40,7 @@ func TestMetricsRender(t *testing.T) {
 
 func TestMetricsZeroTraffic(t *testing.T) {
 	m := newMetrics()
-	out := m.render(0, 0, 0, 0, true)
+	out := m.render(0, 0, 0, 0, true, nil)
 	if !strings.Contains(out, "sg2042d_engine_cache_hit_rate 0.000000") {
 		t.Errorf("zero-traffic hit rate should render 0, got\n%s", out)
 	}
@@ -53,7 +53,7 @@ func TestStatusWriterDefaultsToOK(t *testing.T) {
 	}))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/probe", nil))
-	out := m.render(0, 0, 0, 0, true)
+	out := m.render(0, 0, 0, 0, true, nil)
 	if !strings.Contains(out, `sg2042d_request_errors_total{endpoint="probe"} 0`) {
 		t.Errorf("implicit 200 counted as error:\n%s", out)
 	}

@@ -20,6 +20,9 @@
 //	GET  /healthz                   readiness probe (503 until prewarm completes)
 //	GET  /livez                     liveness probe (200 from the first request)
 //	POST /v1/fabric/points          shard-scoped campaign points (Options.Worker)
+//	GET  /v1/fabric/healthz         fabric liveness for the coordinator's prober (Options.Worker)
+//	GET  /v1/fabric/snapshot        arc-scoped suite-cache snapshot (Options.Worker)
+//	POST /v1/fabric/warm            pull peer snapshots into the local cache (Options.Worker)
 //
 // With Options.Coordinate the campaign endpoint shards its grid over a
 // fleet of workers through internal/fabric; every format's bytes stay
@@ -34,6 +37,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -71,6 +75,11 @@ type Options struct {
 	// at boot); an invalid list surfaces as an error on every campaign
 	// request.
 	Coordinate []string
+	// Replicas dispatches each campaign shard to this many
+	// ring-successor workers and byte-compares their frames, emitting
+	// on quorum and quarantining divergent workers (<=1 disables
+	// replication). Only meaningful with Coordinate.
+	Replicas int
 }
 
 // Server is the HTTP front end of the study engine. It is safe for
@@ -113,6 +122,9 @@ func New(opts Options) *Server {
 	}
 	if len(opts.Coordinate) > 0 {
 		s.coord, s.coordErr = fabric.NewCoordinator(opts.Coordinate, s.reg, nil)
+		if s.coord != nil {
+			s.coord.Replicas = opts.Replicas
+		}
 	}
 	s.routes()
 	return s
@@ -121,6 +133,21 @@ func New(opts Options) *Server {
 // Engine returns the server's underlying engine (tests use it to
 // observe cache statistics).
 func (s *Server) Engine() *repro.Engine { return s.eng }
+
+// Coordinator returns the fabric coordinator, or nil when the server
+// is not coordinating (status surfaces and tests reach fleet state
+// through it).
+func (s *Server) Coordinator() *fabric.Coordinator { return s.coord }
+
+// StartFabricProber begins coordinator-side health probing: workers
+// die and rejoin the ring as their /v1/fabric/healthz answers change,
+// with snapshot shipping on every rejoin. No-op unless the server
+// coordinates. The prober stops when ctx is cancelled.
+func (s *Server) StartFabricProber(ctx context.Context, cfg fabric.ProbeConfig) {
+	if s.coord != nil {
+		s.coord.StartProber(ctx, cfg)
+	}
+}
 
 func (s *Server) routes() {
 	s.handle("GET /v1/experiments", "list", s.handleList)
@@ -134,6 +161,12 @@ func (s *Server) routes() {
 	s.handle("GET /v1/cluster/{machine}", "cluster", s.handleCluster)
 	if s.wk != nil {
 		s.handle("POST "+fabric.PointsPath, "fabric-points", s.wk.ServeHTTP)
+		// The self-healing surface: the coordinator's prober watches
+		// fabric healthz, and peers ship arc-scoped cache snapshots to a
+		// (re)joining worker through snapshot/warm.
+		s.handle("GET "+fabric.HealthPath, "fabric-healthz", s.wk.ServeHealth)
+		s.handle("GET "+fabric.SnapshotPath, "fabric-snapshot", s.wk.ServeSnapshot)
+		s.handle("POST "+fabric.WarmPath, "fabric-warm", s.wk.ServeWarm)
 	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -335,8 +368,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.eng.CacheStats()
 	rhits, rmisses := s.rc.stats()
+	var fs *fabric.FabricStats
+	if s.coord != nil {
+		v := s.coord.Stats()
+		fs = &v
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(hits, misses, rhits, rmisses, s.ready.Load()))
+	fmt.Fprint(w, s.met.render(hits, misses, rhits, rmisses, s.ready.Load(), fs))
 }
 
 // validExperiment reports whether a canonicalized name is servable —
